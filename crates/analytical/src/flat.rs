@@ -1,0 +1,74 @@
+//! Flat-broadcast model.
+
+use bda_core::Params;
+
+use crate::Model;
+
+/// Expected metrics for flat broadcast over `nr` records.
+///
+/// Derivation: tune-in is uniform within the cycle, so the client listens
+/// through half a bucket on average before the first complete bucket
+/// (`Ft = Dt/2`), then scans `j` buckets where `j` is uniform on
+/// `{1, …, N}` (the target is equally likely to be at any distance),
+/// giving `E[j] = (N+1)/2`. The client never dozes, so `Tt = At`:
+///
+/// ```text
+/// At = Tt = (½ + (N+1)/2) · Dt
+/// ```
+///
+/// matching the paper's "approximately half of the broadcast cycle".
+pub fn flat(params: &Params, nr: usize) -> Model {
+    let dt = f64::from(params.data_bucket_size());
+    let n = nr as f64;
+    let at = (0.5 + (n + 1.0) / 2.0) * dt;
+    Model {
+        access: at,
+        tuning: at,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bda_core::DynSystem;
+    use bda_core::{Dataset, FlatScheme, Key, Record, Scheme, System};
+
+    #[test]
+    fn model_matches_exhaustive_average() {
+        // Average the protocol over every key and a dense grid of tune-in
+        // times; the model must match within a fraction of a bucket.
+        let n = 40u64;
+        let params = Params::paper();
+        let ds = Dataset::new((0..n).map(|i| Record::keyed(i * 2)).collect()).unwrap();
+        let sys = FlatScheme.build(&ds, &params).unwrap();
+        let cycle = sys.channel().cycle_len();
+        let mut total_access = 0f64;
+        let mut total_tuning = 0f64;
+        let mut count = 0f64;
+        for k in 0..n {
+            for t in (0..cycle).step_by(97) {
+                let out = sys.probe(Key(k * 2), t);
+                total_access += out.access as f64;
+                total_tuning += out.tuning as f64;
+                count += 1.0;
+            }
+        }
+        let m = flat(&params, n as usize);
+        let dt = f64::from(params.data_bucket_size());
+        assert!(
+            (total_access / count - m.access).abs() < dt,
+            "measured {} vs model {}",
+            total_access / count,
+            m.access
+        );
+        assert!((total_tuning / count - m.tuning).abs() < dt);
+    }
+
+    #[test]
+    fn scales_linearly_with_records() {
+        let p = Params::paper();
+        let m1 = flat(&p, 1000);
+        let m2 = flat(&p, 2000);
+        assert!((m2.access / m1.access - 2.0).abs() < 0.01);
+    }
+}

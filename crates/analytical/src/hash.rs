@@ -1,0 +1,155 @@
+//! Simple-hashing model (paper §2.2).
+
+use bda_core::Params;
+
+use crate::Model;
+
+/// Expected metrics for simple hashing, given the realized layout: `na`
+/// initially allocated buckets, `nc` colliding buckets, `n_total` buckets
+/// per cycle (`N = Na + Nc`).
+///
+/// Components, following the paper's decomposition (`Ft + Ht + St + Ct +
+/// Dt`), with `Ht` (time to reach the hashing position) computed exactly
+/// for our protocol by averaging over the uniform tune-in position `p` and
+/// the uniform slot `h`:
+///
+/// * `p ≤ h` — doze `(h − p)` buckets to the hashing position;
+/// * `p > h` (position passed, or tuned into the overflow region) — doze to
+///   the next cycle start `(N − p)` buckets away, read one extra bucket
+///   there, then doze `h` further buckets.
+///
+/// `St` (shift to the chain start) averages `Nc/2` buckets and `Ct` (the
+/// collision-chain scan) `Nc/Nr` extra reads, exactly as in the paper.
+pub fn hash(params: &Params, nr: usize, na: u64, nc: usize) -> Model {
+    let dt = f64::from(params.data_bucket_size());
+    let n = (na as usize + nc) as f64;
+    let na_f = na as f64;
+
+    // E[Ht] in buckets: average over h uniform in [0, na) of the expected
+    // doze/read cost from a uniform position p in [0, n).
+    let mut ht = 0.0;
+    for h in 0..na {
+        let h = h as f64;
+        // p ≤ h (probability (h+1)/n): mean gap h/2, no extra read.
+        let reach_direct = ((h + 1.0) / n) * (h / 2.0);
+        // p > h (probability (n−h−1)/n): mean wait to cycle start
+        // (n−h−1)/2, one extra bucket read, then h buckets to the slot.
+        let miss_p = (n - h - 1.0) / n;
+        let reach_wrapped = miss_p * ((n - h - 1.0) / 2.0 + 1.0 + h);
+        ht += reach_direct + reach_wrapped;
+    }
+    ht /= na_f;
+
+    let nc_f = nc as f64;
+    let st = nc_f / 2.0; // average shift to the chain start
+    let ct = nc_f / nr as f64; // average chain overflow scanned
+
+    // ½ initial wait + 1 first bucket + Ht + St + Ct + 1 download.
+    let access = (0.5 + 1.0 + ht + st + ct + 1.0) * dt;
+
+    // Tuning: the dozes inside Ht/St cost nothing; what remains is the
+    // initial read, the extra read after a wrapped locate (probability of
+    // the p > h branch, ≈ (Nc + ½Na)/N), the slot bucket, the chain scan
+    // and the download.
+    let p_wrap: f64 = (0..na)
+        .map(|h| (n - h as f64 - 1.0) / n)
+        .sum::<f64>()
+        / na_f;
+    let tuning = (0.5 + 1.0 + p_wrap + 1.0 + ct + 1.0) * dt;
+
+    Model { access, tuning }
+}
+
+/// Convenience wrapper estimating the layout statistics under an ideal
+/// (uniform) hash at load factor `Nr/Na = load`: slot occupancies are
+/// `Poisson(load)`, so the expected fraction of empty slots is `e^(−load)`
+/// and `Nc = Nr − Na·(1 − e^(−load))`.
+pub fn hash_poisson(params: &Params, nr: usize, load: f64) -> Model {
+    let na = ((nr as f64 / load).ceil()).max(1.0);
+    let occupied = na * (1.0 - (-load).exp());
+    let nc = (nr as f64 - occupied).max(0.0);
+    hash(params, nr, na as u64, nc.round() as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bda_core::DynSystem;
+    use bda_core::{Dataset, Record, Scheme, System};
+    use bda_hash::HashScheme;
+
+    fn ds(n: u64) -> Dataset {
+        Dataset::from_unsorted(
+            (0..n)
+                .map(|i| Record::keyed(i.wrapping_mul(0x9E3779B97F4A7C15) >> 2))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn model_matches_simulation_on_realized_layout() {
+        let n = 2000u64;
+        let params = Params::paper();
+        let d = ds(n);
+        let sys = HashScheme::new().build(&d, &params).unwrap();
+        let model = hash(&params, n as usize, sys.na(), sys.num_collisions());
+
+        let cycle = sys.channel().cycle_len();
+        let mut access = 0f64;
+        let mut tuning = 0f64;
+        let mut cnt = 0f64;
+        for r in d.records().iter().step_by(23) {
+            for s in 0..24u64 {
+                let out = sys.probe(r.key, s * cycle / 24 + 71);
+                assert!(out.found && !out.aborted);
+                access += out.access as f64;
+                tuning += out.tuning as f64;
+                cnt += 1.0;
+            }
+        }
+        access /= cnt;
+        tuning /= cnt;
+        assert!(
+            (access - model.access).abs() / model.access < 0.10,
+            "access: measured {access} model {}",
+            model.access
+        );
+        assert!(
+            (tuning - model.tuning).abs() / model.tuning < 0.15,
+            "tuning: measured {tuning} model {}",
+            model.tuning
+        );
+    }
+
+    #[test]
+    fn poisson_estimate_close_to_realized() {
+        let n = 5000u64;
+        let params = Params::paper();
+        let d = ds(n);
+        let sys = HashScheme::new().build(&d, &params).unwrap();
+        let realized = hash(&params, n as usize, sys.na(), sys.num_collisions());
+        let estimated = hash_poisson(&params, n as usize, 1.0);
+        assert!(
+            (realized.access - estimated.access).abs() / realized.access < 0.05,
+            "realized {} vs poisson {}",
+            realized.access,
+            estimated.access
+        );
+    }
+
+    #[test]
+    fn access_exceeds_flat_tuning_stays_flat() {
+        let p = Params::paper();
+        let h1 = hash_poisson(&p, 10_000, 1.0);
+        let h2 = hash_poisson(&p, 20_000, 1.0);
+        let f = crate::flat::flat(&p, 10_000);
+        // Hashing pays cycle inflation + locate round trips: worst access.
+        assert!(h1.access > f.access);
+        // Tuning is independent of the number of records (the paper's
+        // horizontal line in Fig. 4(b)).
+        let dt = f64::from(p.data_bucket_size());
+        assert!((h1.tuning - h2.tuning).abs() < 0.2 * dt);
+        assert!(h1.tuning < 6.0 * dt);
+    }
+}

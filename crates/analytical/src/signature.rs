@@ -1,0 +1,181 @@
+//! Simple-signature model (paper §2.3).
+
+use bda_core::Params;
+use bda_signature::SigParams;
+
+use crate::Model;
+
+/// Probability that an unrelated record's signature matches a query
+/// signature — the per-record *false drop* probability.
+///
+/// `distinct_strings` is the number of **distinct attribute values** whose
+/// bit strings the record superimposes, counting the key once (datagen
+/// records carry the key as attribute 0, so this equals `attrs.len()`).
+/// Each string sets `w = bits_per_attr` *distinct* bits out of `b`, so the
+/// expected fraction of set bits is `ρ = 1 − (1 − w/b)^s`, and a query of
+/// `w` distinct bits matches hypergeometrically:
+///
+/// ```text
+/// p_fd ≈ Π_{i=0}^{w−1} (ρ·b − i) / (b − i)
+/// ```
+pub fn false_drop_probability(sig: &SigParams, distinct_strings: usize) -> f64 {
+    let b = f64::from(sig.bits().max(1));
+    let w = f64::from(sig.bits_per_attr.min(sig.bits()));
+    let rho = 1.0 - (1.0 - w / b).powf(distinct_strings as f64);
+    let set = rho * b;
+    let mut p = 1.0;
+    let mut i = 0.0;
+    while i < w {
+        p *= ((set - i).max(0.0)) / (b - i);
+        i += 1.0;
+    }
+    p
+}
+
+/// Expected metrics for simple signature indexing over `nr` records whose
+/// signatures superimpose `distinct_strings` distinct attribute values
+/// (see [`false_drop_probability`]).
+///
+/// With signature buckets of `It = header + sig_bytes` bytes, the cycle is
+/// `Nr·(It + Dt)`. The client examines `j` signatures, `j` uniform on
+/// `{1, …, Nr}`; elapsed time per examined record is `It + Dt` whether the
+/// data bucket is read or dozed over, so
+///
+/// ```text
+/// At = ½·(It + Dt) + (Nr+1)/2 · (It + Dt)
+/// ```
+///
+/// (the paper's `½(Dt + It)(Nr + 1)`). Tuning pays each examined
+/// signature, each false drop, and the final download:
+///
+/// ```text
+/// Tt = ½·(It + Dt) + (Nr+1)/2 · It + (Fd + 1) · Dt,
+/// Fd = p_fd · (Nr − 1)/2
+/// ```
+pub fn signature(
+    params: &Params,
+    sig: &SigParams,
+    distinct_strings: usize,
+    nr: usize,
+) -> Model {
+    let dt = f64::from(params.data_bucket_size());
+    let it = f64::from(params.header_size + sig.sig_bytes);
+    let n = nr as f64;
+    let examined = (n + 1.0) / 2.0;
+    let p_fd = false_drop_probability(sig, distinct_strings);
+    let fd = p_fd * (n - 1.0) / 2.0;
+
+    let access = 0.5 * (it + dt) + examined * (it + dt);
+    let tuning = 0.5 * (it + dt) + examined * it + (fd + 1.0) * dt;
+    Model { access, tuning }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bda_core::DynSystem;
+    use bda_core::{Dataset, Key, Record, Scheme, System};
+    use bda_signature::SimpleSignatureScheme;
+
+    fn ds(n: u64) -> Dataset {
+        Dataset::new(
+            (0..n)
+                .map(|i| Record::new(Key(i * 7), vec![i * 7, i + 13, i % 29, i % 3]))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn false_drop_probability_tracks_measurement() {
+        let sig = SigParams {
+            sig_bytes: 4,
+            bits_per_attr: 4,
+        };
+        // Records superimpose {i, i+1, i+2} plus the key i — 3 distinct
+        // values.
+        let p_model = false_drop_probability(&sig, 3);
+        // Measure directly over random record/query pairs.
+        let mut hits = 0u64;
+        let total = 40_000u64;
+        for i in 0..total {
+            let rec = sig.record_signature(Key(i), &[i, i + 1, i + 2]);
+            let q = sig.query_signature(Key(1_000_000 + i));
+            hits += u64::from(rec.matches(&q));
+        }
+        let p_meas = hits as f64 / total as f64;
+        assert!(
+            (p_meas - p_model).abs() < 0.5 * p_model + 0.002,
+            "measured {p_meas} vs model {p_model}"
+        );
+    }
+
+    #[test]
+    fn model_matches_simulation() {
+        let n = 1500u64;
+        let params = Params::paper();
+        let sigp = SigParams::default();
+        let d = ds(n);
+        let sys = SimpleSignatureScheme::with_params(sigp)
+            .build(&d, &params)
+            .unwrap();
+        let model = signature(&params, &sigp, 4, n as usize);
+
+        let cycle = sys.channel().cycle_len();
+        let mut access = 0f64;
+        let mut tuning = 0f64;
+        let mut cnt = 0f64;
+        for i in (0..n).step_by(19) {
+            for s in 0..16u64 {
+                let out = sys.probe(Key(i * 7), s * cycle / 16 + 31);
+                assert!(out.found && !out.aborted);
+                access += out.access as f64;
+                tuning += out.tuning as f64;
+                cnt += 1.0;
+            }
+        }
+        access /= cnt;
+        tuning /= cnt;
+        assert!(
+            (access - model.access).abs() / model.access < 0.05,
+            "access: measured {access} model {}",
+            model.access
+        );
+        assert!(
+            (tuning - model.tuning).abs() / model.tuning < 0.15,
+            "tuning: measured {tuning} model {}",
+            model.tuning
+        );
+    }
+
+    #[test]
+    fn shorter_signatures_trade_access_for_tuning() {
+        // The §2.3 tradeoff: shrinking the signature shortens the cycle
+        // (better access) but false drops explode (worse tuning).
+        let p = Params::paper();
+        let long = SigParams {
+            sig_bytes: 32,
+            bits_per_attr: 4,
+        };
+        let short = SigParams {
+            sig_bytes: 1,
+            bits_per_attr: 4,
+        };
+        let nr = 20_000;
+        let ml = signature(&p, &long, 4, nr);
+        let ms = signature(&p, &short, 4, nr);
+        assert!(ms.access < ml.access, "shorter sig → shorter cycle");
+        assert!(ms.tuning > ml.tuning, "shorter sig → more false drops");
+    }
+
+    #[test]
+    fn access_is_near_flat_broadcast() {
+        let p = Params::paper();
+        let nr = 10_000;
+        let m = signature(&p, &SigParams::default(), 4, nr);
+        let f = crate::flat::flat(&p, nr);
+        let overhead = m.access / f.access;
+        // It/Dt ≈ 24/533 ≈ 4.5 % overhead.
+        assert!((1.0..1.1).contains(&overhead), "overhead={overhead}");
+    }
+}

@@ -1,0 +1,44 @@
+//! Criterion micro-benchmarks: broadcast-channel construction cost per
+//! scheme. Construction happens once per broadcast program change on the
+//! server, so these bound how quickly a server can re-cut its cycle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bda_bench::SchemeKind;
+use bda_core::Params;
+use bda_datagen::DatasetBuilder;
+
+fn construction(c: &mut Criterion) {
+    let params = Params::paper();
+    let mut group = c.benchmark_group("build_channel");
+    for nr in [1_000usize, 10_000] {
+        let dataset = DatasetBuilder::new(nr, 7).build().unwrap();
+        for kind in SchemeKind::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), nr),
+                &dataset,
+                |b, ds| {
+                    b.iter(|| {
+                        let sys = kind.build(black_box(ds), &params).unwrap();
+                        black_box(sys.cycle_len())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn dataset_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datagen");
+    for nr in [1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("dictionary", nr), &nr, |b, &nr| {
+            b.iter(|| black_box(DatasetBuilder::new(nr, 3).build().unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, construction, dataset_generation);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks: one client query per scheme (the inner loop
+//! of every simulation), plus the signature-matching and tree-search hot
+//! paths in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bda_bench::SchemeKind;
+use bda_core::{Key, Params};
+use bda_datagen::{DatasetBuilder, Prng};
+use bda_signature::SigParams;
+
+fn probe(c: &mut Criterion) {
+    let params = Params::paper();
+    let nr = 5_000usize;
+    let dataset = DatasetBuilder::new(nr, 11).build().unwrap();
+    let keys: Vec<Key> = dataset.keys().collect();
+    let mut group = c.benchmark_group("probe");
+    for kind in SchemeKind::ALL {
+        let system = kind.build(&dataset, &params).unwrap();
+        let cycle = system.cycle_len();
+        group.bench_function(BenchmarkId::new(kind.name(), nr), |b| {
+            let mut rng = Prng::new(5);
+            b.iter(|| {
+                let key = keys[rng.below(keys.len() as u64) as usize];
+                let t = rng.below(cycle);
+                black_box(system.probe(black_box(key), t))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn signature_match(c: &mut Criterion) {
+    let sig = SigParams::default();
+    let rec = sig.record_signature(Key(42), &[42, 43, 44, 45]);
+    let q = sig.query_signature(Key(42));
+    c.bench_function("signature_match", |b| {
+        b.iter(|| black_box(rec.matches(black_box(&q))))
+    });
+}
+
+fn tree_search(c: &mut Criterion) {
+    let dataset = DatasetBuilder::new(50_000, 13).build().unwrap();
+    let tree = bda_btree::IndexTree::build(&dataset, 17).unwrap();
+    let keys: Vec<Key> = dataset.keys().collect();
+    c.bench_function("btree_reference_search", |b| {
+        let mut rng = Prng::new(9);
+        b.iter(|| {
+            let key = keys[rng.below(keys.len() as u64) as usize];
+            black_box(tree.search(black_box(key)))
+        })
+    });
+}
+
+criterion_group!(benches, probe, signature_match, tree_search);
+criterion_main!(benches);

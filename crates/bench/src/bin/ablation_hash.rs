@@ -1,0 +1,4 @@
+//! Ablation: hash-function quality and load factor.
+fn main() {
+    bda_bench::experiments::ablations::ablation_hash(&bda_bench::Cli::parse());
+}

@@ -1,0 +1,4 @@
+//! Ablation: (1,m)-indexing segment count m.
+fn main() {
+    bda_bench::experiments::ablations::ablation_m(&bda_bench::Cli::parse());
+}

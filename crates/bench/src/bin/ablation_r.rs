@@ -1,0 +1,4 @@
+//! Ablation: distributed-indexing replication depth r.
+fn main() {
+    bda_bench::experiments::ablations::ablation_r(&bda_bench::Cli::parse());
+}

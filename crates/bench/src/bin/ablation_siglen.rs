@@ -1,0 +1,4 @@
+//! Ablation: signature length (access vs tuning tradeoff).
+fn main() {
+    bda_bench::experiments::ablations::ablation_siglen(&bda_bench::Cli::parse());
+}

@@ -1,0 +1,26 @@
+//! Runs every experiment in sequence: Table 1, Figs. 4-6, all ablations.
+fn main() {
+    let cli = bda_bench::Cli::parse();
+    use bda_bench::experiments::*;
+    table1::run(&cli);
+    println!();
+    fig4::run(&cli);
+    println!();
+    fig5::run(&cli);
+    println!();
+    fig6::run(&cli);
+    println!();
+    ablations::ablation_r(&cli);
+    println!();
+    ablations::ablation_m(&cli);
+    println!();
+    ablations::ablation_siglen(&cli);
+    println!();
+    ablations::ablation_hash(&cli);
+    println!();
+    ext_errors::run(&cli);
+    println!();
+    ext_hybrid::run(&cli);
+    println!();
+    ext_tails::run(&cli);
+}

@@ -1,0 +1,4 @@
+//! Extension: access methods over an error-prone (lossy) channel.
+fn main() {
+    bda_bench::experiments::ext_errors::run(&bda_bench::Cli::parse());
+}

@@ -1,0 +1,4 @@
+//! Extension: hybrid index-tree + signature scheme vs its parents.
+fn main() {
+    bda_bench::experiments::ext_hybrid::run(&bda_bench::Cli::parse());
+}

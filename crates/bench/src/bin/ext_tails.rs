@@ -1,0 +1,4 @@
+//! Extension: tail access latency (p50/p95/p99) per scheme.
+fn main() {
+    bda_bench::experiments::ext_tails::run(&bda_bench::Cli::parse());
+}

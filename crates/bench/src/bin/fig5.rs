@@ -1,0 +1,4 @@
+//! Regenerates Fig. 5(a)+(b): access/tuning time vs data availability.
+fn main() {
+    bda_bench::experiments::fig5::run(&bda_bench::Cli::parse());
+}

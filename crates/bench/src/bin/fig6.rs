@@ -1,0 +1,4 @@
+//! Regenerates Fig. 6(a)+(b): access/tuning time vs record/key ratio.
+fn main() {
+    bda_bench::experiments::fig6::run(&bda_bench::Cli::parse());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 1 (simulation settings).
+fn main() {
+    bda_bench::experiments::table1::run(&bda_bench::Cli::parse());
+}

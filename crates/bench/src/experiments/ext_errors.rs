@@ -1,0 +1,69 @@
+//! Extension experiment: access methods over an **error-prone channel**
+//! (the setting of the paper's reference \[9\], Lo & Chen, IEEE TKDE 2000).
+//!
+//! Each bucket transmission is lost independently with probability `p`;
+//! clients recover per scheme (index schemes restart their protocol,
+//! scanning schemes rewind their cycle-coverage counter). The sweep shows
+//! how each scheme's access and tuning time degrade with the loss rate —
+//! pointer-chasing schemes pay a full protocol restart per lost index
+//! bucket, while scanners degrade smoothly.
+
+use bda_core::{ErrorModel, Params};
+use bda_datagen::{DatasetBuilder, Prng};
+
+use crate::table::Table;
+use crate::{Cli, SchemeKind};
+
+/// Loss probabilities swept (percent).
+pub const LOSS_PCT: [u32; 5] = [0, 2, 5, 10, 20];
+
+/// Run the error-prone-channel sweep.
+pub fn run(cli: &Cli) {
+    let params = Params::paper();
+    let nr = if cli.quick { 1_000 } else { 5_000 };
+    let dataset = DatasetBuilder::new(nr, cli.seed).build().unwrap();
+    let queries = if cli.quick { 2_000 } else { 10_000 };
+
+    let schemes = SchemeKind::PAPER;
+    let headers: Vec<String> = std::iter::once("loss%".to_string())
+        .chain(schemes.iter().flat_map(|s| {
+            [format!("{} At", s.name()), format!("{} Tt", s.name())]
+        }))
+        .collect();
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(&headers_ref);
+
+    for &pct in &LOSS_PCT {
+        let errors = ErrorModel::new(f64::from(pct) / 100.0, cli.seed ^ 0xE7);
+        let mut row = vec![pct.to_string()];
+        for &kind in &schemes {
+            let sys = kind.build(&dataset, &params).unwrap();
+            let cycle = sys.cycle_len();
+            let mut rng = Prng::new(cli.seed ^ u64::from(pct) << 32 ^ kind.name().len() as u64);
+            let mut at = 0f64;
+            let mut tt = 0f64;
+            let mut aborted = 0u64;
+            for _ in 0..queries {
+                let key = dataset
+                    .record(rng.below(dataset.len() as u64) as usize)
+                    .key;
+                let tune_in = rng.below(cycle * 8);
+                let out = sys.probe_with_errors(key, tune_in, errors);
+                aborted += u64::from(out.aborted);
+                at += out.access as f64;
+                tt += out.tuning as f64;
+            }
+            assert_eq!(aborted, 0, "{} aborted under {pct}% loss", kind.name());
+            at /= queries as f64;
+            tt /= queries as f64;
+            row.push(format!("{at:.0}"));
+            row.push(format!("{tt:.0}"));
+        }
+        t.row(row);
+    }
+
+    println!("# Extension — error-prone channel (Nr = {nr}, {queries} queries/cell)\n");
+    print!("{}", t.render());
+    let _ = t.write_csv("ext_errors");
+    println!("\n(csv: target/experiments/ext_errors.csv)");
+}

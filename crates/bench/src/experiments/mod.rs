@@ -1,0 +1,11 @@
+//! The experiments themselves, one module per paper artifact. Each exposes
+//! `run(&Cli)`; the `src/bin/*` wrappers and the `all` binary call these.
+
+pub mod ablations;
+pub mod ext_errors;
+pub mod ext_hybrid;
+pub mod ext_tails;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod table1;

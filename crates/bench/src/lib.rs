@@ -1,0 +1,92 @@
+//! # bda-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation, plus ablation
+//! studies for the design knobs DESIGN.md calls out. Each binary prints an
+//! aligned table (the same rows/series the paper plots) and writes a CSV
+//! under `target/experiments/` for external plotting.
+//!
+//! | binary | reproduces |
+//! |--------|------------|
+//! | `table1` | Table 1 (simulation settings) |
+//! | `fig4` | Fig. 4(a)+(b): access/tuning vs number of records, simulated and analytical |
+//! | `fig5` | Fig. 5(a)+(b): access/tuning vs data availability |
+//! | `fig6` | Fig. 6(a)+(b): access/tuning vs record/key ratio |
+//! | `ablation_r` | distributed indexing: replicated levels `r` sweep |
+//! | `ablation_m` | `(1,m)` indexing: `m` sweep |
+//! | `ablation_siglen` | signature length vs access/tuning tradeoff |
+//! | `ablation_hash` | hash-function quality and load factor |
+//! | `ext_errors` | extension: error-prone channel degradation |
+//! | `ext_hybrid` | extension: hybrid tree+signature vs its parents |
+//! | `ext_tails` | extension: p50/p95/p99 access-time tails |
+//! | `all` | everything above, in sequence |
+//!
+//! Every binary accepts `--quick` (looser confidence/accuracy; an order of
+//! magnitude faster) and `--seed <n>`.
+
+pub mod experiments;
+pub mod schemes;
+pub mod sweep;
+pub mod table;
+
+pub use schemes::SchemeKind;
+pub use sweep::{run_cell, CellSpec};
+pub use table::Table;
+
+/// Parse the common CLI flags every experiment binary supports.
+#[derive(Debug, Clone, Copy)]
+pub struct Cli {
+    /// Use the quick (loose-accuracy) simulation settings.
+    pub quick: bool,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Cli {
+    /// Parse from `std::env::args`.
+    pub fn parse() -> Cli {
+        let mut quick = false;
+        let mut seed = 0x0EDB_2002u64;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => quick = true,
+                "--seed" => {
+                    seed = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--seed requires an integer");
+                        std::process::exit(2);
+                    });
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --quick   loose accuracy, fast\n       --seed N  workload seed"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}; try --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        Cli { quick, seed }
+    }
+
+    /// The simulation settings these flags select.
+    pub fn sim_config(&self) -> bda_sim::SimConfig {
+        let mut cfg = if self.quick {
+            bda_sim::SimConfig::quick()
+        } else {
+            // Paper-grade confidence (0.99) with a pragmatic 2 % accuracy
+            // target so the full suite completes in minutes; the paper's
+            // 1 % remains available programmatically.
+            let mut c = bda_sim::SimConfig::paper();
+            c.accuracy = 0.02;
+            c
+        };
+        cfg.seed = self.seed;
+        // Sweeps use the direct walker (statistically identical to the
+        // event engine; see the drivers_equiv integration test).
+        cfg.event_driven = false;
+        cfg
+    }
+}

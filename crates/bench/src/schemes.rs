@@ -1,0 +1,111 @@
+//! Uniform construction of every access method under test.
+
+use bda_btree::{DistributedScheme, OneMScheme};
+use bda_core::{Dataset, DynSystem, Params, Result, Scheme};
+use bda_hash::HashScheme;
+use bda_hybrid::HybridScheme;
+use bda_signature::{
+    IntegratedSignatureScheme, MultiLevelSignatureScheme, SimpleSignatureScheme,
+};
+
+/// The access methods the paper evaluates, plus the two signature
+/// extensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemeKind {
+    /// Plain broadcast, no index.
+    Flat,
+    /// `(1,m)` indexing at the optimal `m`.
+    OneM,
+    /// Distributed indexing at the optimal `r`.
+    Distributed,
+    /// Simple hashing (well-mixed hash, load factor 1).
+    Hashing,
+    /// Simple signature indexing.
+    Signature,
+    /// Integrated signatures (extension).
+    IntegratedSignature,
+    /// Multi-level signatures (extension).
+    MultiLevelSignature,
+    /// Hybrid index tree + signatures (extension; key queries only here —
+    /// attribute queries are exercised by the `ext_hybrid` bench).
+    Hybrid,
+}
+
+impl SchemeKind {
+    /// The five schemes the paper compares (Figs. 4–6).
+    pub const PAPER: [SchemeKind; 5] = [
+        SchemeKind::Flat,
+        SchemeKind::OneM,
+        SchemeKind::Distributed,
+        SchemeKind::Hashing,
+        SchemeKind::Signature,
+    ];
+
+    /// Everything, extensions included.
+    pub const ALL: [SchemeKind; 8] = [
+        SchemeKind::Flat,
+        SchemeKind::OneM,
+        SchemeKind::Distributed,
+        SchemeKind::Hashing,
+        SchemeKind::Signature,
+        SchemeKind::IntegratedSignature,
+        SchemeKind::MultiLevelSignature,
+        SchemeKind::Hybrid,
+    ];
+
+    /// Display name (matches the systems' `scheme_name`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchemeKind::Flat => "flat",
+            SchemeKind::OneM => "(1,m)",
+            SchemeKind::Distributed => "distributed",
+            SchemeKind::Hashing => "hashing",
+            SchemeKind::Signature => "signature",
+            SchemeKind::IntegratedSignature => "integrated-signature",
+            SchemeKind::MultiLevelSignature => "multilevel-signature",
+            SchemeKind::Hybrid => "hybrid",
+        }
+    }
+
+    /// Build the broadcast system for `dataset` under `params`.
+    pub fn build(&self, dataset: &Dataset, params: &Params) -> Result<Box<dyn DynSystem>> {
+        Ok(match self {
+            SchemeKind::Flat => Box::new(bda_core::FlatScheme.build(dataset, params)?),
+            SchemeKind::OneM => Box::new(OneMScheme::new().build(dataset, params)?),
+            SchemeKind::Distributed => {
+                Box::new(DistributedScheme::new().build(dataset, params)?)
+            }
+            SchemeKind::Hashing => Box::new(HashScheme::new().build(dataset, params)?),
+            SchemeKind::Signature => {
+                Box::new(SimpleSignatureScheme::new().build(dataset, params)?)
+            }
+            SchemeKind::IntegratedSignature => {
+                Box::new(IntegratedSignatureScheme::default().build(dataset, params)?)
+            }
+            SchemeKind::MultiLevelSignature => {
+                Box::new(MultiLevelSignatureScheme::default().build(dataset, params)?)
+            }
+            SchemeKind::Hybrid => Box::new(HybridScheme::new().build(dataset, params)?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bda_datagen::DatasetBuilder;
+
+    #[test]
+    fn every_kind_builds_and_answers() {
+        let ds = DatasetBuilder::new(120, 3).build().unwrap();
+        let params = Params::paper();
+        for kind in SchemeKind::ALL {
+            let sys = kind.build(&ds, &params).unwrap();
+            assert_eq!(sys.scheme_name(), kind.name());
+            let key = ds.record(17).key;
+            let out = sys.probe(key, 999);
+            assert!(out.found, "{}", kind.name());
+            assert!(!out.aborted);
+        }
+    }
+}

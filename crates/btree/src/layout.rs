@@ -1,0 +1,325 @@
+//! Shared channel materializer for B+-tree schemes.
+//!
+//! `(1,m)` and distributed indexing differ only in *which* tree nodes are
+//! broadcast *where*; everything else — uniform bucket sizing, occurrence
+//! bookkeeping, pointer (offset) resolution, next-segment tables — is the
+//! same. Each scheme produces an abstract slot sequence ([`Slot`]) and
+//! [`materialize`] turns it into a fully wired [`Channel`].
+//!
+//! ## Size accounting
+//!
+//! Both schemes use uniform buckets of [`Params::data_bucket_size`] bytes
+//! (`Dt`), as the paper's analysis assumes. An index bucket's local index
+//! carries at most `n =` [`Params::index_entries_per_bucket`] entries of
+//! `key_size + ptr_size` bytes, which fits the bucket by construction; the
+//! small control index (≤ `k−1` entries) and the next-segment pointer are
+//! charged to the per-bucket header budget.
+
+use std::collections::HashMap;
+
+use bda_core::{BdaError, Bucket, Channel, Dataset, Params, Result, Ticks};
+
+use crate::payload::{BTreePayload, ControlEntry, DataBucket, IndexBucket, IndexEntry};
+use crate::tree::IndexTree;
+
+/// One position in the broadcast cycle, before pointer resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Slot {
+    /// An index bucket carrying tree node `node` of level `level`.
+    Index {
+        /// Tree level (0 = root).
+        level: usize,
+        /// Node index within the level.
+        node: usize,
+        /// Whether this bucket opens an index segment.
+        segment_start: bool,
+    },
+    /// A data bucket carrying record `index` of the dataset.
+    Data {
+        /// Record position in key order.
+        index: usize,
+    },
+}
+
+/// Number of whole buckets between the end of bucket `from` and the start
+/// of bucket `to`, walking forward around a cycle of `n` buckets.
+fn fwd_buckets(from: usize, to: usize, n: usize) -> usize {
+    (to + n - from - 1) % n
+}
+
+/// Resolve a slot sequence into a broadcast channel: compute every local
+/// pointer, control pointer and next-segment offset as forward byte deltas.
+///
+/// With `with_control = false` (used by `(1,m)`) no control indexes are
+/// emitted.
+pub fn materialize(
+    tree: &IndexTree,
+    dataset: &Dataset,
+    params: &Params,
+    slots: &[Slot],
+    with_control: bool,
+) -> Result<Channel<BTreePayload>> {
+    params.validate()?;
+    let n_slots = slots.len();
+    if n_slots == 0 {
+        return Err(BdaError::EmptyChannel);
+    }
+    let size = Ticks::from(params.data_bucket_size());
+
+    // --- occurrence bookkeeping -----------------------------------------
+    let mut index_occ: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+    let mut data_occ: Vec<Option<usize>> = vec![None; dataset.len()];
+    let mut any_segment_start = false;
+    for (pos, slot) in slots.iter().enumerate() {
+        match *slot {
+            Slot::Index {
+                level,
+                node,
+                segment_start,
+            } => {
+                index_occ.entry((level, node)).or_default().push(pos);
+                any_segment_start |= segment_start;
+            }
+            Slot::Data { index } => {
+                if data_occ[index].replace(pos).is_some() {
+                    return Err(BdaError::BuildError(format!(
+                        "record {index} appears more than once in the cycle"
+                    )));
+                }
+            }
+        }
+    }
+    if !any_segment_start {
+        return Err(BdaError::BuildError(
+            "cycle has no index-segment start bucket".into(),
+        ));
+    }
+    for (i, occ) in data_occ.iter().enumerate() {
+        if occ.is_none() {
+            return Err(BdaError::BuildError(format!(
+                "record {i} never appears in the cycle"
+            )));
+        }
+    }
+
+    // --- next-segment distance table ------------------------------------
+    // dist[p] = whole buckets between the end of bucket p and the start of
+    // the next segment-start bucket (strictly after p, cyclically).
+    let is_seg_start = |p: usize| {
+        matches!(
+            slots[p],
+            Slot::Index {
+                segment_start: true,
+                ..
+            }
+        )
+    };
+    let mut dist = vec![0usize; n_slots];
+    let mut last: usize = usize::MAX;
+    for p in (0..2 * n_slots).rev() {
+        let q = p % n_slots;
+        if p < n_slots {
+            debug_assert!(last != usize::MAX && last > p);
+            dist[q] = last - (p + 1);
+        }
+        if is_seg_start(q) {
+            last = p;
+        }
+    }
+
+    // Smallest forward distance from `pos` to any occurrence in `occs`.
+    let nearest = |pos: usize, occs: &[usize]| -> usize {
+        occs.iter()
+            .map(|&o| fwd_buckets(pos, o, n_slots))
+            .min()
+            .expect("occurrence list is non-empty")
+    };
+
+    // --- payload construction --------------------------------------------
+    let leaf_level = tree.num_levels() - 1;
+    let mut buckets = Vec::with_capacity(n_slots);
+    for (pos, slot) in slots.iter().enumerate() {
+        let next_seg_delta = dist[pos] as Ticks * size;
+        let payload = match *slot {
+            Slot::Data { index } => BTreePayload::Data(DataBucket {
+                key: dataset.record(index).key,
+                record_index: index as u32,
+                next_seg_delta,
+            }),
+            Slot::Index {
+                level,
+                node,
+                segment_start,
+            } => {
+                let tnode = tree.node(level, node);
+                let entries = (0..tnode.num_children())
+                    .map(|j| {
+                        let target = if level == leaf_level {
+                            let (start, _) = tree.data_range(level, node);
+                            data_occ[start + j].expect("validated above")
+                        } else {
+                            let child = tree.child(level, node, j);
+                            let occs = index_occ.get(&(level + 1, child)).ok_or_else(|| {
+                                BdaError::BuildError(format!(
+                                    "child node ({}, {child}) never broadcast",
+                                    level + 1
+                                ))
+                            })?;
+                            pos_of_nearest(pos, occs, n_slots)
+                        };
+                        Ok(IndexEntry {
+                            max_key: tnode.child_max[j],
+                            delta: fwd_buckets(pos, target, n_slots) as Ticks * size,
+                        })
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+
+                let control = if with_control && level > 0 {
+                    (0..level)
+                        .map(|a| {
+                            let anc = tree.ancestor(level, node, a);
+                            let anode = tree.node(a, anc);
+                            let occs = index_occ
+                                .get(&(a, anc))
+                                .expect("ancestors of broadcast nodes are broadcast");
+                            ControlEntry {
+                                min_key: anode.min_key,
+                                max_key: anode.max_key,
+                                delta: nearest(pos, occs) as Ticks * size,
+                            }
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+
+                BTreePayload::Index(IndexBucket {
+                    level: level as u32,
+                    node: node as u32,
+                    min_key: tnode.min_key,
+                    max_key: tnode.max_key,
+                    segment_start,
+                    entries,
+                    control,
+                    next_seg_delta,
+                })
+            }
+        };
+        buckets.push(Bucket::new(size as u32, payload));
+    }
+
+    Channel::new(buckets)
+}
+
+/// Position (not distance) of the nearest forward occurrence.
+fn pos_of_nearest(pos: usize, occs: &[usize], n: usize) -> usize {
+    *occs
+        .iter()
+        .min_by_key(|&&o| fwd_buckets(pos, o, n))
+        .expect("occurrence list is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bda_core::{Key, Record};
+
+    fn ds(n: u64) -> Dataset {
+        Dataset::new((0..n).map(|i| Record::keyed(i * 3)).collect()).unwrap()
+    }
+
+    fn small_params() -> Params {
+        Params::paper()
+    }
+
+    #[test]
+    fn fwd_buckets_geometry() {
+        assert_eq!(fwd_buckets(0, 1, 10), 0); // immediately next
+        assert_eq!(fwd_buckets(0, 0, 10), 9); // self, next cycle
+        assert_eq!(fwd_buckets(9, 0, 10), 0); // wrap
+        assert_eq!(fwd_buckets(3, 1, 10), 7);
+    }
+
+    #[test]
+    fn duplicate_or_missing_records_rejected() {
+        let d = ds(3);
+        let tree = IndexTree::build(&d, 3).unwrap();
+        let dup = vec![
+            Slot::Index {
+                level: 0,
+                node: 0,
+                segment_start: true,
+            },
+            Slot::Data { index: 0 },
+            Slot::Data { index: 0 },
+        ];
+        assert!(materialize(&tree, &d, &small_params(), &dup, false).is_err());
+
+        let missing = vec![
+            Slot::Index {
+                level: 0,
+                node: 0,
+                segment_start: true,
+            },
+            Slot::Data { index: 0 },
+        ];
+        assert!(materialize(&tree, &d, &small_params(), &missing, false).is_err());
+    }
+
+    #[test]
+    fn requires_a_segment_start() {
+        let d = ds(2);
+        let tree = IndexTree::build(&d, 3).unwrap();
+        let slots = vec![
+            Slot::Index {
+                level: 0,
+                node: 0,
+                segment_start: false,
+            },
+            Slot::Data { index: 0 },
+            Slot::Data { index: 1 },
+        ];
+        assert!(materialize(&tree, &d, &small_params(), &slots, false).is_err());
+    }
+
+    #[test]
+    fn single_segment_layout_pointers() {
+        // Tree over 3 records with fanout 3: one (leaf) node.
+        let d = ds(3);
+        let tree = IndexTree::build(&d, 3).unwrap();
+        let slots = vec![
+            Slot::Index {
+                level: 0,
+                node: 0,
+                segment_start: true,
+            },
+            Slot::Data { index: 0 },
+            Slot::Data { index: 1 },
+            Slot::Data { index: 2 },
+        ];
+        let ch = materialize(&tree, &d, &small_params(), &slots, true).unwrap();
+        let size = Ticks::from(small_params().data_bucket_size());
+        assert_eq!(ch.num_buckets(), 4);
+        assert_eq!(ch.cycle_len(), 4 * size);
+
+        let idx = ch.bucket(0).payload.as_index().unwrap();
+        assert!(idx.segment_start);
+        assert_eq!(idx.entries.len(), 3);
+        // Leaf entries point straight at data buckets 1, 2, 3.
+        assert_eq!(idx.entries[0].delta, 0);
+        assert_eq!(idx.entries[1].delta, size);
+        assert_eq!(idx.entries[2].delta, 2 * size);
+        assert_eq!(idx.entries[1].max_key, Key(3));
+        // Root bucket has no control index.
+        assert!(idx.control.is_empty());
+        // Next segment from the root bucket is the root itself, one cycle on.
+        assert_eq!(idx.next_seg_delta, 3 * size);
+
+        // Data buckets point at the next segment (= bucket 0).
+        let d0 = ch.bucket(1).payload.as_data().unwrap();
+        assert_eq!(d0.key, Key(0));
+        assert_eq!(d0.next_seg_delta, 2 * size);
+        let d2 = ch.bucket(3).payload.as_data().unwrap();
+        assert_eq!(d2.next_seg_delta, 0);
+    }
+}

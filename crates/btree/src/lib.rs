@@ -1,0 +1,42 @@
+//! # bda-btree — B+-tree air indexing: `(1,m)` and distributed indexing
+//!
+//! Implements the two B+-tree based air-indexing schemes the paper
+//! evaluates (both originally from Imielinski, Viswanathan & Badrinath,
+//! *Energy efficient indexing on air*, SIGMOD 1994):
+//!
+//! * **(1,m) indexing** ([`OneMScheme`]) — the complete index tree is
+//!   broadcast before each of `m` equal data segments. Every index bucket
+//!   is therefore broadcast `m` times per cycle.
+//! * **Distributed indexing** ([`DistributedScheme`]) — only the top `r`
+//!   *replicated* levels of the tree are broadcast multiple times (each
+//!   replicated node once before the first occurrence of each of its
+//!   children); the lower, *non-replicated* part is broadcast exactly once,
+//!   in front of the data segment it indexes. Control indexes let clients
+//!   that tuned in at the "wrong" segment navigate to the right one.
+//!
+//! Both schemes share:
+//!
+//! * [`tree::IndexTree`] — the B+-tree built over the dataset's keys, with
+//!   fanout `n` = [`bda_core::Params::index_entries_per_bucket`];
+//! * [`payload::BTreePayload`] — the on-air bucket contents (local index
+//!   entries, control index entries, next-segment pointers);
+//! * [`machine::BTreeMachine`] — the client access protocol (§2.1 of the
+//!   paper), which orients via next-segment and control pointers, then
+//!   descends the tree dozing between probes;
+//! * [`optimal`] — the analytically optimal number of data segments `m`
+//!   and replicated levels `r` the paper uses ("we use the optimal value
+//!   of r as defined in \[6\]").
+
+pub mod distributed;
+pub mod layout;
+pub mod machine;
+pub mod one_m;
+pub mod optimal;
+pub mod payload;
+pub mod tree;
+
+pub use distributed::{DistributedScheme, DistributedSystem};
+pub use machine::BTreeMachine;
+pub use one_m::{OneMScheme, OneMSystem};
+pub use payload::{BTreePayload, ControlEntry, DataBucket, IndexBucket, IndexEntry};
+pub use tree::IndexTree;

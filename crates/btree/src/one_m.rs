@@ -1,0 +1,276 @@
+//! `(1,m)` indexing: the whole index tree before each of `m` data segments.
+//!
+//! From Imielinski et al. (SIGMOD'94), summarized in §2.1 of the paper: "the
+//! whole index tree precedes each data segment in the broadcast. Each index
+//! bucket is broadcast a number of times equal to the number of data
+//! segments." Clients reach an index copy within `cycle/m` bytes on
+//! average, pay no control-index machinery, and every index copy points at
+//! the next occurrence of each data bucket (wrapping into the next cycle
+//! where needed).
+
+use bda_core::{Channel, Dataset, Key, Params, Result, Scheme, System};
+
+use crate::layout::{materialize, Slot};
+use crate::machine::BTreeMachine;
+use crate::optimal::optimal_m;
+use crate::payload::BTreePayload;
+use crate::tree::IndexTree;
+
+/// The `(1,m)` indexing scheme.
+///
+/// `m = None` (the default) selects the access-time-optimal
+/// `m* = √(Nr / I)`; a fixed `m` can be forced for ablation studies.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OneMScheme {
+    m: Option<usize>,
+}
+
+impl OneMScheme {
+    /// `(1,m)` with the analytically optimal `m`.
+    pub fn new() -> Self {
+        OneMScheme { m: None }
+    }
+
+    /// `(1,m)` with a fixed `m ≥ 1` (clamped to the record count at build
+    /// time).
+    pub fn with_m(m: usize) -> Self {
+        OneMScheme { m: Some(m.max(1)) }
+    }
+}
+
+/// A built `(1,m)` broadcast.
+#[derive(Debug)]
+pub struct OneMSystem {
+    channel: Channel<BTreePayload>,
+    num_levels: u32,
+    m: usize,
+    index_buckets_per_copy: usize,
+}
+
+impl OneMSystem {
+    /// The number of data segments actually used.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Index buckets in one tree copy (`I`).
+    pub fn index_buckets_per_copy(&self) -> usize {
+        self.index_buckets_per_copy
+    }
+
+    /// Number of index levels `k`.
+    pub fn num_levels(&self) -> usize {
+        self.num_levels as usize
+    }
+}
+
+/// Depth-first preorder of the whole tree: parents always precede their
+/// children, so within one index copy every local pointer points forward.
+fn preorder(tree: &IndexTree) -> Vec<(usize, usize)> {
+    let mut out = Vec::with_capacity(tree.total_nodes());
+    let mut stack = vec![(0usize, 0usize)];
+    while let Some((l, i)) = stack.pop() {
+        out.push((l, i));
+        if !tree.is_leaf_level(l) {
+            // Push children in reverse so they pop in key order.
+            for j in (0..tree.node(l, i).num_children()).rev() {
+                stack.push((l + 1, tree.child(l, i, j)));
+            }
+        }
+    }
+    out
+}
+
+/// Split `n` records into `m` contiguous segments of near-equal size;
+/// returns `m + 1` boundary positions.
+fn segment_bounds(n: usize, m: usize) -> Vec<usize> {
+    let base = n / m;
+    let rem = n % m;
+    let mut bounds = Vec::with_capacity(m + 1);
+    let mut at = 0;
+    bounds.push(0);
+    for s in 0..m {
+        at += base + usize::from(s < rem);
+        bounds.push(at);
+    }
+    bounds
+}
+
+impl Scheme for OneMScheme {
+    type System = OneMSystem;
+
+    fn build(&self, dataset: &Dataset, params: &Params) -> Result<Self::System> {
+        params.validate()?;
+        let fanout = params.index_entries_per_bucket();
+        let tree = IndexTree::build(dataset, fanout)?;
+        let index_buckets = tree.total_nodes();
+        let m = self
+            .m
+            .unwrap_or_else(|| optimal_m(dataset.len(), index_buckets))
+            .clamp(1, dataset.len());
+
+        let pre = preorder(&tree);
+        let bounds = segment_bounds(dataset.len(), m);
+        let mut slots =
+            Vec::with_capacity(m * pre.len() + dataset.len());
+        for s in 0..m {
+            for (i, &(level, node)) in pre.iter().enumerate() {
+                slots.push(Slot::Index {
+                    level,
+                    node,
+                    segment_start: i == 0,
+                });
+            }
+            for d in bounds[s]..bounds[s + 1] {
+                slots.push(Slot::Data { index: d });
+            }
+        }
+        let channel = materialize(&tree, dataset, params, &slots, false)?;
+        Ok(OneMSystem {
+            channel,
+            num_levels: tree.num_levels() as u32,
+            m,
+            index_buckets_per_copy: index_buckets,
+        })
+    }
+}
+
+impl System for OneMSystem {
+    type Payload = BTreePayload;
+    type Machine = BTreeMachine;
+
+    fn scheme_name(&self) -> &'static str {
+        "(1,m)"
+    }
+
+    fn channel(&self) -> &Channel<BTreePayload> {
+        &self.channel
+    }
+
+    fn query(&self, key: Key) -> BTreeMachine {
+        BTreeMachine::new(key, self.num_levels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bda_core::Record;
+    use bda_core::DynSystem;
+
+    fn ds(n: u64) -> Dataset {
+        Dataset::new((0..n).map(|i| Record::keyed(i * 3)).collect()).unwrap()
+    }
+
+    #[test]
+    fn segment_bounds_cover_everything() {
+        assert_eq!(segment_bounds(10, 3), vec![0, 4, 7, 10]);
+        assert_eq!(segment_bounds(9, 3), vec![0, 3, 6, 9]);
+        assert_eq!(segment_bounds(2, 2), vec![0, 1, 2]);
+        assert_eq!(segment_bounds(5, 1), vec![0, 5]);
+    }
+
+    #[test]
+    fn preorder_starts_at_root_parents_first() {
+        let tree = IndexTree::build(&ds(81), 3).unwrap();
+        let pre = preorder(&tree);
+        assert_eq!(pre.len(), tree.total_nodes());
+        assert_eq!(pre[0], (0, 0));
+        // Every node appears after its parent.
+        let mut seen = std::collections::HashSet::new();
+        for &(l, i) in &pre {
+            if l > 0 {
+                assert!(seen.contains(&(l - 1, tree.parent(l, i))));
+            }
+            seen.insert((l, i));
+        }
+    }
+
+    #[test]
+    fn cycle_contains_m_tree_copies_plus_data() {
+        let d = ds(100);
+        let p = Params::paper();
+        let sys = OneMScheme::with_m(4).build(&d, &p).unwrap();
+        assert_eq!(sys.m(), 4);
+        let expect = 4 * sys.index_buckets_per_copy() + 100;
+        assert_eq!(sys.channel().num_buckets(), expect);
+    }
+
+    #[test]
+    fn every_key_found_from_many_alignments() {
+        let d = ds(60);
+        let p = Params::paper();
+        let sys = OneMScheme::with_m(3).build(&d, &p).unwrap();
+        let dt = u64::from(p.data_bucket_size());
+        let cycle = sys.channel().cycle_len();
+        for i in 0..60u64 {
+            for t in [0, dt / 2, cycle / 3 + 7, cycle - 1, 3 * cycle + 13] {
+                let out = sys.probe(Key(i * 3), t);
+                assert!(out.found, "key {} from t={}", i * 3, t);
+                assert!(!out.aborted);
+                assert!(out.tuning <= out.access);
+                assert_eq!(out.false_drops, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn absent_keys_reported_without_scanning_data() {
+        let d = ds(60);
+        let p = Params::paper();
+        let sys = OneMScheme::with_m(3).build(&d, &p).unwrap();
+        let levels = sys.num_levels() as u64;
+        for miss in [1u64, 44, 179, 100_000] {
+            let out = sys.probe(Key(miss), 17);
+            assert!(!out.found);
+            assert!(!out.aborted);
+            // Initial bucket + at most one probe per level.
+            assert!(
+                u64::from(out.probes) <= levels + 1,
+                "probes={} levels={levels}",
+                out.probes
+            );
+        }
+    }
+
+    #[test]
+    fn tuning_time_is_k_plus_constant_buckets() {
+        let d = ds(1000);
+        let p = Params::paper();
+        let sys = OneMScheme::new().build(&d, &p).unwrap();
+        let dt = u64::from(p.data_bucket_size());
+        let k = sys.num_levels() as u64;
+        let mut worst = 0;
+        for i in (0..1000u64).step_by(37) {
+            let out = sys.probe(Key(i * 3), i * 31);
+            assert!(out.found);
+            worst = worst.max(out.tuning);
+        }
+        // Tuning ≤ (k + 3) buckets: initial read, ≤ k index probes, data.
+        assert!(worst <= (k + 3) * dt, "worst={worst} k={k} dt={dt}");
+    }
+
+    #[test]
+    fn optimal_m_reduces_access_time_vs_extremes() {
+        let d = ds(600);
+        let p = Params::paper();
+        let opt = OneMScheme::new().build(&d, &p).unwrap();
+        let m1 = OneMScheme::with_m(1).build(&d, &p).unwrap();
+        let avg = |sys: &OneMSystem| {
+            let cycle = sys.channel().cycle_len();
+            let mut total = 0u64;
+            let mut n = 0u64;
+            for i in (0..600u64).step_by(7) {
+                for s in 0..16u64 {
+                    total += sys.probe(Key(i * 3), s * cycle / 16 + 11).access;
+                    n += 1;
+                }
+            }
+            total / n
+        };
+        assert!(
+            avg(&opt) < avg(&m1),
+            "optimal m must beat m=1 on access time"
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for B+-tree layouts: structural invariants of the
+//! `(1,m)` and distributed broadcast cycles over arbitrary datasets.
+
+use bda_btree::{BTreePayload, DistributedScheme, OneMScheme};
+use bda_core::{Dataset, DynSystem, Key, Params, Record, Scheme, System};
+use proptest::prelude::*;
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    prop::collection::btree_set(0u64..1 << 48, 1..250)
+        .prop_map(|keys| Dataset::new(keys.into_iter().map(Record::keyed).collect()).unwrap())
+}
+
+fn arb_params() -> impl Strategy<Value = Params> {
+    (5u32..=100).prop_map(|r| Params::with_record_key_ratio(r).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Distributed layout: replicated node occurrence counts equal child
+    /// counts; non-replicated nodes and records appear exactly once; every
+    /// local pointer lands on the bucket it names.
+    #[test]
+    fn distributed_layout_invariants(ds in arb_dataset(), params in arb_params(), r in 0usize..4) {
+        let sys = DistributedScheme::with_r(r).build(&ds, &params).unwrap();
+        let ch = sys.channel();
+        let tree = bda_btree::IndexTree::build(&ds, params.index_entries_per_bucket()).unwrap();
+        let r = sys.r();
+
+        // Occurrence counts.
+        let mut idx_counts = std::collections::HashMap::new();
+        let mut rec_counts = vec![0u32; ds.len()];
+        for b in ch.buckets() {
+            match &b.payload {
+                BTreePayload::Index(ib) => {
+                    *idx_counts.entry((ib.level as usize, ib.node as usize)).or_insert(0u32) += 1;
+                }
+                BTreePayload::Data(db) => rec_counts[db.record_index as usize] += 1,
+            }
+        }
+        for c in rec_counts {
+            prop_assert_eq!(c, 1, "each record broadcast exactly once");
+        }
+        for l in 0..tree.num_levels() {
+            for i in 0..tree.level(l).len() {
+                let want = if l < r {
+                    tree.node(l, i).num_children() as u32
+                } else {
+                    1
+                };
+                prop_assert_eq!(
+                    idx_counts.get(&(l, i)).copied().unwrap_or(0),
+                    want,
+                    "node ({},{}) occurrences", l, i
+                );
+            }
+        }
+
+        // Pointer integrity: every local entry's delta lands on the bucket
+        // holding the named child (or record).
+        for (bi, b) in ch.buckets().iter().enumerate() {
+            if let BTreePayload::Index(ib) = &b.payload {
+                let end = ch.end_of(bi);
+                for (j, e) in ib.entries.iter().enumerate() {
+                    let target_pos = ch.pos(end + e.delta);
+                    let (ti, ts) = ch.first_complete_at(target_pos);
+                    prop_assert_eq!(ch.pos(ts), target_pos, "pointer bucket-aligned");
+                    let _ = ti;
+                    match &ch.bucket(ti).payload {
+                        BTreePayload::Index(child) => {
+                            prop_assert_eq!(child.level, ib.level + 1);
+                            prop_assert_eq!(child.max_key, e.max_key);
+                        }
+                        BTreePayload::Data(db) => {
+                            prop_assert_eq!(db.key, e.max_key, "leaf entry j={}", j);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// `(1,m)`: index copies equal m, every key findable, absent keys fail
+    /// within k+1 probes.
+    #[test]
+    fn one_m_layout_invariants(
+        ds in arb_dataset(),
+        params in arb_params(),
+        m in 1usize..12,
+        t in 0u64..1 << 40,
+    ) {
+        let sys = OneMScheme::with_m(m).build(&ds, &params).unwrap();
+        let m_eff = sys.m();
+        prop_assert_eq!(
+            bda_core::DynSystem::num_buckets(&sys),
+            m_eff * sys.index_buckets_per_copy() + ds.len()
+        );
+        let key = ds.record(ds.len() / 2).key;
+        prop_assert!(sys.probe(key, t).found);
+        let miss = sys.probe(Key(key.value() ^ 1), t);
+        prop_assert!(!miss.found);
+        prop_assert!(miss.probes as usize <= sys.num_levels() + 2);
+    }
+}

@@ -1,0 +1,147 @@
+//! Flag parsing for `bda-cli` (std-only, no dependencies).
+
+/// Usage text.
+pub const USAGE: &str = "\
+bda-cli — explore wireless broadcast data access
+
+USAGE:
+    bda-cli <command> [flags]
+
+COMMANDS:
+    inspect    print a scheme's broadcast-cycle layout statistics
+    trace      print the bucket-by-bucket timeline of one client query
+    compare    run a quick simulation of every scheme side by side
+    simulate   run the full testbed for one scheme to convergence
+
+FLAGS:
+    --scheme NAME        flat | one-m | distributed | hashing | signature |
+                         integrated-signature | multilevel-signature
+                         (default distributed)
+    --records N          dataset size (default 1000)
+    --ratio R            record/key ratio 5..=100 (default 20, paper Table 1)
+    --seed S             dataset/workload seed (default 2002)
+    --key-index I        which record to query, by key order (trace; default N/2)
+    --key K              query this raw key value instead (trace)
+    --tune-in T          absolute tune-in time in bytes (trace; default 12345)
+    --availability P     percent of queries answerable (compare/simulate; default 100)
+    --loss P             bucket loss percent on an error-prone channel (trace)
+    --accuracy A         confidence accuracy target (simulate; default 0.02)
+";
+
+/// Parsed flags with defaults.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Scheme name.
+    pub scheme: String,
+    /// Dataset size.
+    pub records: usize,
+    /// Record/key ratio.
+    pub ratio: u32,
+    /// Seed.
+    pub seed: u64,
+    /// Record index to query.
+    pub key_index: Option<usize>,
+    /// Raw key to query.
+    pub key: Option<u64>,
+    /// Tune-in time.
+    pub tune_in: u64,
+    /// Availability percentage.
+    pub availability: f64,
+    /// Bucket loss percentage.
+    pub loss: f64,
+    /// Accuracy target.
+    pub accuracy: f64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            scheme: "distributed".into(),
+            records: 1_000,
+            ratio: 20,
+            seed: 2002,
+            key_index: None,
+            key: None,
+            tune_in: 12_345,
+            availability: 100.0,
+            loss: 0.0,
+            accuracy: 0.02,
+        }
+    }
+}
+
+impl Options {
+    /// Parse `--flag value` pairs.
+    pub fn parse(argv: &[String]) -> Result<Options, String> {
+        let mut o = Options::default();
+        let mut it = argv.iter();
+        while let Some(flag) = it.next() {
+            let mut val = || -> Result<&String, String> {
+                it.next().ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match flag.as_str() {
+                "--scheme" => o.scheme = val()?.clone(),
+                "--records" => o.records = parse_num(flag, val()?)?,
+                "--ratio" => o.ratio = parse_num(flag, val()?)?,
+                "--seed" => o.seed = parse_num(flag, val()?)?,
+                "--key-index" => o.key_index = Some(parse_num(flag, val()?)?),
+                "--key" => o.key = Some(parse_num(flag, val()?)?),
+                "--tune-in" => o.tune_in = parse_num(flag, val()?)?,
+                "--availability" => o.availability = parse_num(flag, val()?)?,
+                "--loss" => o.loss = parse_num(flag, val()?)?,
+                "--accuracy" => o.accuracy = parse_num(flag, val()?)?,
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        if o.records == 0 {
+            return Err("--records must be positive".into());
+        }
+        if !(0.0..=100.0).contains(&o.availability) {
+            return Err("--availability must be 0..=100".into());
+        }
+        Ok(o)
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, s: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("{flag}: cannot parse {s:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        Options::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.scheme, "distributed");
+        assert_eq!(o.records, 1_000);
+        assert_eq!(o.ratio, 20);
+    }
+
+    #[test]
+    fn flags_override() {
+        let o = parse(&[
+            "--scheme", "hashing", "--records", "42", "--tune-in", "9", "--loss", "2.5",
+        ])
+        .unwrap();
+        assert_eq!(o.scheme, "hashing");
+        assert_eq!(o.records, 42);
+        assert_eq!(o.tune_in, 9);
+        assert!((o.loss - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse(&["--records"]).is_err());
+        assert!(parse(&["--records", "zero"]).is_err());
+        assert!(parse(&["--records", "0"]).is_err());
+        assert!(parse(&["--availability", "150"]).is_err());
+        assert!(parse(&["--bogus", "1"]).is_err());
+    }
+}

@@ -1,0 +1,261 @@
+//! The four `bda-cli` commands.
+
+use bda_btree::{DistributedScheme, OneMScheme};
+use bda_core::{Dataset, DynSystem, ErrorModel, Key, Params, Scheme};
+use bda_datagen::{DatasetBuilder, Popularity, QueryWorkload};
+use bda_hash::HashScheme;
+use bda_hybrid::HybridScheme;
+use bda_signature::{
+    IntegratedSignatureScheme, MultiLevelSignatureScheme, SimpleSignatureScheme,
+};
+use bda_sim::{SimConfig, Simulator};
+
+use crate::args::Options;
+use crate::trace::{describe, trace_query, Trace};
+
+const SCHEMES: [&str; 8] = [
+    "flat",
+    "one-m",
+    "distributed",
+    "hashing",
+    "signature",
+    "integrated-signature",
+    "multilevel-signature",
+    "hybrid",
+];
+
+fn params(o: &Options) -> Result<Params, String> {
+    Params::with_record_key_ratio(o.ratio).map_err(|e| e.to_string())
+}
+
+fn dataset(o: &Options) -> Result<(Dataset, Vec<Key>), String> {
+    DatasetBuilder::new(o.records, o.seed)
+        .build_with_absent_pool(o.records)
+        .map_err(|e| e.to_string())
+}
+
+fn build_dyn(name: &str, ds: &Dataset, p: &Params) -> Result<Box<dyn DynSystem>, String> {
+    let sys: Box<dyn DynSystem> = match name {
+        "flat" => Box::new(bda_core::FlatScheme.build(ds, p).map_err(|e| e.to_string())?),
+        "one-m" | "(1,m)" => Box::new(OneMScheme::new().build(ds, p).map_err(|e| e.to_string())?),
+        "distributed" => {
+            Box::new(DistributedScheme::new().build(ds, p).map_err(|e| e.to_string())?)
+        }
+        "hashing" => Box::new(HashScheme::new().build(ds, p).map_err(|e| e.to_string())?),
+        "signature" => Box::new(
+            SimpleSignatureScheme::new()
+                .build(ds, p)
+                .map_err(|e| e.to_string())?,
+        ),
+        "integrated-signature" => Box::new(
+            IntegratedSignatureScheme::default()
+                .build(ds, p)
+                .map_err(|e| e.to_string())?,
+        ),
+        "multilevel-signature" => Box::new(
+            MultiLevelSignatureScheme::default()
+                .build(ds, p)
+                .map_err(|e| e.to_string())?,
+        ),
+        "hybrid" => Box::new(HybridScheme::new().build(ds, p).map_err(|e| e.to_string())?),
+        other => return Err(format!("unknown scheme {other:?} (try: {})", SCHEMES.join(", "))),
+    };
+    Ok(sys)
+}
+
+/// `bda-cli inspect` — layout statistics for one scheme.
+pub fn inspect(o: &Options) -> Result<(), String> {
+    let p = params(o)?;
+    let (ds, _) = dataset(o)?;
+    let sys = build_dyn(&o.scheme, &ds, &p)?;
+    let cycle = sys.cycle_len();
+    let buckets = sys.num_buckets();
+    let data_bytes = ds.len() as u64 * u64::from(p.data_bucket_size());
+    println!("scheme            : {}", sys.scheme_name());
+    println!("records           : {}", ds.len());
+    println!("record/key ratio  : {} ({}B / {}B)", p.record_key_ratio(), p.record_size, p.key_size);
+    println!("buckets per cycle : {buckets}");
+    println!("cycle length      : {cycle} bytes");
+    println!(
+        "index overhead    : {:.2}% ({} bytes beyond raw data)",
+        100.0 * (cycle.saturating_sub(data_bytes)) as f64 / cycle as f64,
+        cycle.saturating_sub(data_bytes),
+    );
+
+    // Scheme-specific details where the typed system exposes them.
+    match o.scheme.as_str() {
+        "distributed" => {
+            let sys = DistributedScheme::new().build(&ds, &p).map_err(|e| e.to_string())?;
+            println!("tree levels (k)   : {}", sys.num_levels());
+            println!("replicated levels : {} (optimal)", sys.r());
+            println!("index segments    : {}", sys.num_segments());
+        }
+        "one-m" | "(1,m)" => {
+            let sys = OneMScheme::new().build(&ds, &p).map_err(|e| e.to_string())?;
+            println!("tree levels (k)   : {}", sys.num_levels());
+            println!("data segments (m) : {} (optimal)", sys.m());
+            println!("index buckets/copy: {}", sys.index_buckets_per_copy());
+        }
+        "hashing" => {
+            let sys = HashScheme::new().build(&ds, &p).map_err(|e| e.to_string())?;
+            println!("allocated (Na)    : {}", sys.na());
+            println!("collisions (Nc)   : {}", sys.num_collisions());
+            println!("empty slots       : {}", sys.num_empty());
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+/// `bda-cli trace` — bucket-by-bucket timeline of one query.
+pub fn trace(o: &Options) -> Result<(), String> {
+    let p = params(o)?;
+    let (ds, _) = dataset(o)?;
+    let key = match (o.key, o.key_index) {
+        (Some(k), _) => Key(k),
+        (None, Some(i)) => {
+            ds.records()
+                .get(i)
+                .ok_or_else(|| format!("--key-index {i} out of range (0..{})", ds.len()))?
+                .key
+        }
+        (None, None) => ds.record(ds.len() / 2).key,
+    };
+    let errors = ErrorModel::new(o.loss / 100.0, o.seed ^ 0xE7);
+    println!(
+        "# {} · {} records · query {} · tune-in {}{}\n",
+        o.scheme,
+        ds.len(),
+        key,
+        o.tune_in,
+        if o.loss > 0.0 {
+            format!(" · {}% bucket loss", o.loss)
+        } else {
+            String::new()
+        }
+    );
+    let t: Trace = match o.scheme.as_str() {
+        "flat" => {
+            let sys = bda_core::FlatScheme.build(&ds, &p).map_err(|e| e.to_string())?;
+            trace_query(&sys, key, o.tune_in, errors, describe::flat)
+        }
+        "one-m" | "(1,m)" => {
+            let sys = OneMScheme::new().build(&ds, &p).map_err(|e| e.to_string())?;
+            trace_query(&sys, key, o.tune_in, errors, describe::btree)
+        }
+        "distributed" => {
+            let sys = DistributedScheme::new().build(&ds, &p).map_err(|e| e.to_string())?;
+            trace_query(&sys, key, o.tune_in, errors, describe::btree)
+        }
+        "hashing" => {
+            let sys = HashScheme::new().build(&ds, &p).map_err(|e| e.to_string())?;
+            trace_query(&sys, key, o.tune_in, errors, describe::hash)
+        }
+        "signature" => {
+            let sys = SimpleSignatureScheme::new().build(&ds, &p).map_err(|e| e.to_string())?;
+            trace_query(&sys, key, o.tune_in, errors, describe::sig)
+        }
+        "integrated-signature" => {
+            let sys = IntegratedSignatureScheme::default()
+                .build(&ds, &p)
+                .map_err(|e| e.to_string())?;
+            trace_query(&sys, key, o.tune_in, errors, describe::sig)
+        }
+        "multilevel-signature" => {
+            let sys = MultiLevelSignatureScheme::default()
+                .build(&ds, &p)
+                .map_err(|e| e.to_string())?;
+            trace_query(&sys, key, o.tune_in, errors, describe::sig)
+        }
+        "hybrid" => {
+            let sys = HybridScheme::new().build(&ds, &p).map_err(|e| e.to_string())?;
+            trace_query(&sys, key, o.tune_in, errors, describe::hybrid)
+        }
+        other => return Err(format!("unknown scheme {other:?} (try: {})", SCHEMES.join(", "))),
+    };
+    // Long scans are elided in the middle to keep traces readable.
+    const HEAD: usize = 30;
+    const TAIL: usize = 10;
+    if t.lines.len() <= HEAD + TAIL + 1 {
+        for l in &t.lines {
+            println!("{l}");
+        }
+    } else {
+        for l in &t.lines[..HEAD] {
+            println!("{l}");
+        }
+        println!("… {} steps elided …", t.lines.len() - HEAD - TAIL);
+        for l in &t.lines[t.lines.len() - TAIL..] {
+            println!("{l}");
+        }
+    }
+    if t.outcome.aborted {
+        return Err("protocol aborted — this is a bug, please report the flags used".into());
+    }
+    Ok(())
+}
+
+/// `bda-cli compare` — quick side-by-side simulation of every scheme.
+pub fn compare(o: &Options) -> Result<(), String> {
+    let p = params(o)?;
+    let (ds, pool) = dataset(o)?;
+    let availability = o.availability / 100.0;
+    println!(
+        "# {} records · {:.0}% availability · ratio {}\n",
+        ds.len(),
+        o.availability,
+        o.ratio
+    );
+    println!(
+        "{:<22} {:>12} {:>12} {:>9} {:>7}",
+        "scheme", "access(B)", "tuning(B)", "requests", "found%"
+    );
+    for name in SCHEMES {
+        let sys = build_dyn(name, &ds, &p)?;
+        let workload = QueryWorkload::new(
+            &ds,
+            pool.clone(),
+            availability,
+            Popularity::Uniform,
+            o.seed ^ 0x17,
+        );
+        let mut cfg = SimConfig::quick();
+        cfg.event_driven = false;
+        let r = Simulator::new(sys.as_ref(), workload, cfg).run();
+        println!(
+            "{:<22} {:>12.0} {:>12.0} {:>9} {:>6.1}%",
+            r.scheme,
+            r.mean_access(),
+            r.mean_tuning(),
+            r.requests,
+            100.0 * r.found as f64 / r.requests as f64,
+        );
+    }
+    Ok(())
+}
+
+/// `bda-cli simulate` — full testbed run for one scheme.
+pub fn simulate(o: &Options) -> Result<(), String> {
+    let p = params(o)?;
+    let (ds, pool) = dataset(o)?;
+    let sys = build_dyn(&o.scheme, &ds, &p)?;
+    let workload = QueryWorkload::new(
+        &ds,
+        pool,
+        o.availability / 100.0,
+        Popularity::Uniform,
+        o.seed ^ 0x17,
+    );
+    let mut cfg = SimConfig::paper();
+    cfg.accuracy = o.accuracy;
+    let r = Simulator::new(sys.as_ref(), workload, cfg).run();
+    println!("scheme        : {}", r.scheme);
+    println!("requests      : {} ({} rounds{})", r.requests, r.rounds,
+        if r.converged { "" } else { ", NOT converged" });
+    println!("access time   : {:.0} ± {:.0} bytes (99% CI)", r.access.mean, r.access.ci_half_width);
+    println!("tuning time   : {:.0} ± {:.0} bytes (99% CI)", r.tuning.mean, r.tuning.ci_half_width);
+    println!("found         : {} / {}", r.found, r.requests);
+    println!("false drops   : {}", r.false_drops);
+    println!("cycle length  : {} bytes", r.cycle_len);
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! `bda-cli` — explore wireless broadcast data access from the terminal.
+//!
+//! ```text
+//! bda-cli inspect  --scheme distributed --records 1000
+//! bda-cli trace    --scheme hashing --records 200 --key-index 37 --tune-in 54321
+//! bda-cli compare  --records 2000 --availability 60
+//! bda-cli simulate --scheme signature --records 5000
+//! ```
+
+mod args;
+mod commands;
+mod trace;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        eprintln!("{}", args::USAGE);
+        std::process::exit(2);
+    }
+    let cmd = argv[0].as_str();
+    let opts = match args::Options::parse(&argv[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", args::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let result = match cmd {
+        "inspect" => commands::inspect(&opts),
+        "trace" => commands::trace(&opts),
+        "compare" => commands::compare(&opts),
+        "simulate" => commands::simulate(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{}", args::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,69 @@
+//! Buckets — the atomic unit of broadcast.
+
+use crate::Ticks;
+
+/// One bucket on the broadcast channel.
+///
+/// A bucket is the smallest unit a client can tune in to and read; its
+/// `size` is how many bytes (= ticks) the server needs to broadcast it.
+/// The scheme-specific contents — index entries, hash control parts,
+/// signatures, record references — live in the `payload`, whose type is
+/// chosen by each access method. Payloads carry *logical* content; the
+/// byte cost of that content is accounted for in `size` by the channel
+/// builder, which is what the access/tuning-time metrics see.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bucket<P> {
+    /// On-air size of this bucket in bytes.
+    pub size: u32,
+    /// Scheme-specific contents.
+    pub payload: P,
+}
+
+impl<P> Bucket<P> {
+    /// Construct a bucket of `size` bytes carrying `payload`.
+    pub fn new(size: u32, payload: P) -> Self {
+        Bucket { size, payload }
+    }
+}
+
+/// Position metadata handed to a protocol machine together with a bucket's
+/// payload.
+///
+/// `start`/`end` are absolute [`Ticks`] (bytes since simulation start), so a
+/// machine can convert the *relative* pointers stored in payloads (forward
+/// byte deltas) into absolute doze targets: a pointer `d` read from this
+/// bucket means "the target bucket starts at `end + d`".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketMeta {
+    /// Index of the bucket within the broadcast cycle.
+    pub index: usize,
+    /// Absolute time at which this bucket's first byte was broadcast.
+    pub start: Ticks,
+    /// Absolute time just after this bucket's last byte (`start + size`).
+    pub end: Ticks,
+    /// On-air size in bytes.
+    pub size: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_is_a_plain_carrier() {
+        let b = Bucket::new(512, "payload");
+        assert_eq!(b.size, 512);
+        assert_eq!(b.payload, "payload");
+    }
+
+    #[test]
+    fn meta_spans_are_consistent() {
+        let m = BucketMeta {
+            index: 3,
+            start: 1000,
+            end: 1512,
+            size: 512,
+        };
+        assert_eq!(m.end - m.start, m.size as Ticks);
+    }
+}

@@ -1,0 +1,259 @@
+//! The cyclic broadcast channel.
+
+use crate::bucket::Bucket;
+use crate::error::{BdaError, Result};
+use crate::Ticks;
+
+/// A broadcast cycle: a fixed sequence of buckets the server repeats
+/// forever.
+///
+/// The channel owns the buckets and a prefix-sum table of their start
+/// offsets, so that "what is on the air at time `t`?" and "when does bucket
+/// `i` next start after time `t`?" are `O(log B)` / `O(1)` queries. All
+/// times are absolute [`Ticks`]; the cycle length (`Bt` in the paper's
+/// notation) is the sum of all bucket sizes.
+///
+/// ```
+/// use bda_core::{Bucket, Channel};
+///
+/// let ch = Channel::new(vec![
+///     Bucket::new(10, "a"),
+///     Bucket::new(20, "b"),
+/// ]).unwrap();
+/// assert_eq!(ch.cycle_len(), 30);
+/// // A client tuning in mid-bucket sees the *next* complete bucket:
+/// assert_eq!(ch.first_complete_at(5), (1, 10));
+/// // …wrapping to the start of the next cycle after the last bucket:
+/// assert_eq!(ch.first_complete_at(25), (0, 30));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Channel<P> {
+    buckets: Vec<Bucket<P>>,
+    /// `starts[i]` = offset of bucket `i` within the cycle; `starts\[0\] == 0`.
+    starts: Vec<Ticks>,
+    /// Total cycle length in bytes.
+    cycle: Ticks,
+}
+
+impl<P> Channel<P> {
+    /// Assemble a channel from buckets. Fails on an empty sequence or any
+    /// zero-sized bucket (a bucket must occupy air time to be readable).
+    pub fn new(buckets: Vec<Bucket<P>>) -> Result<Self> {
+        if buckets.is_empty() {
+            return Err(BdaError::EmptyChannel);
+        }
+        let mut starts = Vec::with_capacity(buckets.len());
+        let mut at: Ticks = 0;
+        for (index, b) in buckets.iter().enumerate() {
+            if b.size == 0 {
+                return Err(BdaError::ZeroSizeBucket { index });
+            }
+            starts.push(at);
+            at += Ticks::from(b.size);
+        }
+        Ok(Channel {
+            buckets,
+            starts,
+            cycle: at,
+        })
+    }
+
+    /// Number of buckets per cycle (`N` in the paper when buckets are
+    /// uniform).
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Cycle length in bytes (`Bt`).
+    pub fn cycle_len(&self) -> Ticks {
+        self.cycle
+    }
+
+    /// Bucket `i` of the cycle.
+    pub fn bucket(&self, i: usize) -> &Bucket<P> {
+        &self.buckets[i]
+    }
+
+    /// All buckets in cycle order.
+    pub fn buckets(&self) -> &[Bucket<P>] {
+        &self.buckets
+    }
+
+    /// Start offset of bucket `i` within the cycle.
+    pub fn start_of(&self, i: usize) -> Ticks {
+        self.starts[i]
+    }
+
+    /// End offset of bucket `i` within the cycle (may equal the cycle
+    /// length for the last bucket).
+    pub fn end_of(&self, i: usize) -> Ticks {
+        self.starts[i] + Ticks::from(self.buckets[i].size)
+    }
+
+    /// Position within the cycle of absolute time `t`.
+    pub fn pos(&self, t: Ticks) -> Ticks {
+        t % self.cycle
+    }
+
+    /// The first bucket that **starts at or after** absolute time `t` —
+    /// i.e. the first *complete* bucket a client tuning in at `t` can read.
+    ///
+    /// Returns `(bucket index, absolute start time)`. If `t` falls inside a
+    /// bucket, the answer is the next one (wrapping to bucket 0 of the next
+    /// cycle after the last bucket).
+    pub fn first_complete_at(&self, t: Ticks) -> (usize, Ticks) {
+        let pos = self.pos(t);
+        // partition_point: first index with starts[i] >= pos.
+        let idx = self.starts.partition_point(|&s| s < pos);
+        if idx == self.starts.len() {
+            // Wrap to the start of the next cycle.
+            (0, t + (self.cycle - pos))
+        } else {
+            (idx, t + (self.starts[idx] - pos))
+        }
+    }
+
+    /// Absolute start time of the first occurrence of bucket `idx` at or
+    /// after absolute time `t`.
+    pub fn occurrence_at_or_after(&self, idx: usize, t: Ticks) -> Ticks {
+        let pos = self.pos(t);
+        let s = self.starts[idx];
+        if s >= pos {
+            t + (s - pos)
+        } else {
+            t + (self.cycle - pos) + s
+        }
+    }
+
+    /// Forward byte delta from cycle position `from_pos` to the start of
+    /// bucket `idx` — the value a channel builder stores in an on-air
+    /// pointer. A delta of 0 means "the very next byte begins the target".
+    ///
+    /// `from_pos` is typically the *end* offset of the bucket containing the
+    /// pointer, which for the last bucket equals the cycle length; the
+    /// modulo folds that case back to position 0.
+    pub fn delta_from(&self, from_pos: Ticks, idx: usize) -> Ticks {
+        let from = from_pos % self.cycle;
+        let s = self.starts[idx];
+        if s >= from {
+            s - from
+        } else {
+            self.cycle - from + s
+        }
+    }
+
+    /// Map a payload-transforming function over every bucket, preserving
+    /// sizes and offsets. Useful for building derived channels in tests.
+    pub fn map_payload<Q>(self, mut f: impl FnMut(P) -> Q) -> Channel<Q> {
+        let buckets = self
+            .buckets
+            .into_iter()
+            .map(|b| Bucket::new(b.size, f(b.payload)))
+            .collect();
+        Channel {
+            buckets,
+            starts: self.starts,
+            cycle: self.cycle,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ch(sizes: &[u32]) -> Channel<usize> {
+        Channel::new(
+            sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| Bucket::new(s, i))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert_eq!(
+            Channel::<u8>::new(vec![]).unwrap_err(),
+            BdaError::EmptyChannel
+        );
+        assert_eq!(
+            Channel::new(vec![Bucket::new(4, 0u8), Bucket::new(0, 1u8)]).unwrap_err(),
+            BdaError::ZeroSizeBucket { index: 1 }
+        );
+    }
+
+    #[test]
+    fn offsets_are_prefix_sums() {
+        let c = ch(&[10, 20, 30]);
+        assert_eq!(c.num_buckets(), 3);
+        assert_eq!(c.cycle_len(), 60);
+        assert_eq!(c.start_of(0), 0);
+        assert_eq!(c.start_of(1), 10);
+        assert_eq!(c.start_of(2), 30);
+        assert_eq!(c.end_of(2), 60);
+    }
+
+    #[test]
+    fn first_complete_at_aligned_and_mid_bucket() {
+        let c = ch(&[10, 20, 30]);
+        // Aligned exactly on bucket starts.
+        assert_eq!(c.first_complete_at(0), (0, 0));
+        assert_eq!(c.first_complete_at(10), (1, 10));
+        assert_eq!(c.first_complete_at(30), (2, 30));
+        // Mid-bucket: next complete bucket.
+        assert_eq!(c.first_complete_at(5), (1, 10));
+        assert_eq!(c.first_complete_at(29), (2, 30));
+        // Inside the last bucket: wraps to bucket 0 of next cycle.
+        assert_eq!(c.first_complete_at(31), (0, 60));
+        // Deep into later cycles.
+        assert_eq!(c.first_complete_at(60 + 5), (1, 70));
+        assert_eq!(c.first_complete_at(10 * 60), (0, 600));
+    }
+
+    #[test]
+    fn occurrence_wraps_correctly() {
+        let c = ch(&[10, 20, 30]);
+        assert_eq!(c.occurrence_at_or_after(1, 0), 10);
+        assert_eq!(c.occurrence_at_or_after(1, 10), 10);
+        assert_eq!(c.occurrence_at_or_after(1, 11), 70);
+        assert_eq!(c.occurrence_at_or_after(0, 45), 60);
+        assert_eq!(c.occurrence_at_or_after(2, 120 + 35), 120 + 30 + 60);
+    }
+
+    #[test]
+    fn delta_from_is_forward_distance() {
+        let c = ch(&[10, 20, 30]);
+        assert_eq!(c.delta_from(10, 1), 0); // pointer at end of bucket 0 → bucket 1
+        assert_eq!(c.delta_from(30, 0), 30); // end of bucket 1 → wrap to bucket 0
+        assert_eq!(c.delta_from(60, 0), 0); // end of last bucket → next cycle start
+        assert_eq!(c.delta_from(0, 2), 30);
+    }
+
+    #[test]
+    fn delta_and_occurrence_agree() {
+        let c = ch(&[7, 13, 5, 25]);
+        for idx in 0..c.num_buckets() {
+            for t in 0..2 * c.cycle_len() {
+                let occ = c.occurrence_at_or_after(idx, t);
+                assert!(occ >= t);
+                assert_eq!(c.pos(occ), c.start_of(idx));
+                // delta_from measured at position t must land on the same
+                // occurrence when t is not already inside the target.
+                let d = c.delta_from(t, idx);
+                assert_eq!(c.pos(t + d), c.start_of(idx));
+            }
+        }
+    }
+
+    #[test]
+    fn map_payload_preserves_geometry() {
+        let c = ch(&[10, 20]);
+        let mapped = c.clone().map_payload(|i| i * 10);
+        assert_eq!(mapped.cycle_len(), c.cycle_len());
+        assert_eq!(mapped.bucket(1).payload, 10);
+        assert_eq!(mapped.start_of(1), 10);
+    }
+}

@@ -1,0 +1,124 @@
+//! Record-coverage tracking for scanning protocols.
+//!
+//! Scanning access methods (flat broadcast, the signature schemes) conclude
+//! "not broadcast" only after ruling out **every** record. On a lossless
+//! channel a simple countdown suffices — one cycle covers everything — but
+//! on an error-prone channel corrupted reads leave holes, and realignment
+//! can skip regions. [`Coverage`] tracks exactly which records have been
+//! ruled out, so termination is both *sound* (no record is ever skipped)
+//! and *guaranteed* (each record is re-broadcast every cycle, so coverage
+//! eventually completes at any loss rate below 1).
+
+/// A fixed-size set of record positions that have been ruled out.
+#[derive(Debug, Clone)]
+pub struct Coverage {
+    bits: Box<[u64]>,
+    covered: u32,
+    total: u32,
+}
+
+impl Coverage {
+    /// Coverage over `total` records, initially empty.
+    pub fn new(total: u32) -> Self {
+        Coverage {
+            bits: vec![0u64; (total as usize).div_ceil(64)].into_boxed_slice(),
+            covered: 0,
+            total,
+        }
+    }
+
+    /// Number of records ruled out so far.
+    pub fn covered(&self) -> u32 {
+        self.covered
+    }
+
+    /// Whether every record has been ruled out.
+    pub fn is_full(&self) -> bool {
+        self.covered >= self.total
+    }
+
+    /// Rule out record `i` (idempotent; out-of-range indices are ignored,
+    /// which makes diagnostics-only payload indices safe to feed in).
+    pub fn mark(&mut self, i: u32) {
+        if i >= self.total {
+            return;
+        }
+        let w = (i / 64) as usize;
+        let b = 1u64 << (i % 64);
+        if self.bits[w] & b == 0 {
+            self.bits[w] |= b;
+            self.covered += 1;
+        }
+    }
+
+    /// Rule out the half-open range `[start, start + len)`.
+    pub fn mark_range(&mut self, start: u32, len: u32) {
+        for i in start..start.saturating_add(len) {
+            self.mark(i);
+        }
+    }
+
+    /// Forget everything (fresh protocol start).
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+        self.covered = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marks_are_idempotent_and_counted() {
+        let mut c = Coverage::new(100);
+        assert_eq!(c.covered(), 0);
+        assert!(!c.is_full());
+        c.mark(3);
+        c.mark(3);
+        c.mark(99);
+        assert_eq!(c.covered(), 2);
+        for i in 0..100 {
+            c.mark(i);
+        }
+        assert!(c.is_full());
+        assert_eq!(c.covered(), 100);
+    }
+
+    #[test]
+    fn out_of_range_is_ignored() {
+        let mut c = Coverage::new(10);
+        c.mark(10);
+        c.mark(u32::MAX);
+        assert_eq!(c.covered(), 0);
+    }
+
+    #[test]
+    fn ranges_and_clear() {
+        let mut c = Coverage::new(64);
+        c.mark_range(60, 8); // clipped at 64
+        assert_eq!(c.covered(), 4);
+        c.mark_range(0, 60);
+        assert!(c.is_full());
+        c.clear();
+        assert_eq!(c.covered(), 0);
+        assert!(!c.is_full());
+    }
+
+    #[test]
+    fn zero_total_is_immediately_full() {
+        let c = Coverage::new(0);
+        assert!(c.is_full());
+    }
+
+    #[test]
+    fn word_boundaries() {
+        let mut c = Coverage::new(130);
+        c.mark(63);
+        c.mark(64);
+        c.mark(127);
+        c.mark(128);
+        c.mark(129);
+        assert_eq!(c.covered(), 5);
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type shared across the `bda` workspace.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, BdaError>;
+
+/// Errors produced while constructing datasets, channels, or broadcast
+/// systems.
+///
+/// Runtime *protocol* execution does not return errors: a protocol machine
+/// that misbehaves (e.g. dozes into the past) indicates a bug in a channel
+/// builder and is reported by the walker as an aborted
+/// [`crate::AccessOutcome`] so that property tests can detect it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BdaError {
+    /// A dataset must contain at least one record.
+    EmptyDataset,
+    /// Dataset records must be strictly sorted by key.
+    UnsortedDataset {
+        /// Index of the first record that is out of order.
+        index: usize,
+    },
+    /// Dataset keys must be unique.
+    DuplicateKey {
+        /// The offending key value.
+        key: u64,
+    },
+    /// A channel must contain at least one bucket.
+    EmptyChannel,
+    /// Every bucket must broadcast at least one byte.
+    ZeroSizeBucket {
+        /// Index of the offending bucket.
+        index: usize,
+    },
+    /// Broadcast parameters failed validation.
+    BadParams(String),
+    /// A scheme-specific build constraint was violated.
+    BuildError(String),
+}
+
+impl fmt::Display for BdaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BdaError::EmptyDataset => write!(f, "dataset contains no records"),
+            BdaError::UnsortedDataset { index } => {
+                write!(f, "dataset records are not sorted by key (at index {index})")
+            }
+            BdaError::DuplicateKey { key } => {
+                write!(f, "dataset contains duplicate key {key}")
+            }
+            BdaError::EmptyChannel => write!(f, "broadcast channel contains no buckets"),
+            BdaError::ZeroSizeBucket { index } => {
+                write!(f, "bucket {index} has zero size")
+            }
+            BdaError::BadParams(msg) => write!(f, "invalid broadcast parameters: {msg}"),
+            BdaError::BuildError(msg) => write!(f, "failed to build broadcast channel: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BdaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(BdaError, &str)> = vec![
+            (BdaError::EmptyDataset, "no records"),
+            (BdaError::UnsortedDataset { index: 3 }, "index 3"),
+            (BdaError::DuplicateKey { key: 42 }, "42"),
+            (BdaError::EmptyChannel, "no buckets"),
+            (BdaError::ZeroSizeBucket { index: 7 }, "bucket 7"),
+            (BdaError::BadParams("key too big".into()), "key too big"),
+            (BdaError::BuildError("fanout".into()), "fanout"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BdaError>();
+    }
+}

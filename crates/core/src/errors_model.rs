@@ -1,0 +1,126 @@
+//! Error-prone channel model (extension).
+//!
+//! Real wireless broadcast is lossy; Lo & Chen (IEEE TKDE 2000, the paper's
+//! reference \[9\]) study access methods "under an error-prone mobile
+//! environment". This module adds the substrate for that line of work: a
+//! deterministic per-bucket corruption model the walker can apply, with
+//! per-scheme recovery via [`crate::ProtocolMachine::on_corrupt`].
+//!
+//! Corruption is a pure function of the bucket occurrence's absolute start
+//! time and the model seed, so (a) runs are reproducible, (b) every client
+//! listening to the same transmission sees the same corruption, and (c) the
+//! *next* broadcast of the same bucket is drawn independently — exactly the
+//! behaviour of per-transmission channel noise.
+
+use crate::Ticks;
+
+/// Independent per-bucket corruption with a fixed loss probability.
+///
+/// ```
+/// use bda_core::ErrorModel;
+///
+/// let m = ErrorModel::new(0.2, 42);
+/// // Deterministic per transmission: the same broadcast instant always
+/// // corrupts (or not) the same way.
+/// assert_eq!(m.corrupted(1_000), m.corrupted(1_000));
+/// assert!(!ErrorModel::NONE.corrupted(1_000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorModel {
+    /// Probability that any single bucket transmission is unusable.
+    pub loss_prob: f64,
+    /// Seed decorrelating different experiments.
+    pub seed: u64,
+}
+
+impl ErrorModel {
+    /// A lossless model (never corrupts).
+    pub const NONE: ErrorModel = ErrorModel {
+        loss_prob: 0.0,
+        seed: 0,
+    };
+
+    /// A model losing each bucket independently with probability
+    /// `loss_prob` (clamped to `\[0, 1\]`).
+    pub fn new(loss_prob: f64, seed: u64) -> Self {
+        ErrorModel {
+            loss_prob: loss_prob.clamp(0.0, 1.0),
+            seed,
+        }
+    }
+
+    /// Whether the bucket transmission starting at absolute time `start` is
+    /// corrupted.
+    pub fn corrupted(&self, start: Ticks) -> bool {
+        if self.loss_prob <= 0.0 {
+            return false;
+        }
+        if self.loss_prob >= 1.0 {
+            return true;
+        }
+        // SplitMix64 finalizer over (start, seed): high-quality, stateless.
+        let mut z = start
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(self.seed ^ 0xE7F7_15D1);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        // Compare the top 53 bits against the probability.
+        let u = (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < self.loss_prob
+    }
+}
+
+impl Default for ErrorModel {
+    fn default() -> Self {
+        ErrorModel::NONE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extremes() {
+        let none = ErrorModel::NONE;
+        let all = ErrorModel::new(1.0, 1);
+        for t in 0..100u64 {
+            assert!(!none.corrupted(t * 17));
+            assert!(all.corrupted(t * 17));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_transmission() {
+        let m = ErrorModel::new(0.3, 42);
+        for t in 0..200u64 {
+            assert_eq!(m.corrupted(t * 531), m.corrupted(t * 531));
+        }
+    }
+
+    #[test]
+    fn rate_is_respected() {
+        let m = ErrorModel::new(0.25, 7);
+        let lost = (0..100_000u64).filter(|&i| m.corrupted(i * 533)).count();
+        let rate = lost as f64 / 100_000.0;
+        assert!((rate - 0.25).abs() < 0.01, "rate={rate}");
+    }
+
+    #[test]
+    fn different_seeds_decorrelate() {
+        let a = ErrorModel::new(0.5, 1);
+        let b = ErrorModel::new(0.5, 2);
+        let agree = (0..10_000u64)
+            .filter(|&i| a.corrupted(i * 533) == b.corrupted(i * 533))
+            .count();
+        // Independent draws agree ~50 % of the time at p = 0.5.
+        assert!((4_500..5_500).contains(&agree), "agree={agree}");
+    }
+
+    #[test]
+    fn clamping() {
+        assert_eq!(ErrorModel::new(-3.0, 0).loss_prob, 0.0);
+        assert_eq!(ErrorModel::new(7.0, 0).loss_prob, 1.0);
+    }
+}

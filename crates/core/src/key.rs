@@ -1,0 +1,70 @@
+//! Primary keys of broadcast records.
+
+use std::fmt;
+
+/// A record's primary key.
+///
+/// Keys are modelled as 64-bit ordinals: every scheme in the paper only
+/// needs keys to be *orderable* (B+-tree search), *hashable* (simple
+/// hashing) and *distinct* (one record per key). The number of bytes a key
+/// occupies **on the channel** is a layout concern and comes from
+/// [`crate::Params::key_size`], not from this type — exactly as in the
+/// paper, where 25-byte dictionary keys are compared as opaque ordered
+/// values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Key(pub u64);
+
+impl Key {
+    /// The smallest possible key.
+    pub const MIN: Key = Key(0);
+    /// The largest possible key.
+    pub const MAX: Key = Key(u64::MAX);
+
+    /// Raw ordinal value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+impl From<u64> for Key {
+    fn from(v: u64) -> Self {
+        Key(v)
+    }
+}
+
+impl From<Key> for u64 {
+    fn from(k: Key) -> Self {
+        k.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_ordinal() {
+        assert!(Key(1) < Key(2));
+        assert!(Key::MIN <= Key(0));
+        assert!(Key(u64::MAX) <= Key::MAX);
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let k: Key = 77u64.into();
+        let v: u64 = k.into();
+        assert_eq!(v, 77);
+        assert_eq!(k.value(), 77);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Key(9).to_string(), "k9");
+    }
+}

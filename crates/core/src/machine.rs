@@ -1,0 +1,489 @@
+//! Client protocol machines and the walker that drives them.
+//!
+//! Every access method in the paper is, from the client's perspective, a
+//! little state machine: *read a bucket, decide, doze, wake, read again…*
+//! This module captures that shape once so that all five schemes share a
+//! single, carefully-tested accounting of the two metrics:
+//!
+//! * **access time** — bytes elapsed between tuning in and completing the
+//!   query (downloading the record, or concluding it is absent);
+//! * **tuning time** — bytes the client actually *listened* to, which is
+//!   what drains the battery. Dozing advances the clock without tuning
+//!   cost; this is the "selective tuning" of Imielinski et al. that all
+//!   indexing schemes exist to enable.
+
+use crate::bucket::BucketMeta;
+use crate::channel::Channel;
+use crate::errors_model::ErrorModel;
+use crate::Ticks;
+
+/// What a protocol machine wants to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Keep listening and read the next complete bucket.
+    ReadNext,
+    /// Doze (radio off) until absolute time `t`, then read the bucket that
+    /// starts there. Channel builders guarantee pointers are bucket-aligned,
+    /// so the walker will find a bucket starting exactly at `t`; if the
+    /// target is misaligned the walker reads the first complete bucket after
+    /// `t`, which models a (buggy) client missing its wake-up.
+    DozeTo(Ticks),
+    /// The query is complete.
+    Finish(Verdict),
+}
+
+/// Terminal result reported by a machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Verdict {
+    /// Whether the requested record was downloaded.
+    pub found: bool,
+    /// Number of *false drops*: wrong data buckets downloaded because an
+    /// index (signature) matched spuriously. Zero for exact indexes.
+    pub false_drops: u32,
+}
+
+impl Verdict {
+    /// Successful retrieval with no false drops.
+    pub fn found() -> Self {
+        Verdict {
+            found: true,
+            false_drops: 0,
+        }
+    }
+
+    /// Search failed (record not broadcast).
+    pub fn not_found() -> Self {
+        Verdict {
+            found: false,
+            false_drops: 0,
+        }
+    }
+
+    /// Attach a false-drop count.
+    pub fn with_false_drops(mut self, n: u32) -> Self {
+        self.false_drops = n;
+        self
+    }
+}
+
+/// A resumable client access protocol for payload type `P`.
+///
+/// The driver calls [`ProtocolMachine::start`] once with the tune-in time,
+/// then feeds the machine every bucket it reads; the machine steers via the
+/// returned [`Action`]s. Machines must be self-contained: everything they
+/// know about the channel must come from constants captured at
+/// construction (bucket counts, sizes) and from the payloads they read —
+/// never from global knowledge of the cycle. This keeps the simulation
+/// honest: a protocol can only be as clever as a real client.
+pub trait ProtocolMachine<P> {
+    /// Called once when the client tunes in at absolute time `tune_in`.
+    fn start(&mut self, tune_in: Ticks) -> Action;
+
+    /// Called after each bucket read with its payload and position metadata.
+    fn on_bucket(&mut self, payload: &P, meta: BucketMeta) -> Action;
+
+    /// Called instead of [`ProtocolMachine::on_bucket`] when the bucket was
+    /// corrupted in transmission (error-prone channel extension; see
+    /// [`crate::errors_model::ErrorModel`]). The client listened to the
+    /// whole bucket but cannot use its contents.
+    ///
+    /// The default restarts the access protocol from the current instant —
+    /// correct for any scheme whose protocol is stateless across cycles.
+    /// Scanning schemes override this to rewind their cycle-coverage
+    /// counters instead.
+    fn on_corrupt(&mut self, meta: BucketMeta) -> Action {
+        self.start(meta.end)
+    }
+}
+
+/// The result of one client query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the record was retrieved.
+    pub found: bool,
+    /// Access time: bytes from tune-in until the query completed (`At`).
+    pub access: Ticks,
+    /// Tuning time: bytes the client listened to (`Tt`). Always ≤ `access`.
+    pub tuning: Ticks,
+    /// Number of buckets read.
+    pub probes: u32,
+    /// Wrong data buckets downloaded due to spurious index matches.
+    pub false_drops: u32,
+    /// Corrupted bucket transmissions the client had to recover from
+    /// (always 0 on a lossless channel).
+    pub retries: u32,
+    /// Set when the walker aborted the query because the machine exceeded
+    /// its probe budget or dozed into the past — either indicates a bug in
+    /// a channel builder or protocol, and tests assert it never happens.
+    pub aborted: bool,
+}
+
+/// One externally visible step of a client query — the event granularity at
+/// which the discrete-event testbed (`bda-sim`) schedules clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalkStep {
+    /// The client listened from `from` to `until` and read bucket `bucket`.
+    /// (`from` may precede the bucket's start: a freshly tuned-in client
+    /// listens through the tail of a partial bucket to find the boundary —
+    /// the paper's *initial wait* `Ft`.)
+    Read {
+        /// Index of the bucket read.
+        bucket: usize,
+        /// Absolute time listening began.
+        from: Ticks,
+        /// Absolute time the bucket was fully received.
+        until: Ticks,
+    },
+    /// The client dozed (radio off) until `until`.
+    Doze {
+        /// Absolute wake-up time.
+        until: Ticks,
+    },
+    /// The query finished with the given outcome. Subsequent calls return
+    /// the same value.
+    Done(AccessOutcome),
+}
+
+/// Executes a [`ProtocolMachine`] against a [`Channel`], one step at a
+/// time, accounting access and tuning time.
+///
+/// `Walk` is both the fast in-process driver (via [`run_machine`]) and the
+/// unit of scheduling for the event-driven testbed, which alternates
+/// [`Walk::step`] with its global event queue. The two drivers execute the
+/// identical code path, so their results cannot diverge — a property the
+/// integration suite verifies explicitly.
+#[derive(Debug)]
+pub struct Walk<'a, P, M> {
+    ch: &'a Channel<P>,
+    machine: M,
+    tune_in: Ticks,
+    now: Ticks,
+    tuning: Ticks,
+    probes: u32,
+    retries: u32,
+    false_drops_hint: u32,
+    pending: Option<Action>,
+    outcome: Option<AccessOutcome>,
+    max_probes: u32,
+    errors: ErrorModel,
+}
+
+impl<'a, P, M: ProtocolMachine<P>> Walk<'a, P, M> {
+    /// Begin a query at absolute time `tune_in` over a lossless channel.
+    pub fn new(ch: &'a Channel<P>, machine: M, tune_in: Ticks) -> Self {
+        Walk::with_errors(ch, machine, tune_in, ErrorModel::NONE)
+    }
+
+    /// Begin a query over an error-prone channel: each bucket transmission
+    /// is independently corrupted per `errors`, and the machine recovers
+    /// via [`ProtocolMachine::on_corrupt`].
+    pub fn with_errors(
+        ch: &'a Channel<P>,
+        mut machine: M,
+        tune_in: Ticks,
+        errors: ErrorModel,
+    ) -> Self {
+        let pending = machine.start(tune_in);
+        // A correct protocol never needs more than a handful of cycles; the
+        // budget of four cycles plus slack catches runaway machines without
+        // ever triggering for correct ones on a lossless channel. Lossy
+        // channels get a budget scaled by the expected retry factor.
+        let base = (ch.num_buckets() as u32).saturating_mul(4).saturating_add(64);
+        let max_probes = if errors.loss_prob > 0.0 {
+            let factor = (1.0 / (1.0 - errors.loss_prob.min(0.99))).ceil() as u32 + 4;
+            base.saturating_mul(factor)
+        } else {
+            base
+        };
+        Walk {
+            ch,
+            machine,
+            tune_in,
+            now: tune_in,
+            tuning: 0,
+            probes: 0,
+            retries: 0,
+            false_drops_hint: 0,
+            pending: Some(pending),
+            outcome: None,
+            max_probes,
+            errors,
+        }
+    }
+
+    /// Absolute simulation time the client has reached.
+    pub fn now(&self) -> Ticks {
+        self.now
+    }
+
+    /// Whether the query has completed.
+    pub fn is_done(&self) -> bool {
+        self.outcome.is_some()
+    }
+
+    /// The outcome, if the query has completed.
+    pub fn outcome(&self) -> Option<AccessOutcome> {
+        self.outcome
+    }
+
+    fn finish(&mut self, found: bool, false_drops: u32, aborted: bool) -> WalkStep {
+        let out = AccessOutcome {
+            found,
+            access: self.now - self.tune_in,
+            tuning: self.tuning,
+            probes: self.probes,
+            false_drops,
+            retries: self.retries,
+            aborted,
+        };
+        self.outcome = Some(out);
+        WalkStep::Done(out)
+    }
+
+    /// Execute the machine's next action and report what happened.
+    pub fn step(&mut self) -> WalkStep {
+        if let Some(out) = self.outcome {
+            return WalkStep::Done(out);
+        }
+        let action = self
+            .pending
+            .take()
+            .expect("walk invariant: pending action present while not done");
+        match action {
+            Action::ReadNext => {
+                if self.probes >= self.max_probes {
+                    return self.finish(false, self.false_drops_hint, true);
+                }
+                let (idx, start) = self.ch.first_complete_at(self.now);
+                let size = Ticks::from(self.ch.bucket(idx).size);
+                let end = start + size;
+                let from = self.now;
+                // The client listens from `now` until the bucket completes:
+                // any partial-bucket tail counts as tuning (initial wait).
+                self.tuning += end - self.now;
+                self.now = end;
+                self.probes += 1;
+                let meta = BucketMeta {
+                    index: idx,
+                    start,
+                    end,
+                    size: size as u32,
+                };
+                let next = if self.errors.corrupted(start) {
+                    self.retries += 1;
+                    self.machine.on_corrupt(meta)
+                } else {
+                    self.machine.on_bucket(&self.ch.bucket(idx).payload, meta)
+                };
+                if let Action::Finish(v) = next {
+                    self.false_drops_hint = v.false_drops;
+                }
+                self.pending = Some(next);
+                WalkStep::Read {
+                    bucket: idx,
+                    from,
+                    until: end,
+                }
+            }
+            Action::DozeTo(t) => {
+                if t < self.now {
+                    // Dozing into the past is a protocol/builder bug.
+                    return self.finish(false, self.false_drops_hint, true);
+                }
+                self.now = t;
+                self.pending = Some(Action::ReadNext);
+                WalkStep::Doze { until: t }
+            }
+            Action::Finish(v) => self.finish(v.found, v.false_drops, false),
+        }
+    }
+}
+
+/// Drive a machine to completion and return its outcome — the fast path
+/// used by benchmarks and analytical-validation sweeps.
+pub fn run_machine<P, M: ProtocolMachine<P>>(
+    ch: &Channel<P>,
+    machine: M,
+    tune_in: Ticks,
+) -> AccessOutcome {
+    run_machine_with_errors(ch, machine, tune_in, ErrorModel::NONE)
+}
+
+/// [`run_machine`] over an error-prone channel.
+pub fn run_machine_with_errors<P, M: ProtocolMachine<P>>(
+    ch: &Channel<P>,
+    machine: M,
+    tune_in: Ticks,
+    errors: ErrorModel,
+) -> AccessOutcome {
+    let mut walk = Walk::with_errors(ch, machine, tune_in, errors);
+    loop {
+        if let WalkStep::Done(out) = walk.step() {
+            return out;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bucket::Bucket;
+
+    fn ch(sizes: &[u32]) -> Channel<usize> {
+        Channel::new(
+            sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| Bucket::new(s, i))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    /// Reads `reads` buckets then finishes; optionally dozes `doze` bytes
+    /// after the first read.
+    struct Scripted {
+        reads: u32,
+        doze: Option<Ticks>,
+        seen: Vec<usize>,
+    }
+
+    impl ProtocolMachine<usize> for Scripted {
+        fn start(&mut self, _t: Ticks) -> Action {
+            Action::ReadNext
+        }
+        fn on_bucket(&mut self, payload: &usize, meta: BucketMeta) -> Action {
+            self.seen.push(*payload);
+            self.reads -= 1;
+            if self.reads == 0 {
+                Action::Finish(Verdict::found())
+            } else if let Some(d) = self.doze.take() {
+                Action::DozeTo(meta.end + d)
+            } else {
+                Action::ReadNext
+            }
+        }
+    }
+
+    #[test]
+    fn accounting_for_sequential_reads() {
+        let c = ch(&[10, 20, 30]);
+        // Tune in at t=5 (mid bucket 0): listen 5 bytes of tail, then read
+        // bucket 1 (20 bytes) and bucket 2 (30 bytes).
+        let out = run_machine(
+            &c,
+            Scripted {
+                reads: 2,
+                doze: None,
+                seen: vec![],
+            },
+            5,
+        );
+        assert!(out.found);
+        assert!(!out.aborted);
+        assert_eq!(out.probes, 2);
+        // access = (10-5) + 20 + 30 = 55; tuning identical (no doze).
+        assert_eq!(out.access, 55);
+        assert_eq!(out.tuning, 55);
+    }
+
+    #[test]
+    fn doze_advances_clock_without_tuning() {
+        let c = ch(&[10, 20, 30]);
+        // Read bucket 0 (tune in aligned at 0), doze 20 bytes (to start of
+        // bucket 2 at t=30), read bucket 2.
+        let out = run_machine(
+            &c,
+            Scripted {
+                reads: 2,
+                doze: Some(20),
+                seen: vec![],
+            },
+            0,
+        );
+        assert!(out.found);
+        assert_eq!(out.probes, 2);
+        assert_eq!(out.access, 60); // 10 (read) + 20 (doze) + 30 (read)
+        assert_eq!(out.tuning, 40); // only the two reads
+    }
+
+    #[test]
+    fn walk_steps_report_events_in_order() {
+        let c = ch(&[10, 20, 30]);
+        let mut walk = Walk::new(
+            &c,
+            Scripted {
+                reads: 2,
+                doze: Some(20),
+                seen: vec![],
+            },
+            0,
+        );
+        assert_eq!(
+            walk.step(),
+            WalkStep::Read {
+                bucket: 0,
+                from: 0,
+                until: 10
+            }
+        );
+        assert_eq!(walk.step(), WalkStep::Doze { until: 30 });
+        assert_eq!(
+            walk.step(),
+            WalkStep::Read {
+                bucket: 2,
+                from: 30,
+                until: 60
+            }
+        );
+        assert!(matches!(walk.step(), WalkStep::Done(_)));
+        // Done is sticky.
+        assert!(matches!(walk.step(), WalkStep::Done(_)));
+        assert!(walk.is_done());
+        assert!(walk.outcome().unwrap().found);
+    }
+
+    /// A machine that never finishes must be aborted by the probe budget.
+    struct Runaway;
+    impl ProtocolMachine<usize> for Runaway {
+        fn start(&mut self, _t: Ticks) -> Action {
+            Action::ReadNext
+        }
+        fn on_bucket(&mut self, _p: &usize, _m: BucketMeta) -> Action {
+            Action::ReadNext
+        }
+    }
+
+    #[test]
+    fn runaway_machines_are_aborted() {
+        let c = ch(&[10, 20]);
+        let out = run_machine(&c, Runaway, 0);
+        assert!(out.aborted);
+        assert!(!out.found);
+    }
+
+    /// A machine that dozes backwards must be aborted.
+    struct TimeTraveller;
+    impl ProtocolMachine<usize> for TimeTraveller {
+        fn start(&mut self, _t: Ticks) -> Action {
+            Action::ReadNext
+        }
+        fn on_bucket(&mut self, _p: &usize, meta: BucketMeta) -> Action {
+            Action::DozeTo(meta.start.saturating_sub(1))
+        }
+    }
+
+    #[test]
+    fn backwards_doze_is_aborted() {
+        let c = ch(&[10, 20]);
+        let out = run_machine(&c, TimeTraveller, 3);
+        assert!(out.aborted);
+    }
+
+    #[test]
+    fn verdict_helpers() {
+        assert!(Verdict::found().found);
+        assert!(!Verdict::not_found().found);
+        assert_eq!(Verdict::found().with_false_drops(3).false_drops, 3);
+    }
+}

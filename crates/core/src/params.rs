@@ -1,0 +1,172 @@
+//! Broadcast parameters shared by every access method.
+
+use crate::error::{BdaError, Result};
+
+/// Physical sizing of records, keys and bucket framing, in bytes.
+///
+/// These are the knobs of Table 1 of the paper plus the low-level framing
+/// constants every scheme needs to lay buckets out:
+///
+/// * `record_size` — payload bytes of one data record (paper: 500),
+/// * `key_size` — bytes of a primary key (paper: 25),
+/// * `ptr_size` — bytes of one offset pointer stored inside a bucket,
+/// * `header_size` — fixed per-bucket framing overhead (type tag, bucket id,
+///   "offset to next index segment" slot, …).
+///
+/// The paper's *record/key ratio* experiment (Fig. 6) sweeps
+/// `record_size / key_size`; use [`Params::with_record_key_ratio`] to build
+/// the corresponding configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Params {
+    /// Payload bytes of one data record.
+    pub record_size: u32,
+    /// Bytes of one primary key.
+    pub key_size: u32,
+    /// Bytes of one offset pointer stored in a bucket.
+    pub ptr_size: u32,
+    /// Fixed framing bytes at the start of every bucket.
+    pub header_size: u32,
+}
+
+impl Params {
+    /// The configuration of Table 1 of the paper: 500-byte records,
+    /// 25-byte keys, and modest framing overhead.
+    pub const fn paper() -> Self {
+        Params {
+            record_size: 500,
+            key_size: 25,
+            ptr_size: 4,
+            header_size: 8,
+        }
+    }
+
+    /// Build a configuration with the given *record/key ratio* while keeping
+    /// the record size at the paper's 500 bytes (Fig. 6 sweeps the ratio from
+    /// 5 to 100, i.e. key sizes from 100 down to 5 bytes).
+    pub fn with_record_key_ratio(ratio: u32) -> Result<Self> {
+        if ratio == 0 {
+            return Err(BdaError::BadParams("record/key ratio must be positive".into()));
+        }
+        let record_size = 500;
+        let key_size = (record_size / ratio).max(1);
+        let p = Params {
+            record_size,
+            key_size,
+            ..Params::paper()
+        };
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Size in bytes of one **data bucket**: framing header, the record's
+    /// primary key, and the record payload.
+    ///
+    /// All schemes in the paper broadcast exactly one record per data bucket,
+    /// and B+-tree based schemes use the same size for index buckets so that
+    /// the channel is a uniform sequence (the `Dt` of §2).
+    pub fn data_bucket_size(&self) -> u32 {
+        self.header_size + self.key_size + self.record_size
+    }
+
+    /// The record/key ratio of this configuration, rounded down.
+    pub fn record_key_ratio(&self) -> u32 {
+        self.record_size / self.key_size.max(1)
+    }
+
+    /// Number of `(key, pointer)` index entries that fit in one bucket of
+    /// [`Params::data_bucket_size`] bytes — the `n` of the paper's B+-tree
+    /// analysis ("number of indices contained in an index bucket").
+    ///
+    /// B+-tree schemes clamp this to at least 2 so a tree can always be
+    /// built.
+    pub fn index_entries_per_bucket(&self) -> usize {
+        let budget = self.data_bucket_size().saturating_sub(self.header_size);
+        let per_entry = self.key_size + self.ptr_size;
+        ((budget / per_entry.max(1)) as usize).max(2)
+    }
+
+    /// Validate that the configuration can frame at least one record and one
+    /// index entry per bucket.
+    pub fn validate(&self) -> Result<()> {
+        if self.record_size == 0 {
+            return Err(BdaError::BadParams("record_size must be positive".into()));
+        }
+        if self.key_size == 0 {
+            return Err(BdaError::BadParams("key_size must be positive".into()));
+        }
+        if self.ptr_size == 0 {
+            return Err(BdaError::BadParams("ptr_size must be positive".into()));
+        }
+        if self.key_size > self.record_size {
+            return Err(BdaError::BadParams(format!(
+                "key_size ({}) larger than record_size ({})",
+                self.key_size, self.record_size
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_table1() {
+        let p = Params::paper();
+        assert_eq!(p.record_size, 500);
+        assert_eq!(p.key_size, 25);
+        assert_eq!(p.record_key_ratio(), 20);
+        assert_eq!(p.data_bucket_size(), 8 + 25 + 500);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn ratio_constructor_covers_fig6_range() {
+        for ratio in [5u32, 10, 20, 50, 100] {
+            let p = Params::with_record_key_ratio(ratio).unwrap();
+            assert_eq!(p.record_size, 500);
+            // The achieved ratio matches the requested one exactly for
+            // divisors of 500 (all Fig. 6 sweep points are).
+            assert_eq!(p.record_key_ratio(), ratio);
+        }
+    }
+
+    #[test]
+    fn ratio_zero_rejected() {
+        assert!(Params::with_record_key_ratio(0).is_err());
+    }
+
+    #[test]
+    fn index_fanout_grows_with_ratio() {
+        let small = Params::with_record_key_ratio(5).unwrap();
+        let large = Params::with_record_key_ratio(100).unwrap();
+        assert!(large.index_entries_per_bucket() > small.index_entries_per_bucket());
+        assert!(small.index_entries_per_bucket() >= 2);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        let mut p = Params::paper();
+        p.record_size = 0;
+        assert!(p.validate().is_err());
+
+        let mut p = Params::paper();
+        p.key_size = 0;
+        assert!(p.validate().is_err());
+
+        let mut p = Params::paper();
+        p.key_size = 1000;
+        assert!(p.validate().is_err());
+
+        let mut p = Params::paper();
+        p.ptr_size = 0;
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,177 @@
+//! Broadcast records and datasets.
+
+use crate::error::{BdaError, Result};
+use crate::key::Key;
+
+/// One broadcast data item.
+///
+/// Mirrors the paper's `Record` testbed object: "each record has a primary
+/// key and a few attributes" (§3). The attributes are opaque 64-bit values;
+/// signature indexing superimposes a hash of *every* attribute (including
+/// the key, which is attribute 0 by convention of `bda-datagen`) into the
+/// record signature, so the attribute list is what determines false-drop
+/// behaviour.
+///
+/// The 500-byte record *payload* of Table 1 is not materialised — only its
+/// size matters to the byte-time model, and that comes from
+/// [`crate::Params::record_size`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Primary key; unique within a [`Dataset`].
+    pub key: Key,
+    /// Attribute values (signature indexing hashes each of these).
+    pub attrs: Box<[u64]>,
+}
+
+impl Record {
+    /// Build a record from a key and attribute values.
+    pub fn new(key: Key, attrs: impl Into<Box<[u64]>>) -> Self {
+        Record {
+            key,
+            attrs: attrs.into(),
+        }
+    }
+
+    /// Build a record whose only attribute is its key — the minimal shape
+    /// used by unit tests.
+    pub fn keyed(key: u64) -> Self {
+        Record::new(Key(key), vec![key])
+    }
+}
+
+/// An immutable, key-sorted collection of records — the information the
+/// server broadcasts.
+///
+/// Construction validates the two invariants every access protocol relies
+/// on: records are strictly sorted by key, and keys are unique. Index
+/// construction, hashing layout and the analytical models all assume both.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dataset {
+    records: Vec<Record>,
+}
+
+impl Dataset {
+    /// Validate and wrap a record collection. Records must already be
+    /// strictly sorted by key; duplicates are rejected.
+    pub fn new(records: Vec<Record>) -> Result<Self> {
+        if records.is_empty() {
+            return Err(BdaError::EmptyDataset);
+        }
+        for i in 1..records.len() {
+            if records[i].key < records[i - 1].key {
+                return Err(BdaError::UnsortedDataset { index: i });
+            }
+            if records[i].key == records[i - 1].key {
+                return Err(BdaError::DuplicateKey {
+                    key: records[i].key.value(),
+                });
+            }
+        }
+        Ok(Dataset { records })
+    }
+
+    /// Sort the given records by key, then validate uniqueness.
+    pub fn from_unsorted(mut records: Vec<Record>) -> Result<Self> {
+        records.sort_by_key(|r| r.key);
+        Dataset::new(records)
+    }
+
+    /// Number of records (`Nr` in the paper's notation).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// A dataset is never empty (enforced at construction); provided for
+    /// API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records in key order.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Record at position `i` in key order.
+    pub fn record(&self, i: usize) -> &Record {
+        &self.records[i]
+    }
+
+    /// Position of `key` in key order, if present.
+    pub fn find(&self, key: Key) -> Option<usize> {
+        self.records.binary_search_by_key(&key, |r| r.key).ok()
+    }
+
+    /// Whether `key` is broadcast at all — drives the paper's *data
+    /// availability* experiments (Fig. 5).
+    pub fn contains(&self, key: Key) -> bool {
+        self.find(key).is_some()
+    }
+
+    /// Smallest broadcast key.
+    pub fn min_key(&self) -> Key {
+        self.records.first().expect("dataset is non-empty").key
+    }
+
+    /// Largest broadcast key.
+    pub fn max_key(&self) -> Key {
+        self.records.last().expect("dataset is non-empty").key
+    }
+
+    /// Iterator over keys in broadcast (key) order.
+    pub fn keys(&self) -> impl Iterator<Item = Key> + '_ {
+        self.records.iter().map(|r| r.key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds(keys: &[u64]) -> Result<Dataset> {
+        Dataset::new(keys.iter().map(|&k| Record::keyed(k)).collect())
+    }
+
+    #[test]
+    fn construction_validates_invariants() {
+        assert_eq!(Dataset::new(vec![]), Err(BdaError::EmptyDataset));
+        assert_eq!(ds(&[3, 1]), Err(BdaError::UnsortedDataset { index: 1 }));
+        assert_eq!(ds(&[1, 1]), Err(BdaError::DuplicateKey { key: 1 }));
+        assert!(ds(&[1, 2, 3]).is_ok());
+    }
+
+    #[test]
+    fn from_unsorted_sorts_first() {
+        let d = Dataset::from_unsorted(vec![
+            Record::keyed(5),
+            Record::keyed(1),
+            Record::keyed(3),
+        ])
+        .unwrap();
+        let keys: Vec<u64> = d.keys().map(Key::value).collect();
+        assert_eq!(keys, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn lookup_and_bounds() {
+        let d = ds(&[10, 20, 30]).unwrap();
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert_eq!(d.find(Key(20)), Some(1));
+        assert_eq!(d.find(Key(25)), None);
+        assert!(d.contains(Key(10)));
+        assert!(!d.contains(Key(11)));
+        assert_eq!(d.min_key(), Key(10));
+        assert_eq!(d.max_key(), Key(30));
+        assert_eq!(d.record(2).key, Key(30));
+    }
+
+    #[test]
+    fn record_constructors() {
+        let r = Record::new(Key(7), vec![7, 8, 9]);
+        assert_eq!(r.attrs.len(), 3);
+        let r = Record::keyed(4);
+        assert_eq!(r.key, Key(4));
+        assert_eq!(&*r.attrs, &[4]);
+    }
+}

@@ -1,0 +1,186 @@
+//! Scheme and system traits — the uniform surface every access method
+//! exposes to the testbed and benchmark harness.
+
+use crate::channel::Channel;
+use crate::error::Result;
+use crate::errors_model::ErrorModel;
+use crate::key::Key;
+use crate::machine::{
+    run_machine, run_machine_with_errors, AccessOutcome, ProtocolMachine, Walk, WalkStep,
+};
+use crate::params::Params;
+use crate::record::Dataset;
+use crate::Ticks;
+
+/// A broadcast access method: given a dataset and sizing parameters, lay
+/// out a broadcast cycle.
+///
+/// This corresponds to the paper's testbed step "depending on which
+/// indexing scheme is selected, the `BroadcastServer` creates the
+/// corresponding `Channel` object" (§3). The returned [`System`] bundles
+/// the laid-out channel with everything needed to spawn client protocol
+/// machines.
+pub trait Scheme {
+    /// The built broadcast system this scheme produces.
+    type System: System;
+
+    /// Lay out the broadcast cycle for `dataset` under `params`.
+    fn build(&self, dataset: &Dataset, params: &Params) -> Result<Self::System>;
+}
+
+/// A fully built broadcast system: a channel plus the ability to start
+/// client queries against it.
+pub trait System: Send + Sync {
+    /// Scheme-specific bucket payload type.
+    type Payload: Send + Sync;
+    /// The client protocol machine type for this scheme.
+    type Machine: ProtocolMachine<Self::Payload> + Send;
+
+    /// Human-readable scheme name ("flat", "(1,m)", "distributed",
+    /// "hashing", "signature", …).
+    fn scheme_name(&self) -> &'static str;
+
+    /// The broadcast cycle.
+    fn channel(&self) -> &Channel<Self::Payload>;
+
+    /// Create a protocol machine that searches for `key`.
+    fn query(&self, key: Key) -> Self::Machine;
+}
+
+/// A stepping client query with type-erased internals, used by the
+/// discrete-event testbed to interleave many concurrent clients.
+///
+/// Each [`QueryRun::step`] performs exactly one protocol action (one bucket
+/// read, one doze, or completion), so the event engine can schedule the
+/// client's next wake-up faithfully.
+pub trait QueryRun {
+    /// Perform the next protocol action.
+    fn step(&mut self) -> WalkStep;
+
+    /// Absolute time the client has reached so far.
+    fn now(&self) -> Ticks;
+}
+
+impl<P, M: ProtocolMachine<P>> QueryRun for Walk<'_, P, M> {
+    fn step(&mut self) -> WalkStep {
+        Walk::step(self)
+    }
+
+    fn now(&self) -> Ticks {
+        Walk::now(self)
+    }
+}
+
+/// Object-safe view of a [`System`], so the testbed and harness can treat
+/// heterogeneous schemes uniformly (`Box<dyn DynSystem>`).
+///
+/// Every [`System`] implements this automatically (blanket impl), so
+/// `probe`/`begin` are available on concrete systems too — import this
+/// trait to use them. Keeping `probe` on exactly one trait avoids method
+/// ambiguity when both traits are in scope.
+pub trait DynSystem: Send + Sync {
+    /// Human-readable scheme name.
+    fn scheme_name(&self) -> &'static str;
+
+    /// Broadcast cycle length in bytes (`Bt`).
+    fn cycle_len(&self) -> Ticks;
+
+    /// Buckets per cycle.
+    fn num_buckets(&self) -> usize;
+
+    /// Run one complete query to completion (fast path).
+    fn probe(&self, key: Key, tune_in: Ticks) -> AccessOutcome;
+
+    /// Run one complete query over an error-prone channel (extension; see
+    /// [`ErrorModel`]).
+    fn probe_with_errors(&self, key: Key, tune_in: Ticks, errors: ErrorModel) -> AccessOutcome;
+
+    /// Start a stepping query for the event-driven testbed.
+    fn begin(&self, key: Key, tune_in: Ticks) -> Box<dyn QueryRun + '_>;
+}
+
+impl<S: System> DynSystem for S
+where
+    S::Machine: 'static,
+{
+    fn scheme_name(&self) -> &'static str {
+        System::scheme_name(self)
+    }
+
+    fn cycle_len(&self) -> Ticks {
+        self.channel().cycle_len()
+    }
+
+    fn num_buckets(&self) -> usize {
+        self.channel().num_buckets()
+    }
+
+    fn probe(&self, key: Key, tune_in: Ticks) -> AccessOutcome {
+        run_machine(self.channel(), self.query(key), tune_in)
+    }
+
+    fn probe_with_errors(&self, key: Key, tune_in: Ticks, errors: ErrorModel) -> AccessOutcome {
+        run_machine_with_errors(self.channel(), self.query(key), tune_in, errors)
+    }
+
+    fn begin(&self, key: Key, tune_in: Ticks) -> Box<dyn QueryRun + '_> {
+        Box::new(Walk::new(self.channel(), self.query(key), tune_in))
+    }
+}
+
+/// Drive a [`QueryRun`] to completion — reference implementation used by
+/// tests to check step-wise and one-shot execution agree.
+pub fn drain(run: &mut dyn QueryRun) -> AccessOutcome {
+    loop {
+        if let WalkStep::Done(out) = run.step() {
+            return out;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatScheme;
+    use crate::record::Record;
+
+    fn tiny_dataset() -> Dataset {
+        Dataset::new((0..8).map(|i| Record::keyed(i * 10)).collect()).unwrap()
+    }
+
+    #[test]
+    fn dyn_system_matches_typed_system() {
+        let ds = tiny_dataset();
+        let params = Params::paper();
+        let sys = FlatScheme.build(&ds, &params).unwrap();
+        let dynsys: &dyn DynSystem = &sys;
+
+        assert_eq!(dynsys.scheme_name(), "flat");
+        assert_eq!(dynsys.num_buckets(), 8);
+        assert_eq!(
+            dynsys.cycle_len(),
+            8 * u64::from(params.data_bucket_size())
+        );
+
+        for t in [0u64, 17, 1000, 5555] {
+            let a = run_machine(sys.channel(), sys.query(Key(30)), t);
+            let b = dynsys.probe(Key(30), t);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn stepping_run_agrees_with_one_shot_probe() {
+        let ds = tiny_dataset();
+        let sys = FlatScheme.build(&ds, &Params::paper()).unwrap();
+        let dynsys: &dyn DynSystem = &sys;
+        for key in [Key(0), Key(50), Key(55)] {
+            for t in [0u64, 123, 4096] {
+                let fast = dynsys.probe(key, t);
+                let mut run = dynsys.begin(key, t);
+                let stepped = drain(run.as_mut());
+                assert_eq!(fast, stepped);
+            }
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests for the channel substrate and walker.
+
+use bda_core::{Bucket, Channel, DynSystem, ErrorModel, FlatScheme, Key, Params, Record, Scheme};
+use proptest::prelude::*;
+
+/// Arbitrary non-empty channels with 1–64 buckets of 1–4096 bytes.
+fn arb_channel() -> impl Strategy<Value = Channel<usize>> {
+    prop::collection::vec(1u32..4096, 1..64).prop_map(|sizes| {
+        Channel::new(
+            sizes
+                .into_iter()
+                .enumerate()
+                .map(|(i, s)| Bucket::new(s, i))
+                .collect(),
+        )
+        .expect("non-empty, positive sizes")
+    })
+}
+
+proptest! {
+    /// `first_complete_at` returns a bucket boundary at or after `t`, no
+    /// further than one full cycle away, and is periodic in the cycle.
+    #[test]
+    fn first_complete_at_is_sound(ch in arb_channel(), t in 0u64..1 << 40) {
+        let (idx, start) = ch.first_complete_at(t);
+        prop_assert!(start >= t);
+        prop_assert!(start - t <= ch.cycle_len());
+        prop_assert_eq!(ch.pos(start), ch.start_of(idx));
+        // No bucket starts strictly between t and start.
+        for i in 0..ch.num_buckets() {
+            let occ = ch.occurrence_at_or_after(i, t);
+            prop_assert!(occ >= start || occ == start, "bucket {i} sneaks in");
+        }
+        // Periodicity.
+        let (idx2, start2) = ch.first_complete_at(t + ch.cycle_len());
+        prop_assert_eq!(idx, idx2);
+        prop_assert_eq!(start2 - start, ch.cycle_len());
+    }
+
+    /// `delta_from` always lands on the target bucket's start, within one
+    /// cycle.
+    #[test]
+    fn delta_from_lands_on_target(ch in arb_channel(), from in 0u64..1 << 40, which in any::<proptest::sample::Index>()) {
+        let idx = which.index(ch.num_buckets());
+        let d = ch.delta_from(from, idx);
+        prop_assert!(d < ch.cycle_len() + u64::from(ch.bucket(idx).size));
+        prop_assert_eq!(ch.pos(from + d), ch.start_of(idx));
+    }
+
+    /// Flat broadcast over arbitrary key sets: exact retrieval semantics
+    /// and the tuning == access identity, lossless and lossy.
+    #[test]
+    fn flat_protocol_is_exact(
+        keys in prop::collection::btree_set(0u64..1 << 48, 1..80),
+        t in 0u64..1 << 40,
+        probe_key in 0u64..1 << 48,
+        loss in 0.0f64..0.3,
+    ) {
+        let records: Vec<Record> = keys.iter().map(|&k| Record::keyed(k)).collect();
+        let ds = bda_core::Dataset::new(records).unwrap();
+        let sys = FlatScheme.build(&ds, &Params::paper()).unwrap();
+        let expect = keys.contains(&probe_key);
+        let out = sys.probe(Key(probe_key), t);
+        prop_assert_eq!(out.found, expect);
+        prop_assert_eq!(out.tuning, out.access, "flat never dozes");
+        prop_assert!(!out.aborted);
+        // Lossy channel: same verdict, never aborted.
+        let lossy = sys.probe_with_errors(Key(probe_key), t, ErrorModel::new(loss, 7));
+        prop_assert_eq!(lossy.found, expect);
+        prop_assert!(!lossy.aborted);
+        prop_assert!(lossy.access >= out.access || lossy.retries == 0);
+    }
+}

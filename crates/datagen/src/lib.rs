@@ -1,0 +1,32 @@
+//! # bda-datagen — deterministic data sources and workloads for the testbed
+//!
+//! The paper evaluates its indexing schemes over "a dictionary database
+//! consisting of about 35,000 records" (§4.1) with 500-byte records and
+//! 25-byte keys, querying it with requests generated from an exponential
+//! distribution. That database is not available, so this crate provides the
+//! closest synthetic equivalent (see DESIGN.md, *Substitutions*):
+//!
+//! * [`dictionary`] — a deterministic generator of pronounceable dictionary
+//!   words used as record content and attribute material;
+//! * [`records`] — [`DatasetBuilder`]: seeds → a key-sorted
+//!   [`bda_core::Dataset`] of any size with distinct pseudo-random keys;
+//! * [`workload`] — request workloads: exponential inter-arrival times
+//!   ([`Arrivals`]), uniform or Zipf key popularity, and the *data
+//!   availability* knob of Fig. 5 ([`QueryWorkload`]);
+//! * [`rng`] — a small, fully deterministic PRNG (SplitMix64-seeded
+//!   xoshiro256++) implemented from scratch so results are bit-identical
+//!   across platforms and toolchain versions.
+//!
+//! Everything is seeded; the same seed always produces the same dataset and
+//! the same request stream, which is what makes the experiment harness
+//! reproducible.
+
+pub mod dictionary;
+pub mod records;
+pub mod rng;
+pub mod workload;
+
+pub use dictionary::Dictionary;
+pub use records::DatasetBuilder;
+pub use rng::Prng;
+pub use workload::{Arrivals, Popularity, QueryWorkload};

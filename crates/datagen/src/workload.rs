@@ -1,0 +1,223 @@
+//! Request workloads: arrival processes and key-selection policies.
+
+use bda_core::{Dataset, Key, Ticks};
+
+use crate::rng::Prng;
+
+/// Key popularity model for generated queries.
+#[derive(Debug, Clone)]
+pub enum Popularity {
+    /// Every broadcast record equally likely — the paper's setting.
+    Uniform,
+    /// Zipf-distributed popularity with exponent `s` over key rank:
+    /// P(rank i) ∝ 1 / i^s. Provided for workload-sensitivity studies
+    /// beyond the paper.
+    Zipf(f64),
+}
+
+/// Generates query keys with a configurable *data availability*: the
+/// probability that a requested key is actually broadcast (Fig. 5 sweeps
+/// this from 0 % to 100 %; the baseline experiments use 100 %).
+#[derive(Debug, Clone)]
+pub struct QueryWorkload {
+    present_keys: Vec<Key>,
+    absent_keys: Vec<Key>,
+    availability: f64,
+    popularity: Popularity,
+    /// Precomputed Zipf CDF over ranks (empty for uniform popularity).
+    zipf_cdf: Vec<f64>,
+    rng: Prng,
+}
+
+impl QueryWorkload {
+    /// Build a workload over `dataset`. `absent_keys` is the pool of keys
+    /// guaranteed not to be broadcast (see
+    /// [`crate::DatasetBuilder::build_with_absent_pool`]); it may be empty
+    /// iff `availability == 1.0`.
+    pub fn new(
+        dataset: &Dataset,
+        absent_keys: Vec<Key>,
+        availability: f64,
+        popularity: Popularity,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&availability),
+            "availability must be in [0,1]"
+        );
+        assert!(
+            availability >= 1.0 || !absent_keys.is_empty(),
+            "availability < 100% requires an absent-key pool"
+        );
+        let zipf_cdf = match popularity {
+            Popularity::Uniform => Vec::new(),
+            Popularity::Zipf(s) => {
+                let mut cdf = Vec::with_capacity(dataset.len());
+                let mut acc = 0.0;
+                for i in 1..=dataset.len() {
+                    acc += 1.0 / (i as f64).powf(s);
+                    cdf.push(acc);
+                }
+                let total = acc;
+                for v in &mut cdf {
+                    *v /= total;
+                }
+                cdf
+            }
+        };
+        QueryWorkload {
+            present_keys: dataset.keys().collect(),
+            absent_keys,
+            availability,
+            popularity,
+            zipf_cdf,
+            rng: Prng::new(seed ^ 0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Convenience constructor: uniform popularity, 100 % availability.
+    pub fn uniform(dataset: &Dataset, seed: u64) -> Self {
+        QueryWorkload::new(dataset, Vec::new(), 1.0, Popularity::Uniform, seed)
+    }
+
+    /// Draw the next query key.
+    pub fn next_key(&mut self) -> Key {
+        if self.rng.chance(self.availability) {
+            match self.popularity {
+                Popularity::Uniform => *self.rng.choose(&self.present_keys),
+                Popularity::Zipf(_) => {
+                    let u = self.rng.f64();
+                    let rank = self.zipf_cdf.partition_point(|&c| c < u);
+                    self.present_keys[rank.min(self.present_keys.len() - 1)]
+                }
+            }
+        } else {
+            *self.rng.choose(&self.absent_keys)
+        }
+    }
+
+    /// The configured availability.
+    pub fn availability(&self) -> f64 {
+        self.availability
+    }
+}
+
+/// Poisson request arrival process: exponentially distributed inter-arrival
+/// times with a configurable mean, in byte-ticks (Table 1: "request
+/// interval — exponential distribution").
+#[derive(Debug, Clone)]
+pub struct Arrivals {
+    mean_interval: f64,
+    now: f64,
+    rng: Prng,
+}
+
+impl Arrivals {
+    /// Arrival process with the given mean inter-arrival time (bytes).
+    pub fn new(mean_interval: f64, seed: u64) -> Self {
+        assert!(mean_interval > 0.0);
+        Arrivals {
+            mean_interval,
+            now: 0.0,
+            rng: Prng::new(seed ^ 0x5851_F42D_4C95_7F2D),
+        }
+    }
+
+    /// Absolute time of the next request arrival.
+    pub fn next_arrival(&mut self) -> Ticks {
+        self.now += self.rng.exponential(self.mean_interval);
+        self.now as Ticks
+    }
+}
+
+impl Iterator for Arrivals {
+    type Item = Ticks;
+
+    fn next(&mut self) -> Option<Ticks> {
+        Some(self.next_arrival())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::DatasetBuilder;
+
+    fn fixtures() -> (Dataset, Vec<Key>) {
+        DatasetBuilder::new(400, 21)
+            .build_with_absent_pool(400)
+            .unwrap()
+    }
+
+    #[test]
+    fn full_availability_only_draws_present_keys() {
+        let (ds, _) = fixtures();
+        let mut w = QueryWorkload::uniform(&ds, 1);
+        for _ in 0..500 {
+            assert!(ds.contains(w.next_key()));
+        }
+    }
+
+    #[test]
+    fn zero_availability_only_draws_absent_keys() {
+        let (ds, pool) = fixtures();
+        let mut w = QueryWorkload::new(&ds, pool, 0.0, Popularity::Uniform, 2);
+        for _ in 0..500 {
+            assert!(!ds.contains(w.next_key()));
+        }
+    }
+
+    #[test]
+    fn mid_availability_mixes_at_the_right_rate() {
+        let (ds, pool) = fixtures();
+        let mut w = QueryWorkload::new(&ds, pool, 0.4, Popularity::Uniform, 3);
+        let present = (0..20_000).filter(|_| ds.contains(w.next_key())).count();
+        let rate = present as f64 / 20_000.0;
+        assert!((rate - 0.4).abs() < 0.02, "rate={rate}");
+        assert!((w.availability() - 0.4).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let (ds, _) = fixtures();
+        let mut w = QueryWorkload::new(&ds, Vec::new(), 1.0, Popularity::Zipf(1.0), 4);
+        let hot = ds.record(0).key;
+        let hot_hits = (0..20_000).filter(|_| w.next_key() == hot).count();
+        // Under uniform popularity rank 0 would get ~50 hits; Zipf(1)
+        // should give it many times that.
+        assert!(hot_hits > 500, "hot_hits={hot_hits}");
+    }
+
+    #[test]
+    #[should_panic(expected = "absent-key pool")]
+    fn partial_availability_without_pool_panics() {
+        let (ds, _) = fixtures();
+        let _ = QueryWorkload::new(&ds, Vec::new(), 0.5, Popularity::Uniform, 5);
+    }
+
+    #[test]
+    fn arrivals_are_monotone_with_correct_mean() {
+        let mut a = Arrivals::new(1000.0, 6);
+        let mut prev = 0;
+        let n = 50_000;
+        let mut last = 0;
+        for _ in 0..n {
+            let t = a.next_arrival();
+            assert!(t >= prev);
+            prev = t;
+            last = t;
+        }
+        let mean = last as f64 / n as f64;
+        assert!((mean - 1000.0).abs() < 20.0, "mean={mean}");
+    }
+
+    #[test]
+    fn arrivals_iterator_matches_method() {
+        let a = Arrivals::new(500.0, 7);
+        let b = Arrivals::new(500.0, 7);
+        let xs: Vec<Ticks> = a.take(10).collect();
+        let mut b = b;
+        let ys: Vec<Ticks> = (0..10).map(|_| b.next_arrival()).collect();
+        assert_eq!(xs, ys);
+    }
+}

@@ -1,0 +1,120 @@
+//! The hash-function family.
+//!
+//! The paper notes that "depending on how good the hashing function is,
+//! simple hashing achieves different average tuning times" (§4.2). This
+//! module provides a spectrum from a well-mixed default to deliberately
+//! clustered functions, so that sensitivity can be measured.
+
+use bda_core::Key;
+
+/// SplitMix64 finalizer — the same mixer `bda-datagen` uses, duplicated
+/// here so the hash crate stays dependency-minimal.
+#[inline]
+fn mix64(v: u64) -> u64 {
+    let mut z = v.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A hash function mapping keys to slot numbers `0..na`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HashFn {
+    /// Mix the key through SplitMix64, then reduce modulo `na`. A "good"
+    /// hash function: slot loads are essentially Poisson regardless of key
+    /// structure. The default, and what the paper's headline results use.
+    #[default]
+    Mixed,
+    /// Plain `key mod na` — the textbook choice. Good when keys are already
+    /// well spread (as `bda-datagen` keys are), degenerate when they are
+    /// structured.
+    Modulo,
+    /// A deliberately poor function: only every `factor`-th slot can be
+    /// hit, so chains average `factor` records and tuning time grows
+    /// accordingly. `factor = 1` degenerates to [`HashFn::Mixed`].
+    Clustered {
+        /// Collision multiplier (≥ 1).
+        factor: u32,
+    },
+}
+
+impl HashFn {
+    /// Slot number of `key` among `na` slots (`na ≥ 1`).
+    pub fn slot(&self, key: Key, na: u64) -> u64 {
+        debug_assert!(na >= 1);
+        match *self {
+            HashFn::Mixed => mix64(key.value()) % na,
+            HashFn::Modulo => key.value() % na,
+            HashFn::Clustered { factor } => {
+                let f = u64::from(factor.max(1));
+                let eff = (na / f).max(1);
+                (mix64(key.value()) % eff) * f.min(na)
+            }
+        }
+    }
+
+    /// Short display label.
+    pub fn label(&self) -> String {
+        match *self {
+            HashFn::Mixed => "mixed".into(),
+            HashFn::Modulo => "modulo".into(),
+            HashFn::Clustered { factor } => format!("clustered×{factor}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_are_in_range() {
+        for f in [HashFn::Mixed, HashFn::Modulo, HashFn::Clustered { factor: 4 }] {
+            for k in 0..1000u64 {
+                assert!(f.slot(Key(k.wrapping_mul(0x12345)), 97) < 97);
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_spreads_sequential_keys() {
+        let na = 100u64;
+        let mut counts = vec![0u32; na as usize];
+        for k in 0..10_000u64 {
+            counts[HashFn::Mixed.slot(Key(k), na) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max < 150 && min > 60, "min={min} max={max}");
+    }
+
+    #[test]
+    fn modulo_keeps_structure() {
+        // Sequential even keys with even na: only even slots hit — the
+        // classic failure a "good" hash avoids.
+        let na = 10u64;
+        let hit: std::collections::HashSet<u64> =
+            (0..100u64).map(|k| HashFn::Modulo.slot(Key(k * 2), na)).collect();
+        assert!(hit.iter().all(|s| s % 2 == 0));
+    }
+
+    #[test]
+    fn clustered_hits_fewer_slots() {
+        let na = 100u64;
+        let hit: std::collections::HashSet<u64> = (0..5_000u64)
+            .map(|k| HashFn::Clustered { factor: 5 }.slot(Key(mix_for_test(k)), na))
+            .collect();
+        assert!(hit.len() <= 20, "only every 5th slot reachable, got {}", hit.len());
+    }
+
+    fn mix_for_test(v: u64) -> u64 {
+        v.wrapping_mul(0x9E3779B97F4A7C15) ^ (v << 7)
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(HashFn::Mixed.label(), "mixed");
+        assert_eq!(HashFn::Modulo.label(), "modulo");
+        assert_eq!(HashFn::Clustered { factor: 3 }.label(), "clustered×3");
+    }
+}

@@ -1,0 +1,29 @@
+//! # bda-hash — the simple hashing broadcast access scheme
+//!
+//! Implements the hashing scheme of Imielinski, Viswanathan & Badrinath
+//! (*Power efficient filtering of data on air*, EDBT 1994), as evaluated in
+//! §2.2 of the paper. There are no separate index buckets: every data
+//! bucket's *control part* carries the hashing parameters —
+//!
+//! * a **shift value** in each of the first `Na` (initially allocated)
+//!   buckets, pointing at the bucket where the records with that position's
+//!   hash value actually start (collisions displace chains rightward);
+//! * an **offset to the beginning of the next broadcast** in the remaining
+//!   (overflow) buckets.
+//!
+//! The client protocol (§2.2) hashes the key, dozes to the *hashing
+//! position*, follows the shift value to the *shift position*, then scans
+//! the collision chain. Tuning time is therefore a small constant plus the
+//! average overflow-chain length — the best of all schemes — while access
+//! time is the worst, because empty slots and displaced chains inflate the
+//! cycle and a missed position costs a full extra cycle.
+//!
+//! The [`hash_fn::HashFn`] family includes deliberately poor functions so
+//! the paper's remark that tuning time depends on "how good the hashing
+//! function is" can be reproduced (`ablation_hash_quality` bench).
+
+pub mod hash_fn;
+pub mod scheme;
+
+pub use hash_fn::HashFn;
+pub use scheme::{HashEntry, HashMachine, HashPayload, HashScheme, HashSystem};

@@ -1,0 +1,100 @@
+//! Property tests for the hashing layout and protocol against a reference
+//! model.
+
+use bda_core::{Dataset, DynSystem, Key, Params, Record, Scheme, System};
+use bda_hash::{HashFn, HashScheme};
+use proptest::prelude::*;
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    prop::collection::btree_set(0u64..1 << 48, 1..300)
+        .prop_map(|keys| Dataset::new(keys.into_iter().map(Record::keyed).collect()).unwrap())
+}
+
+fn arb_hash() -> impl Strategy<Value = HashFn> {
+    prop_oneof![
+        Just(HashFn::Mixed),
+        Just(HashFn::Modulo),
+        (2u32..16).prop_map(|factor| HashFn::Clustered { factor }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Layout: chains are contiguous runs of equal hash values in
+    /// non-decreasing order; shift values point at the first bucket of the
+    /// slot's chain; the paper's `N = Na + Nc` identity holds.
+    #[test]
+    fn layout_reference_model(ds in arb_dataset(), hash in arb_hash(), load in 2u32..=10) {
+        let scheme = HashScheme::new()
+            .with_hash(hash)
+            .with_load_factor(f64::from(load) / 5.0);
+        let sys = scheme.build(&ds, &Params::paper()).unwrap();
+        let ch = System::channel(&sys);
+
+        prop_assert_eq!(ch.num_buckets(), sys.na() as usize + sys.num_collisions());
+        prop_assert_eq!(ch.num_buckets(), ds.len() + sys.num_empty());
+
+        // Record hash values are non-decreasing across the cycle.
+        let mut last = 0u64;
+        let mut seen = 0usize;
+        for b in ch.buckets() {
+            if let Some(e) = &b.payload.entry {
+                prop_assert!(e.hash >= last);
+                prop_assert_eq!(e.hash, sys.hash_fn().slot(e.key, sys.na()));
+                last = e.hash;
+                seen += 1;
+            }
+        }
+        prop_assert_eq!(seen, ds.len(), "every record on air exactly once");
+
+        // Shift targets: position phys+shift holds the first record of
+        // chain `phys` (or a non-matching/empty bucket iff the chain is
+        // empty).
+        for b in ch.buckets() {
+            let p = &b.payload;
+            if let Some(shift) = p.shift_buckets {
+                let tgt = &ch.bucket((p.phys + shift) as usize).payload;
+                let chain_exists = ds
+                    .records()
+                    .iter()
+                    .any(|r| sys.hash_fn().slot(r.key, sys.na()) == u64::from(p.phys));
+                match (&tgt.entry, chain_exists) {
+                    (Some(e), true) => {
+                        prop_assert_eq!(e.hash, u64::from(p.phys), "chain head");
+                        if shift > 0 {
+                            let prev = &ch.bucket((p.phys + shift - 1) as usize).payload;
+                            if let Some(pe) = &prev.entry {
+                                prop_assert!(pe.hash < e.hash, "chain start boundary");
+                            }
+                        }
+                    }
+                    (_, false) => { /* empty chain: any terminator is fine */ }
+                    (None, true) => prop_assert!(false, "chain head missing"),
+                }
+            }
+        }
+    }
+
+    /// Protocol: exact retrieval for arbitrary keys, hash functions, load
+    /// factors and tune-ins.
+    #[test]
+    fn protocol_is_exact(
+        ds in arb_dataset(),
+        hash in arb_hash(),
+        t in 0u64..1 << 40,
+        probe_key in 0u64..1 << 48,
+        idx in any::<proptest::sample::Index>(),
+    ) {
+        let sys = HashScheme::new().with_hash(hash).build(&ds, &Params::paper()).unwrap();
+        // A present key.
+        let key = ds.record(idx.index(ds.len())).key;
+        let out = sys.probe(key, t);
+        prop_assert!(out.found && !out.aborted);
+        prop_assert!(out.tuning <= out.access);
+        // An arbitrary key: found iff broadcast.
+        let out = sys.probe(Key(probe_key), t);
+        prop_assert_eq!(out.found, ds.contains(Key(probe_key)));
+        prop_assert!(!out.aborted);
+    }
+}

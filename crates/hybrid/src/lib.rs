@@ -1,0 +1,37 @@
+//! # bda-hybrid — index tree + signatures on one broadcast
+//!
+//! The paper's §1 points at hybrid schemes "taking advantages of both index
+//! tree and signature indexing techniques" (its references \[3\] and \[4\], Hu,
+//! Lee & Lee, CIKM'99 / ICDE'00). This crate implements that combination on
+//! top of the workspace's substrates:
+//!
+//! * the broadcast carries a **distributed B+-tree index** over the primary
+//!   key (replicated upper levels, control indexes — exactly
+//!   `bda-btree`'s layout), so *key lookups* pay only `O(k)` probes;
+//! * every data bucket is preceded by its **record signature**
+//!   (`bda-signature`'s superimposed coding), so *multi-attribute queries*
+//!   can filter the data segments without understanding the tree — and key
+//!   clients doze over the signature buckets entirely.
+//!
+//! The price is a cycle longer by one signature bucket per record (worse
+//! access time than pure distributed indexing) in exchange for attribute
+//! queries that pure B+-tree schemes cannot answer at all, at tuning cost
+//! close to the pure signature scheme's. The `ext_hybrid` bench quantifies
+//! both sides.
+//!
+//! Two client machines share the channel:
+//!
+//! * [`HybridKeyMachine`] — the distributed-indexing access protocol
+//!   (delegates to [`bda_btree::BTreeMachine`]); leaf index entries point
+//!   *past* the signature straight at the data bucket;
+//! * [`HybridAttrMachine`] — the signature scan: read each record
+//!   signature, doze over the data bucket unless it matches, and skip
+//!   index segments wholesale via next-signature pointers.
+
+pub mod machines;
+pub mod payload;
+pub mod scheme;
+
+pub use machines::{HybridAttrMachine, HybridKeyMachine};
+pub use payload::HybridPayload;
+pub use scheme::{HybridScheme, HybridSystem};

@@ -1,0 +1,36 @@
+//! # bda-signature — signature indexing for broadcast channels
+//!
+//! Implements the signature-based filtering schemes of Lee & Lee (*Using
+//! signature techniques for information filtering in wireless and mobile
+//! environments*, 1996), of which the paper evaluates the **simple
+//! signature** scheme (§2.3): every data bucket's broadcast is preceded by
+//! a small *signature bucket* holding a superimposed code of the record —
+//! each attribute is hashed to a sparse random bit string and the strings
+//! are OR-ed together. A client matches the query signature against each
+//! record signature ( `rec & query == query` ) and downloads only data
+//! buckets whose signature matches; *false drops* occur when the
+//! superimposed code matches but the record does not.
+//!
+//! Because the only per-record overhead is the tiny signature, the cycle —
+//! and hence access time — is barely longer than flat broadcast (best of
+//! all indexing schemes), while tuning time is linear in the number of
+//! records (the client examines every signature) plus the false-drop cost:
+//! the two tradeoffs the paper analyses (signature length vs. tuning time,
+//! access vs. tuning).
+//!
+//! The other two schemes of Lee & Lee are implemented as extensions:
+//!
+//! * [`integrated::IntegratedSignatureScheme`] — one signature summarizes a
+//!   *frame* of consecutive records; a non-matching frame is skipped whole.
+//! * [`multilevel::MultiLevelSignatureScheme`] — integrated signatures over
+//!   frames **plus** simple signatures per record.
+
+pub mod integrated;
+pub mod multilevel;
+pub mod sig;
+pub mod simple;
+
+pub use integrated::{IntegratedSignatureScheme, IntegratedSystem};
+pub use multilevel::{MultiLevelSignatureScheme, MultiLevelSystem};
+pub use sig::{SigParams, Signature};
+pub use simple::{QueryTarget, SigPayload, SimpleSignatureScheme, SimpleSignatureSystem};

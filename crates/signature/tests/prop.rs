@@ -1,0 +1,107 @@
+//! Property tests for superimposed coding and the three signature schemes.
+
+use bda_core::{Dataset, DynSystem, Key, Params, Record, Scheme};
+use bda_signature::{
+    IntegratedSignatureScheme, MultiLevelSignatureScheme, SigParams, SimpleSignatureScheme,
+};
+use proptest::prelude::*;
+
+fn arb_records() -> impl Strategy<Value = Dataset> {
+    prop::collection::btree_map(0u64..1 << 48, prop::collection::vec(any::<u64>(), 0..5), 1..120)
+        .prop_map(|m| {
+            Dataset::new(
+                m.into_iter()
+                    .map(|(k, attrs)| Record::new(Key(k), attrs))
+                    .collect(),
+            )
+            .unwrap()
+        })
+}
+
+fn arb_sig() -> impl Strategy<Value = SigParams> {
+    (1u32..48, 1u32..8).prop_map(|(sig_bytes, bits_per_attr)| SigParams {
+        sig_bytes,
+        bits_per_attr,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Superimposition is monotone: a signature always matches any subset
+    /// of the strings it superimposes — hence no false negatives ever.
+    #[test]
+    fn superimposition_is_monotone(values in prop::collection::vec(any::<u64>(), 1..10), sig in arb_sig()) {
+        let mut combined = sig.attr_signature(values[0]);
+        for &v in &values[1..] {
+            combined.superimpose(&sig.attr_signature(v));
+        }
+        for &v in &values {
+            prop_assert!(combined.matches(&sig.attr_signature(v)));
+        }
+        // Weight is bounded by the sum of the parts.
+        prop_assert!(combined.weight() <= values.len() as u32 * sig.bits_per_attr.min(sig.bits()));
+    }
+
+    /// All three schemes are exact for key queries, under arbitrary
+    /// signature geometry (tiny signatures only cost false drops).
+    #[test]
+    fn schemes_are_exact(
+        ds in arb_records(),
+        sig in arb_sig(),
+        group in 1u32..12,
+        t in 0u64..1 << 40,
+        idx in any::<proptest::sample::Index>(),
+        probe_key in 0u64..1 << 48,
+    ) {
+        let params = Params::paper();
+        let systems: Vec<Box<dyn DynSystem>> = vec![
+            Box::new(SimpleSignatureScheme::with_params(sig).build(&ds, &params).unwrap()),
+            Box::new(IntegratedSignatureScheme::new(group).with_params(sig).build(&ds, &params).unwrap()),
+            Box::new(MultiLevelSignatureScheme::new(group).with_params(sig).build(&ds, &params).unwrap()),
+        ];
+        let present = ds.record(idx.index(ds.len())).key;
+        for sys in &systems {
+            let hit = sys.probe(present, t);
+            prop_assert!(hit.found, "{} missed {present}", sys.scheme_name());
+            prop_assert!(!hit.aborted);
+            let out = sys.probe(Key(probe_key), t);
+            prop_assert_eq!(out.found, ds.contains(Key(probe_key)), "{}", sys.scheme_name());
+            prop_assert!(!out.aborted);
+        }
+    }
+
+    /// Attribute queries on the simple scheme: found iff some record
+    /// carries the value (as key or attribute).
+    #[test]
+    fn attribute_queries_are_exact(
+        ds in arb_records(),
+        sig in arb_sig(),
+        t in 0u64..1 << 40,
+        idx in any::<proptest::sample::Index>(),
+        phantom in any::<u64>(),
+    ) {
+        let params = Params::paper();
+        let sys = SimpleSignatureScheme::with_params(sig).build(&ds, &params).unwrap();
+        let run = |value: u64| {
+            bda_core::machine::run_machine(
+                bda_core::System::channel(&sys),
+                sys.attr_query(value),
+                t,
+            )
+        };
+        let rec = ds.record(idx.index(ds.len()));
+        for &attr in rec.attrs.iter().chain([rec.key.value()].iter()) {
+            let out = run(attr);
+            prop_assert!(out.found, "attribute {attr} not found");
+            prop_assert!(!out.aborted);
+        }
+        let present = ds
+            .records()
+            .iter()
+            .any(|r| r.key.value() == phantom || r.attrs.contains(&phantom));
+        let out = run(phantom);
+        prop_assert_eq!(out.found, present);
+        prop_assert!(!out.aborted);
+    }
+}

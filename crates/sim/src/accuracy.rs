@@ -1,0 +1,117 @@
+//! The accuracy controller (paper §3, `AccuracyController`).
+//!
+//! "To ensure the accuracy of our simulation … users can specify the
+//! accuracy expectation for the simulation. The simulation process will not
+//! terminate unless the expected accuracy is achieved." The accuracy of a
+//! metric is defined (footnote 1) as `H/Ȳ`, where `H` is the Student-t
+//! confidence-interval half-width at the chosen confidence level.
+
+use crate::stats::Welford;
+
+/// Decides when the simulation may stop.
+#[derive(Debug, Clone, Copy)]
+pub struct AccuracyController {
+    /// Confidence level (Table 1: 0.99).
+    pub confidence: f64,
+    /// Required relative accuracy `H/Ȳ` (Table 1: 0.01).
+    pub accuracy: f64,
+    /// Never stop before this many samples, regardless of accuracy (guards
+    /// against spuriously tight early estimates).
+    pub min_samples: u64,
+}
+
+impl AccuracyController {
+    /// Controller with the paper's Table-1 settings.
+    pub fn paper() -> Self {
+        AccuracyController {
+            confidence: 0.99,
+            accuracy: 0.01,
+            min_samples: 2_000,
+        }
+    }
+
+    /// A looser controller for fast tests and examples.
+    pub fn quick() -> Self {
+        AccuracyController {
+            confidence: 0.95,
+            accuracy: 0.05,
+            min_samples: 200,
+        }
+    }
+
+    /// Whether a single metric has reached the requested accuracy.
+    pub fn metric_satisfied(&self, w: &Welford) -> bool {
+        w.count() >= self.min_samples.max(2)
+            && w.summary(self.confidence).accuracy() <= self.accuracy
+    }
+
+    /// Whether the simulation may stop: every tracked metric must have
+    /// converged.
+    pub fn satisfied(&self, metrics: &[&Welford]) -> bool {
+        metrics.iter().all(|w| self.metric_satisfied(w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requires_minimum_samples() {
+        let ctl = AccuracyController {
+            confidence: 0.95,
+            accuracy: 0.5,
+            min_samples: 100,
+        };
+        let mut w = Welford::new();
+        for _ in 0..50 {
+            w.push(10.0);
+        }
+        assert!(!ctl.metric_satisfied(&w), "below min_samples");
+        for _ in 0..50 {
+            w.push(10.0);
+        }
+        assert!(ctl.metric_satisfied(&w), "constant data is fully accurate");
+    }
+
+    #[test]
+    fn noisy_data_needs_more_samples() {
+        let ctl = AccuracyController {
+            confidence: 0.99,
+            accuracy: 0.01,
+            min_samples: 10,
+        };
+        let mut w = Welford::new();
+        // Alternating 0/200: huge relative spread.
+        for i in 0..100 {
+            w.push(if i % 2 == 0 { 0.0 } else { 200.0 });
+        }
+        assert!(!ctl.metric_satisfied(&w));
+        for i in 0..1_000_000 {
+            w.push(if i % 2 == 0 { 0.0 } else { 200.0 });
+        }
+        assert!(ctl.metric_satisfied(&w), "eventually converges");
+    }
+
+    #[test]
+    fn all_metrics_must_converge() {
+        let ctl = AccuracyController::quick();
+        let mut tight = Welford::new();
+        let mut loose = Welford::new();
+        for i in 0..500 {
+            tight.push(100.0);
+            loose.push(if i % 2 == 0 { 1.0 } else { 1000.0 });
+        }
+        assert!(ctl.metric_satisfied(&tight));
+        assert!(!ctl.metric_satisfied(&loose));
+        assert!(!ctl.satisfied(&[&tight, &loose]));
+        assert!(ctl.satisfied(&[&tight]));
+    }
+
+    #[test]
+    fn paper_settings_match_table1() {
+        let p = AccuracyController::paper();
+        assert_eq!(p.confidence, 0.99);
+        assert_eq!(p.accuracy, 0.01);
+    }
+}

@@ -1,0 +1,70 @@
+//! The request generator (paper §3, `RequestGenerator`).
+
+use bda_core::{Key, Ticks};
+use bda_datagen::{Arrivals, QueryWorkload};
+
+/// Generates timed requests: exponential inter-arrival times (Table 1)
+/// paired with keys drawn from a [`QueryWorkload`] (popularity and data
+/// availability).
+#[derive(Debug, Clone)]
+pub struct RequestGenerator {
+    arrivals: Arrivals,
+    workload: QueryWorkload,
+}
+
+impl RequestGenerator {
+    /// Combine an arrival process with a key workload.
+    pub fn new(arrivals: Arrivals, workload: QueryWorkload) -> Self {
+        RequestGenerator { arrivals, workload }
+    }
+
+    /// Next request as an `(arrival time, key)` pair.
+    pub fn next_request(&mut self) -> (Ticks, Key) {
+        (self.arrivals.next_arrival(), self.workload.next_key())
+    }
+
+    /// Generate one round of `n` requests (paper: 500 per round).
+    pub fn round(&mut self, n: usize) -> Vec<(Ticks, Key)> {
+        (0..n).map(|_| self.next_request()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bda_core::Dataset;
+    use bda_datagen::DatasetBuilder;
+
+    fn fixtures() -> Dataset {
+        DatasetBuilder::new(100, 5).build().unwrap()
+    }
+
+    #[test]
+    fn rounds_have_monotone_arrivals_and_valid_keys() {
+        let ds = fixtures();
+        let mut generator = RequestGenerator::new(
+            Arrivals::new(800.0, 1),
+            QueryWorkload::uniform(&ds, 2),
+        );
+        let round = generator.round(500);
+        assert_eq!(round.len(), 500);
+        for w in round.windows(2) {
+            assert!(w[0].0 <= w[1].0, "arrivals are monotone");
+        }
+        for (_, k) in &round {
+            assert!(ds.contains(*k));
+        }
+    }
+
+    #[test]
+    fn successive_rounds_continue_the_clock() {
+        let ds = fixtures();
+        let mut generator = RequestGenerator::new(
+            Arrivals::new(100.0, 3),
+            QueryWorkload::uniform(&ds, 4),
+        );
+        let r1 = generator.round(100);
+        let r2 = generator.round(100);
+        assert!(r1.last().unwrap().0 <= r2.first().unwrap().0);
+    }
+}

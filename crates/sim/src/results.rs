@@ -1,0 +1,138 @@
+//! The result handler (paper §3, `ResultHandler`).
+
+use crate::engine::CompletedRequest;
+use crate::histogram::Histogram;
+use crate::stats::Welford;
+
+/// Accumulates per-request outcomes into the two evaluation metrics —
+/// access time and tuning time — plus bookkeeping counters.
+#[derive(Debug, Clone, Default)]
+pub struct ResultHandler {
+    access: Welford,
+    tuning: Welford,
+    access_hist: Histogram,
+    found: u64,
+    not_found: u64,
+    false_drops: u64,
+    aborted: u64,
+    probes: u64,
+    retries: u64,
+}
+
+impl ResultHandler {
+    /// Empty handler.
+    pub fn new() -> Self {
+        ResultHandler::default()
+    }
+
+    /// Record one completed request.
+    pub fn record(&mut self, r: &CompletedRequest) {
+        let o = &r.outcome;
+        self.access.push(o.access as f64);
+        self.tuning.push(o.tuning as f64);
+        self.access_hist.record(o.access);
+        if o.found {
+            self.found += 1;
+        } else {
+            self.not_found += 1;
+        }
+        self.false_drops += u64::from(o.false_drops);
+        self.probes += u64::from(o.probes);
+        self.retries += u64::from(o.retries);
+        self.aborted += u64::from(o.aborted);
+    }
+
+    /// Record a whole batch.
+    pub fn record_all(&mut self, rs: &[CompletedRequest]) {
+        for r in rs {
+            self.record(r);
+        }
+    }
+
+    /// Access-time accumulator.
+    pub fn access(&self) -> &Welford {
+        &self.access
+    }
+
+    /// Tuning-time accumulator.
+    pub fn tuning(&self) -> &Welford {
+        &self.tuning
+    }
+
+    /// Requests that found their record.
+    pub fn found(&self) -> u64 {
+        self.found
+    }
+
+    /// Requests whose key was not broadcast.
+    pub fn not_found(&self) -> u64 {
+        self.not_found
+    }
+
+    /// Total requests recorded.
+    pub fn total(&self) -> u64 {
+        self.found + self.not_found
+    }
+
+    /// Total false drops across all requests.
+    pub fn false_drops(&self) -> u64 {
+        self.false_drops
+    }
+
+    /// Total bucket probes across all requests.
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Requests aborted by the walker (always 0 for correct protocols).
+    pub fn aborted(&self) -> u64 {
+        self.aborted
+    }
+
+    /// Corrupted-read recoveries across all requests (error-prone
+    /// channels).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Access-time distribution (log-bucketed; p50/p95/p99 etc.).
+    pub fn access_histogram(&self) -> &Histogram {
+        &self.access_hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bda_core::{AccessOutcome, Key};
+
+    fn req(access: u64, tuning: u64, found: bool) -> CompletedRequest {
+        CompletedRequest {
+            arrival: 0,
+            key: Key(1),
+            outcome: AccessOutcome {
+                found,
+                access,
+                tuning,
+                probes: 3,
+                false_drops: u32::from(!found),
+                retries: 0,
+                aborted: false,
+            },
+        }
+    }
+
+    #[test]
+    fn accumulates_both_metrics_and_counters() {
+        let mut h = ResultHandler::new();
+        h.record_all(&[req(100, 10, true), req(300, 30, false)]);
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.found(), 1);
+        assert_eq!(h.not_found(), 1);
+        assert_eq!(h.false_drops(), 1);
+        assert_eq!(h.probes(), 6);
+        assert_eq!(h.aborted(), 0);
+        assert!((h.access().mean() - 200.0).abs() < 1e-12);
+        assert!((h.tuning().mean() - 20.0).abs() < 1e-12);
+    }
+}

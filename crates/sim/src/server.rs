@@ -1,0 +1,74 @@
+//! The broadcast server (paper §3, `BroadcastServer`).
+
+use bda_core::{DynSystem, Ticks};
+
+/// Wraps a built broadcast system and answers channel-timing questions —
+/// "a process to broadcast data continuously". The channel itself is
+/// deterministic (the cycle repeats forever), so the server's job is
+/// bookkeeping: cycle geometry and how much has been broadcast by a given
+/// instant.
+#[derive(Clone, Copy)]
+pub struct BroadcastServer<'a> {
+    system: &'a dyn DynSystem,
+}
+
+impl<'a> BroadcastServer<'a> {
+    /// Serve the given broadcast system.
+    pub fn new(system: &'a dyn DynSystem) -> Self {
+        BroadcastServer { system }
+    }
+
+    /// The system being broadcast.
+    pub fn system(&self) -> &'a dyn DynSystem {
+        self.system
+    }
+
+    /// Broadcast-cycle length in bytes (`Bt`).
+    pub fn cycle_len(&self) -> Ticks {
+        self.system.cycle_len()
+    }
+
+    /// Buckets per cycle.
+    pub fn buckets_per_cycle(&self) -> usize {
+        self.system.num_buckets()
+    }
+
+    /// Number of complete cycles broadcast by absolute time `t`.
+    pub fn cycles_completed(&self, t: Ticks) -> u64 {
+        t / self.cycle_len()
+    }
+
+    /// Position within the current cycle at absolute time `t`.
+    pub fn cycle_position(&self, t: Ticks) -> Ticks {
+        t % self.cycle_len()
+    }
+}
+
+impl std::fmt::Debug for BroadcastServer<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BroadcastServer")
+            .field("scheme", &self.system.scheme_name())
+            .field("cycle_len", &self.cycle_len())
+            .field("buckets", &self.buckets_per_cycle())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bda_core::{Dataset, FlatScheme, Params, Record, Scheme};
+
+    #[test]
+    fn server_reports_channel_geometry() {
+        let ds = Dataset::new((0..10).map(Record::keyed).collect()).unwrap();
+        let sys = FlatScheme.build(&ds, &Params::paper()).unwrap();
+        let server = BroadcastServer::new(&sys);
+        let dt = u64::from(Params::paper().data_bucket_size());
+        assert_eq!(server.cycle_len(), 10 * dt);
+        assert_eq!(server.buckets_per_cycle(), 10);
+        assert_eq!(server.cycles_completed(25 * dt), 2);
+        assert_eq!(server.cycle_position(25 * dt), 5 * dt);
+        assert!(format!("{server:?}").contains("flat"));
+    }
+}

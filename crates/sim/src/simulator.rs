@@ -1,0 +1,289 @@
+//! The simulation coordinator (paper §3, `Simulator`).
+//!
+//! Ties the testbed together exactly as the paper's procedure describes:
+//! initialization (data source → scheme-specific channel), start
+//! (broadcast server + request generator), simulation rounds (500 requests
+//! each, results checked against the accuracy controller after every
+//! round), and end (result extraction).
+
+use bda_core::{DynSystem, Ticks};
+use bda_datagen::{Arrivals, Popularity, QueryWorkload};
+
+use crate::accuracy::AccuracyController;
+use crate::engine::run_requests;
+use crate::histogram::Histogram;
+use crate::reqgen::RequestGenerator;
+use crate::results::ResultHandler;
+use crate::stats::Summary;
+
+/// Simulation settings — the knobs of Table 1.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Confidence level for termination (Table 1: 0.99).
+    pub confidence: f64,
+    /// Required relative accuracy `H/Ȳ` (Table 1: 0.01).
+    pub accuracy: f64,
+    /// Requests per simulation round (paper: 500).
+    pub round_requests: usize,
+    /// Do not stop before this many rounds.
+    pub min_rounds: usize,
+    /// Hard cap on rounds (safety; the paper reports >100 rounds typical).
+    pub max_rounds: usize,
+    /// Mean request inter-arrival time in bytes (exponential distribution).
+    pub mean_interarrival: f64,
+    /// Seed for the request stream.
+    pub seed: u64,
+    /// Execute rounds through the discrete-event engine (`true`, the
+    /// faithful testbed) or via the direct walker (`false`, identical
+    /// results — see the `drivers_equiv` integration test — but much less
+    /// scheduling overhead; what the sweep harness uses).
+    pub event_driven: bool,
+}
+
+impl SimConfig {
+    /// The paper's Table-1 settings.
+    pub fn paper() -> Self {
+        SimConfig {
+            confidence: 0.99,
+            accuracy: 0.01,
+            round_requests: 500,
+            min_rounds: 4,
+            max_rounds: 2_000,
+            mean_interarrival: 10_000.0,
+            seed: 0x0EDB_2002,
+            event_driven: true,
+        }
+    }
+
+    /// Looser settings for fast tests and examples (95 % / 5 %).
+    pub fn quick() -> Self {
+        SimConfig {
+            confidence: 0.95,
+            accuracy: 0.05,
+            round_requests: 200,
+            min_rounds: 2,
+            max_rounds: 200,
+            ..SimConfig::paper()
+        }
+    }
+
+    fn controller(&self) -> AccuracyController {
+        AccuracyController {
+            confidence: self.confidence,
+            accuracy: self.accuracy,
+            min_samples: (self.round_requests * self.min_rounds) as u64,
+        }
+    }
+}
+
+/// Everything a finished simulation reports.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Scheme under test.
+    pub scheme: &'static str,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Total requests simulated.
+    pub requests: u64,
+    /// Access-time summary (bytes).
+    pub access: Summary,
+    /// Tuning-time summary (bytes).
+    pub tuning: Summary,
+    /// Requests that found their record.
+    pub found: u64,
+    /// Requests whose key was not broadcast.
+    pub not_found: u64,
+    /// Total false drops.
+    pub false_drops: u64,
+    /// Walker-aborted requests — nonzero values indicate a protocol bug.
+    pub aborted: u64,
+    /// Whether the accuracy targets were met (false only if `max_rounds`
+    /// was exhausted first).
+    pub converged: bool,
+    /// Broadcast cycle length of the system under test.
+    pub cycle_len: Ticks,
+    /// Access-time distribution (log-bucketed histogram).
+    pub access_hist: Histogram,
+}
+
+impl SimReport {
+    /// Mean access time in bytes (`At`).
+    pub fn mean_access(&self) -> f64 {
+        self.access.mean
+    }
+
+    /// Mean tuning time in bytes (`Tt`).
+    pub fn mean_tuning(&self) -> f64 {
+        self.tuning.mean
+    }
+
+    /// Access-time quantile (e.g. `0.95` for p95), in bytes.
+    pub fn access_quantile(&self, q: f64) -> Ticks {
+        self.access_hist.quantile(q)
+    }
+}
+
+/// The coordinator: runs rounds of requests through the event engine until
+/// the accuracy controller is satisfied.
+///
+/// ```
+/// use bda_core::{FlatScheme, Params, Scheme};
+/// use bda_datagen::DatasetBuilder;
+/// use bda_sim::{SimConfig, Simulator};
+///
+/// let dataset = DatasetBuilder::new(100, 1).build().unwrap();
+/// let system = FlatScheme.build(&dataset, &Params::paper()).unwrap();
+/// let report = Simulator::uniform(&system, &dataset, SimConfig::quick()).run();
+/// assert!(report.converged);
+/// assert_eq!(report.aborted, 0);
+/// // Flat broadcast: expected access ≈ half the cycle, tuning = access.
+/// let half = report.cycle_len as f64 / 2.0;
+/// assert!((report.mean_access() / half - 1.0).abs() < 0.2);
+/// ```
+pub struct Simulator<'a> {
+    system: &'a dyn DynSystem,
+    generator: RequestGenerator,
+    config: SimConfig,
+}
+
+impl<'a> Simulator<'a> {
+    /// Simulate `system` under the given workload and settings.
+    pub fn new(system: &'a dyn DynSystem, workload: QueryWorkload, config: SimConfig) -> Self {
+        let arrivals = Arrivals::new(config.mean_interarrival, config.seed);
+        Simulator {
+            system,
+            generator: RequestGenerator::new(arrivals, workload),
+            config,
+        }
+    }
+
+    /// Convenience constructor: uniform popularity over the whole dataset,
+    /// 100 % availability (the paper's §4 baseline).
+    pub fn uniform(
+        system: &'a dyn DynSystem,
+        dataset: &bda_core::Dataset,
+        config: SimConfig,
+    ) -> Self {
+        let workload = QueryWorkload::new(
+            dataset,
+            Vec::new(),
+            1.0,
+            Popularity::Uniform,
+            config.seed ^ 0xABCD,
+        );
+        Simulator::new(system, workload, config)
+    }
+
+    /// Run until the accuracy targets are met (or `max_rounds` elapse).
+    pub fn run(&mut self) -> SimReport {
+        let controller = self.config.controller();
+        let mut handler = ResultHandler::new();
+        let mut rounds = 0;
+        let mut converged = false;
+        while rounds < self.config.max_rounds {
+            let batch = self.generator.round(self.config.round_requests);
+            let completed = if self.config.event_driven {
+                run_requests(self.system, &batch)
+            } else {
+                batch
+                    .iter()
+                    .map(|&(arrival, key)| crate::engine::CompletedRequest {
+                        arrival,
+                        key,
+                        outcome: self.system.probe(key, arrival),
+                    })
+                    .collect()
+            };
+            handler.record_all(&completed);
+            rounds += 1;
+            if rounds >= self.config.min_rounds
+                && controller.satisfied(&[handler.access(), handler.tuning()])
+            {
+                converged = true;
+                break;
+            }
+        }
+        SimReport {
+            scheme: self.system.scheme_name(),
+            rounds,
+            requests: handler.total(),
+            access: handler.access().summary(self.config.confidence),
+            tuning: handler.tuning().summary(self.config.confidence),
+            found: handler.found(),
+            not_found: handler.not_found(),
+            false_drops: handler.false_drops(),
+            aborted: handler.aborted(),
+            converged,
+            cycle_len: self.system.cycle_len(),
+            access_hist: handler.access_histogram().clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bda_core::{FlatScheme, Params, Scheme};
+    use bda_datagen::DatasetBuilder;
+
+    #[test]
+    fn flat_simulation_converges_to_half_cycle() {
+        let ds = DatasetBuilder::new(200, 9).build().unwrap();
+        let sys = FlatScheme.build(&ds, &Params::paper()).unwrap();
+        let mut sim = Simulator::uniform(&sys, &ds, SimConfig::quick());
+        let report = sim.run();
+        assert!(report.converged, "quick settings must converge");
+        assert_eq!(report.aborted, 0);
+        assert_eq!(report.not_found, 0);
+        let half_cycle = report.cycle_len as f64 / 2.0;
+        let ratio = report.mean_access() / half_cycle;
+        assert!(
+            (0.9..=1.1).contains(&ratio),
+            "flat At ≈ Bt/2: ratio={ratio}"
+        );
+        // Flat broadcast never dozes.
+        assert!((report.mean_tuning() - report.mean_access()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tighter_accuracy_needs_more_requests() {
+        let ds = DatasetBuilder::new(100, 11).build().unwrap();
+        let sys = FlatScheme.build(&ds, &Params::paper()).unwrap();
+        let loose = Simulator::uniform(&sys, &ds, SimConfig::quick()).run();
+        let mut tight_cfg = SimConfig::quick();
+        tight_cfg.accuracy = 0.01;
+        let tight = Simulator::uniform(&sys, &ds, tight_cfg).run();
+        assert!(tight.requests > loose.requests);
+        assert!(tight.access.accuracy() <= 0.01 + 1e-12);
+    }
+
+    #[test]
+    fn fast_and_event_driven_agree_exactly() {
+        let ds = DatasetBuilder::new(150, 21).build().unwrap();
+        let sys = FlatScheme.build(&ds, &Params::paper()).unwrap();
+        let mut cfg = SimConfig::quick();
+        // Pin the request count so both runs see identical streams.
+        cfg.min_rounds = 3;
+        cfg.max_rounds = 3;
+        let a = Simulator::uniform(&sys, &ds, cfg).run();
+        cfg.event_driven = false;
+        let b = Simulator::uniform(&sys, &ds, cfg).run();
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.access, b.access);
+        assert_eq!(a.tuning, b.tuning);
+        assert_eq!(a.found, b.found);
+    }
+
+    #[test]
+    fn availability_mix_is_reported() {
+        let (ds, pool) = DatasetBuilder::new(100, 13)
+            .build_with_absent_pool(100)
+            .unwrap();
+        let sys = FlatScheme.build(&ds, &Params::paper()).unwrap();
+        let workload = QueryWorkload::new(&ds, pool, 0.5, Popularity::Uniform, 7);
+        let mut sim = Simulator::new(&sys, workload, SimConfig::quick());
+        let report = sim.run();
+        let found_rate = report.found as f64 / report.requests as f64;
+        assert!((found_rate - 0.5).abs() < 0.1, "found_rate={found_rate}");
+    }
+}

@@ -1,0 +1,259 @@
+//! Streaming statistics and the Student-t machinery behind the paper's
+//! confidence/accuracy termination rule.
+
+/// Welford's online mean/variance accumulator.
+///
+/// Numerically stable for the long request streams the testbed produces
+/// (hundreds of thousands of samples whose magnitudes are in the millions
+/// of bytes).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Welford::default()
+    }
+
+    /// Add one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance `σ² = Σ(x−x̄)²/(n−1)` (0 if `n < 2`).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Freeze into a [`Summary`].
+    pub fn summary(&self, confidence: f64) -> Summary {
+        let half = confidence_half_width(self.n, self.std_dev(), confidence);
+        Summary {
+            n: self.n,
+            mean: self.mean(),
+            std_dev: self.std_dev(),
+            ci_half_width: half,
+        }
+    }
+}
+
+/// A frozen statistical summary of one metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Confidence-interval half-width `H = t(α/2; n−1) · σ/√n`.
+    pub ci_half_width: f64,
+}
+
+impl Summary {
+    /// The paper's *confidence accuracy* `H / Ȳ` (∞ while the mean is 0).
+    pub fn accuracy(&self) -> f64 {
+        if self.mean == 0.0 {
+            f64::INFINITY
+        } else {
+            self.ci_half_width / self.mean
+        }
+    }
+}
+
+/// `H = t(α/2; n−1) · σ / √n` — the half-width of the paper's footnote-1
+/// confidence interval.
+pub fn confidence_half_width(n: u64, std_dev: f64, confidence: f64) -> f64 {
+    if n < 2 {
+        return f64::INFINITY;
+    }
+    let alpha = 1.0 - confidence;
+    let t = student_t_quantile(1.0 - alpha / 2.0, (n - 1) as f64);
+    t * std_dev / (n as f64).sqrt()
+}
+
+/// Inverse CDF of the standard normal distribution (Acklam's rational
+/// approximation, |ε| < 1.15e-9).
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "p must be in (0,1), got {p}");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -normal_quantile(1.0 - p)
+    }
+}
+
+/// Quantile of Student's t distribution with `df` degrees of freedom, via
+/// the Cornish–Fisher expansion around the normal quantile.
+///
+/// The testbed only consults this for `df ≥ round_requests − 1` (hundreds),
+/// where the expansion is accurate to ~1e-6; for small `df` it is still
+/// good to ~1e-3 above `df ≈ 10`, which the tests verify against table
+/// values.
+pub fn student_t_quantile(p: f64, df: f64) -> f64 {
+    assert!(df >= 1.0, "degrees of freedom must be ≥ 1");
+    let z = normal_quantile(p);
+    if df > 1e7 {
+        return z;
+    }
+    let z3 = z.powi(3);
+    let z5 = z.powi(5);
+    let z7 = z.powi(7);
+    z + (z3 + z) / (4.0 * df)
+        + (5.0 * z5 + 16.0 * z3 + 3.0 * z) / (96.0 * df * df)
+        + (3.0 * z7 + 19.0 * z5 + 17.0 * z3 - 15.0 * z) / (384.0 * df * df * df)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive_computation() {
+        let xs = [2.0f64, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        // Naive unbiased variance = 32/7.
+        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert!((w.std_dev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_empty_and_singleton() {
+        let mut w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        w.push(42.0);
+        assert_eq!(w.mean(), 42.0);
+        assert_eq!(w.variance(), 0.0);
+        assert!(w.summary(0.99).ci_half_width.is_infinite());
+    }
+
+    #[test]
+    fn normal_quantile_table_values() {
+        let cases = [
+            (0.5, 0.0),
+            (0.975, 1.959964),
+            (0.995, 2.575829),
+            (0.9999, 3.719016),
+            (0.025, -1.959964),
+        ];
+        for (p, want) in cases {
+            assert!(
+                (normal_quantile(p) - want).abs() < 1e-5,
+                "p={p}: got {} want {want}",
+                normal_quantile(p)
+            );
+        }
+    }
+
+    #[test]
+    fn t_quantile_table_values() {
+        // Standard t-table (two-sided 95 % → p = 0.975; 99 % → 0.995).
+        let cases = [
+            (0.975, 10.0, 2.228, 5e-3),
+            (0.975, 30.0, 2.042, 1e-3),
+            (0.975, 100.0, 1.984, 1e-3),
+            (0.995, 100.0, 2.626, 2e-3),
+            (0.995, 499.0, 2.586, 2e-3),
+        ];
+        for (p, df, want, tol) in cases {
+            let got = student_t_quantile(p, df);
+            assert!((got - want).abs() < tol, "p={p} df={df}: got {got} want {want}");
+        }
+    }
+
+    #[test]
+    fn t_quantile_converges_to_normal() {
+        let z = normal_quantile(0.995);
+        let t = student_t_quantile(0.995, 1e8);
+        assert!((z - t).abs() < 1e-9);
+    }
+
+    #[test]
+    fn half_width_shrinks_with_samples() {
+        let h1 = confidence_half_width(100, 10.0, 0.99);
+        let h2 = confidence_half_width(10_000, 10.0, 0.99);
+        assert!(h2 < h1 / 5.0);
+        assert!(confidence_half_width(1, 10.0, 0.99).is_infinite());
+    }
+
+    #[test]
+    fn summary_accuracy_is_relative_half_width() {
+        let mut w = Welford::new();
+        for i in 0..1000 {
+            w.push(100.0 + (i % 7) as f64);
+        }
+        let s = w.summary(0.99);
+        assert!((s.accuracy() - s.ci_half_width / s.mean).abs() < 1e-15);
+        assert!(s.accuracy() < 0.01, "tight data converges quickly");
+    }
+}

@@ -1,0 +1,99 @@
+//! Attribute search over broadcast — the multi-attribute extension.
+//!
+//! Primary-key lookups are only half the story: the paper's GIS scenario
+//! ("find a restaurant … in the vicinity") is really an *attribute* query.
+//! Signatures are content-based, so the signature and hybrid schemes can
+//! answer them; B+-tree and hashing schemes cannot. This example runs both
+//! query types over the same city-guide broadcast and shows why the hybrid
+//! layout earns its keep.
+//!
+//! ```text
+//! cargo run --release -p bda --example attribute_search
+//! ```
+
+use bda::core::machine::run_machine;
+use bda::prelude::*;
+
+const CATEGORIES: [&str; 8] = [
+    "restaurant", "fuel", "hotel", "pharmacy", "museum", "park", "atm", "cafe",
+];
+
+fn main() {
+    // City guide: each POI has (key = id, attrs = [id, category, zone]).
+    let mut rng = Prng::new(0x6E0);
+    let mut keys = std::collections::BTreeSet::new();
+    while keys.len() < 3_000 {
+        keys.insert(rng.next_u64());
+    }
+    let records: Vec<Record> = keys
+        .iter()
+        .map(|&id| {
+            let category = 1_000 + rng.below(CATEGORIES.len() as u64);
+            let zone = 2_000 + rng.below(64);
+            Record::new(Key(id), vec![id, category, zone])
+        })
+        .collect();
+    let dataset = Dataset::new(records).unwrap();
+    let params = Params::paper();
+
+    let sig = SimpleSignatureScheme::new().build(&dataset, &params).unwrap();
+    let hybrid = HybridScheme::new().build(&dataset, &params).unwrap();
+    let dist = DistributedScheme::new().build(&dataset, &params).unwrap();
+
+    println!("city-guide broadcast: {} POIs, 8 categories, 64 zones\n", dataset.len());
+
+    // --- key lookups -----------------------------------------------------
+    println!("key lookups (averages over 2000 queries, bytes):");
+    println!("  {:<12} {:>12} {:>12}", "scheme", "access", "tuning");
+    let mut q = Prng::new(1);
+    let mut run_keys = |name: &str, f: &mut dyn FnMut(Key, u64) -> AccessOutcome| {
+        let (mut at, mut tt) = (0u64, 0u64);
+        for _ in 0..2_000 {
+            let rec = dataset.record(q.below(dataset.len() as u64) as usize);
+            let out = f(rec.key, q.below(1 << 40));
+            assert!(out.found);
+            at += out.access;
+            tt += out.tuning;
+        }
+        println!("  {:<12} {:>12} {:>12}", name, at / 2_000, tt / 2_000);
+    };
+    run_keys("distributed", &mut |k, t| dist.probe(k, t));
+    run_keys("hybrid", &mut |k, t| hybrid.probe(k, t));
+    run_keys("signature", &mut |k, t| sig.probe(k, t));
+
+    // --- attribute queries ------------------------------------------------
+    println!("\nattribute queries: \"any POI with category X\" (2000 queries):");
+    println!("  {:<12} {:>12} {:>12} {:>8}", "scheme", "access", "tuning", "fdrops");
+    let mut q = Prng::new(2);
+    let mut run_attrs = |name: &str, f: &mut dyn FnMut(u64, u64) -> AccessOutcome| {
+        let (mut at, mut tt, mut fd) = (0u64, 0u64, 0u64);
+        for _ in 0..2_000 {
+            let cat = 1_000 + q.below(CATEGORIES.len() as u64);
+            let out = f(cat, q.below(1 << 40));
+            assert!(out.found, "every category is somewhere in the city");
+            at += out.access;
+            tt += out.tuning;
+            fd += u64::from(out.false_drops);
+        }
+        println!(
+            "  {:<12} {:>12} {:>12} {:>8.2}",
+            name,
+            at / 2_000,
+            tt / 2_000,
+            fd as f64 / 2_000.0
+        );
+    };
+    run_attrs("hybrid", &mut |v, t| hybrid.probe_attr(v, t));
+    run_attrs("signature", &mut |v, t| {
+        run_machine(sig.channel(), sig.attr_query(v), t)
+    });
+    println!("  {:<12} {:>12} {:>12}", "distributed", "—", "unanswerable");
+
+    println!(
+        "\nCategories are common (1 in 8 records match), so attribute queries\n\
+         find a match after a handful of signatures — far cheaper than a key\n\
+         lookup by scanning. The hybrid broadcast answers both query types:\n\
+         tree-cost keys and signature-cost attributes, for one cycle that is\n\
+         only a few percent longer."
+    );
+}

@@ -1,0 +1,104 @@
+//! GIS point-of-interest broadcast — the paper's first motivating scenario
+//! ("mobile clients could ask for geographical information to find a
+//! restaurant of their choice in the vicinity", §1).
+//!
+//! A city cell broadcasts its points of interest. Clients frequently ask
+//! for POIs that are *not* in this cell's broadcast (they just drove in,
+//! their favourite chain has no branch here, …), so **data availability is
+//! low** — the regime where the B+-tree schemes shine, because a client
+//! can learn "not broadcast" from the index alone instead of scanning the
+//! whole cycle.
+//!
+//! ```text
+//! cargo run --release -p bda --example gis_poi
+//! ```
+
+use bda::prelude::*;
+
+/// Build a POI dataset: key = POI id, attributes = (category, zone,
+/// name-hash) — the fields a signature would superimpose.
+fn poi_dataset(n: usize, seed: u64) -> (Dataset, Vec<Key>) {
+    let mut rng = Prng::new(seed);
+    let mut keys = std::collections::BTreeSet::new();
+    while keys.len() < n {
+        keys.insert(rng.next_u64());
+    }
+    let records = keys
+        .iter()
+        .map(|&id| {
+            let category = rng.below(12); // restaurant, fuel, hotel, …
+            let zone = rng.below(64); // map tile
+            let name_hash = rng.next_u64();
+            Record::new(Key(id), vec![id, category, zone, name_hash])
+        })
+        .collect();
+    let dataset = Dataset::new(records).unwrap();
+    // POIs of *other* cells: what roaming clients keep asking about.
+    let mut absent = Vec::with_capacity(n);
+    while absent.len() < n {
+        let k = rng.next_u64();
+        if !keys.contains(&k) {
+            absent.push(Key(k));
+        }
+    }
+    (dataset, absent)
+}
+
+fn main() {
+    let (dataset, absent) = poi_dataset(4_000, 7);
+    let params = Params::paper();
+    // Only ~30 % of queried POIs are actually in this cell's broadcast.
+    let availability = 0.3;
+
+    println!(
+        "GIS cell broadcast: {} POIs, {:.0}% of queries answerable locally\n",
+        dataset.len(),
+        availability * 100.0,
+    );
+    println!(
+        "  {:<14} {:>12} {:>12} {:>9} {:>8}",
+        "scheme", "access", "tuning", "requests", "found%"
+    );
+
+    let flat = FlatScheme.build(&dataset, &params).unwrap();
+    let one_m = OneMScheme::new().build(&dataset, &params).unwrap();
+    let dist = DistributedScheme::new().build(&dataset, &params).unwrap();
+    let hashing = HashScheme::new().build(&dataset, &params).unwrap();
+    let sig = SimpleSignatureScheme::new().build(&dataset, &params).unwrap();
+    let systems: [&dyn DynSystem; 5] = [&flat, &one_m, &dist, &hashing, &sig];
+
+    let mut best: Option<(&str, f64)> = None;
+    for sys in systems {
+        let workload = QueryWorkload::new(
+            &dataset,
+            absent.clone(),
+            availability,
+            Popularity::Uniform,
+            99,
+        );
+        let mut sim = Simulator::new(sys, workload, SimConfig::quick());
+        let r = sim.run();
+        println!(
+            "  {:<14} {:>12.0} {:>12.0} {:>9} {:>7.1}%",
+            r.scheme,
+            r.mean_access(),
+            r.mean_tuning(),
+            r.requests,
+            100.0 * r.found as f64 / r.requests as f64,
+        );
+        let score = r.mean_tuning(); // battery-powered handset: energy first
+        if best.map_or(true, |(_, s)| score < s) {
+            best = Some((r.scheme, score));
+        }
+    }
+
+    let (winner, _) = best.unwrap();
+    let pct = availability * 100.0;
+    println!(
+        "\nLowest energy per lookup at {pct:.0}% availability: {winner}.\n\
+         This matches the paper's §5.3 criteria: \"(1,m) indexing and distributed\n\
+         indexing achieve good tuning time and access time under low data\n\
+         availability … a better choice in applications that exhibit frequent\n\
+         search failures.\""
+    );
+}

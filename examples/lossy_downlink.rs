@@ -1,0 +1,71 @@
+//! Broadcast over a lossy downlink — the error-prone-channel extension.
+//!
+//! Wireless broadcast is noisy: buckets are corrupted in flight and a
+//! client cannot ask for retransmission. This example drives every access
+//! method over channels with increasing loss and shows how each protocol's
+//! recovery behaves (index schemes restart their pointer chase; scanning
+//! schemes track coverage holes and re-read only what they missed).
+//!
+//! ```text
+//! cargo run --release -p bda --example lossy_downlink
+//! ```
+
+use bda::core::ErrorModel;
+use bda::prelude::*;
+
+fn main() {
+    let dataset = DatasetBuilder::new(2_000, 7).build().unwrap();
+    let params = Params::paper();
+
+    let flat = FlatScheme.build(&dataset, &params).unwrap();
+    let dist = DistributedScheme::new().build(&dataset, &params).unwrap();
+    let hashing = HashScheme::new().build(&dataset, &params).unwrap();
+    let sig = SimpleSignatureScheme::new().build(&dataset, &params).unwrap();
+    let systems: [&dyn DynSystem; 4] = [&flat, &dist, &hashing, &sig];
+
+    println!("2000 records; 3000 key lookups per cell; metrics in bytes\n");
+    println!(
+        "{:<13} {:>6} {:>12} {:>10} {:>14} {:>8}",
+        "scheme", "loss%", "access", "tuning", "retries/query", "found%"
+    );
+    let mut rng = Prng::new(99);
+    for sys in systems {
+        let cycle = sys.cycle_len();
+        for loss_pct in [0u32, 5, 15] {
+            let errors = ErrorModel::new(f64::from(loss_pct) / 100.0, 0xC0FFEE);
+            let queries = 3_000;
+            let mut access = 0u64;
+            let mut tuning = 0u64;
+            let mut retries = 0u64;
+            let mut found = 0u64;
+            for _ in 0..queries {
+                let key = dataset
+                    .record(rng.below(dataset.len() as u64) as usize)
+                    .key;
+                let out = sys.probe_with_errors(key, rng.below(cycle * 4), errors);
+                assert!(!out.aborted, "protocols must recover, not give up");
+                access += out.access;
+                tuning += out.tuning;
+                retries += u64::from(out.retries);
+                found += u64::from(out.found);
+            }
+            println!(
+                "{:<13} {:>6} {:>12} {:>10} {:>14.2} {:>7.1}%",
+                sys.scheme_name(),
+                loss_pct,
+                access / queries,
+                tuning / queries,
+                retries as f64 / queries as f64,
+                100.0 * found as f64 / queries as f64,
+            );
+        }
+    }
+
+    println!(
+        "\nEvery query still succeeds (found = 100%): corruption costs time and\n\
+         energy, never correctness. Pointer-chasing schemes (hashing, the\n\
+         B+-trees) pay a protocol restart per lost index bucket; scanning\n\
+         schemes degrade smoothly because a lost bucket just stays uncovered\n\
+         until the next cycle."
+    );
+}

@@ -1,0 +1,83 @@
+//! Wireless stock-market data delivery — the paper's second motivating
+//! scenario ("stock information from any stock exchange in the world could
+//! be broadcast on wireless channels", §1).
+//!
+//! Traders care about *freshness*: the metric that matters is access time
+//! (how stale a quote is when it reaches the screen), while the terminal
+//! is usually powered, so tuning time is secondary. Every queried ticker
+//! is in the broadcast (100 % availability). Under those requirements the
+//! paper's §5.3 criteria pick signature indexing: "when energy is of less
+//! concern than waiting time, signature indexing is a preferred method."
+//!
+//! ```text
+//! cargo run --release -p bda --example stock_ticker
+//! ```
+
+use bda::prelude::*;
+
+/// Tickers: key = symbol ordinal; attributes = (exchange, sector,
+/// price-band) — the fields a multi-attribute signature covers.
+fn ticker_dataset(n: usize, seed: u64) -> Dataset {
+    let mut rng = Prng::new(seed);
+    let mut keys = std::collections::BTreeSet::new();
+    while keys.len() < n {
+        keys.insert(rng.next_u64() >> 16); // compact symbol space
+    }
+    let records = keys
+        .iter()
+        .map(|&sym| {
+            Record::new(
+                Key(sym),
+                vec![sym, rng.below(12), rng.below(40), rng.below(8)],
+            )
+        })
+        .collect();
+    Dataset::new(records).unwrap()
+}
+
+fn main() {
+    let dataset = ticker_dataset(3_000, 2002);
+    let params = Params::paper();
+
+    println!("stock ticker broadcast: {} symbols, every query answerable\n", dataset.len());
+    println!(
+        "  {:<14} {:>12} {:>12} {:>10}",
+        "scheme", "access", "tuning", "cycle(B)"
+    );
+
+    let flat = FlatScheme.build(&dataset, &params).unwrap();
+    let one_m = OneMScheme::new().build(&dataset, &params).unwrap();
+    let dist = DistributedScheme::new().build(&dataset, &params).unwrap();
+    let hashing = HashScheme::new().build(&dataset, &params).unwrap();
+    let sig = SimpleSignatureScheme::new().build(&dataset, &params).unwrap();
+    let systems: [&dyn DynSystem; 5] = [&flat, &one_m, &dist, &hashing, &sig];
+
+    let mut best_indexed: Option<(&str, f64)> = None;
+    for sys in systems {
+        let mut sim = Simulator::uniform(sys, &dataset, SimConfig::quick());
+        let r = sim.run();
+        println!(
+            "  {:<14} {:>12.0} {:>12.0} {:>10}",
+            r.scheme,
+            r.mean_access(),
+            r.mean_tuning(),
+            r.cycle_len,
+        );
+        // Flat broadcast always wins raw access time but burns the radio
+        // continuously; compare the *indexed* schemes.
+        if r.scheme != "flat" {
+            let score = r.mean_access();
+            if best_indexed.map_or(true, |(_, s)| score < s) {
+                best_indexed = Some((r.scheme, score));
+            }
+        }
+    }
+
+    let (winner, _) = best_indexed.unwrap();
+    println!(
+        "\nFreshest quotes among indexed schemes: {winner}.\n\
+         Signatures add only a few bytes per record to the cycle, so access\n\
+         time stays within a few percent of plain broadcast while still\n\
+         allowing receivers to doze over non-matching quotes."
+    );
+}

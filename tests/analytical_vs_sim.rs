@@ -1,0 +1,86 @@
+//! The paper's headline validation (Fig. 4): "the simulation results match
+//! the analytical results very well". For every modelled scheme, the
+//! testbed's converged means must sit within a few percent of the closed
+//! forms of `bda-analytical`.
+
+use bda::analytical as model;
+use bda::prelude::*;
+
+const NR: usize = 3_000;
+
+fn report_for(sys: &dyn DynSystem, ds: &Dataset) -> SimReport {
+    let mut cfg = SimConfig::quick();
+    cfg.accuracy = 0.02;
+    cfg.confidence = 0.99;
+    cfg.event_driven = false;
+    cfg.max_rounds = 600;
+    let r = Simulator::uniform(sys, ds, cfg).run();
+    assert!(r.converged, "{} did not converge", sys.scheme_name());
+    assert_eq!(r.aborted, 0);
+    r
+}
+
+fn assert_close(label: &str, measured: f64, modeled: f64, tol: f64) {
+    let rel = (measured - modeled).abs() / modeled;
+    assert!(
+        rel < tol,
+        "{label}: simulated {measured:.0} vs analytical {modeled:.0} (rel {rel:.3} > {tol})"
+    );
+}
+
+#[test]
+fn flat_matches_model() {
+    let ds = DatasetBuilder::new(NR, 1).build().unwrap();
+    let p = Params::paper();
+    let sys = FlatScheme.build(&ds, &p).unwrap();
+    let r = report_for(&sys, &ds);
+    let m = model::flat(&p, NR);
+    assert_close("flat access", r.mean_access(), m.access, 0.05);
+    assert_close("flat tuning", r.mean_tuning(), m.tuning, 0.05);
+}
+
+#[test]
+fn one_m_matches_model() {
+    let ds = DatasetBuilder::new(NR, 2).build().unwrap();
+    let p = Params::paper();
+    let sys = OneMScheme::new().build(&ds, &p).unwrap();
+    let r = report_for(&sys, &ds);
+    let m = model::one_m(&p, NR, None);
+    assert_close("(1,m) access", r.mean_access(), m.access, 0.08);
+    assert_close("(1,m) tuning", r.mean_tuning(), m.tuning, 0.15);
+}
+
+#[test]
+fn distributed_matches_model() {
+    let ds = DatasetBuilder::new(NR, 3).build().unwrap();
+    let p = Params::paper();
+    let sys = DistributedScheme::new().build(&ds, &p).unwrap();
+    let r = report_for(&sys, &ds);
+    let m = model::distributed(&p, NR, None);
+    assert_close("distributed access", r.mean_access(), m.access, 0.12);
+    assert_close("distributed tuning", r.mean_tuning(), m.tuning, 0.20);
+}
+
+#[test]
+fn hashing_matches_model() {
+    let ds = DatasetBuilder::new(NR, 4).build().unwrap();
+    let p = Params::paper();
+    let sys = HashScheme::new().build(&ds, &p).unwrap();
+    let r = report_for(&sys, &ds);
+    let m = model::hash(&p, NR, sys.na(), sys.num_collisions());
+    assert_close("hashing access", r.mean_access(), m.access, 0.08);
+    assert_close("hashing tuning", r.mean_tuning(), m.tuning, 0.12);
+}
+
+#[test]
+fn signature_matches_model() {
+    let ds = DatasetBuilder::new(NR, 5).build().unwrap();
+    let p = Params::paper();
+    let sys = SimpleSignatureScheme::new().build(&ds, &p).unwrap();
+    let r = report_for(&sys, &ds);
+    // datagen records: 4 attributes with the key as attribute 0 → 4
+    // distinct superimposed strings.
+    let m = model::signature(&p, &SigParams::default(), 4, NR);
+    assert_close("signature access", r.mean_access(), m.access, 0.05);
+    assert_close("signature tuning", r.mean_tuning(), m.tuning, 0.15);
+}

@@ -1,0 +1,107 @@
+//! Error-prone channel (extension): every scheme must stay *correct* under
+//! bucket loss — queries eventually succeed, absence is still reported
+//! truthfully, and costs degrade monotonically-ish with the loss rate.
+
+use bda::core::ErrorModel;
+use bda::prelude::*;
+
+fn systems(ds: &Dataset, params: &Params) -> Vec<Box<dyn DynSystem>> {
+    vec![
+        Box::new(FlatScheme.build(ds, params).unwrap()),
+        Box::new(OneMScheme::new().build(ds, params).unwrap()),
+        Box::new(DistributedScheme::new().build(ds, params).unwrap()),
+        Box::new(HashScheme::new().build(ds, params).unwrap()),
+        Box::new(SimpleSignatureScheme::new().build(ds, params).unwrap()),
+        Box::new(IntegratedSignatureScheme::new(8).build(ds, params).unwrap()),
+        Box::new(MultiLevelSignatureScheme::new(8).build(ds, params).unwrap()),
+        Box::new(HybridScheme::new().build(ds, params).unwrap()),
+    ]
+}
+
+#[test]
+fn lossy_channel_preserves_correctness() {
+    let (ds, pool) = DatasetBuilder::new(150, 0xBAD)
+        .build_with_absent_pool(20)
+        .unwrap();
+    let params = Params::paper();
+    for loss in [0.02, 0.10, 0.25] {
+        let errors = ErrorModel::new(loss, 99);
+        for sys in systems(&ds, &params) {
+            // Present keys are always found despite corruption.
+            for (i, r) in ds.records().iter().enumerate().step_by(11) {
+                let out = sys.probe_with_errors(r.key, i as u64 * 977, errors);
+                assert!(
+                    out.found,
+                    "{} lost key {} at loss {loss}",
+                    sys.scheme_name(),
+                    r.key
+                );
+                assert!(!out.aborted, "{}", sys.scheme_name());
+            }
+            // Absent keys are never hallucinated.
+            for (i, k) in pool.iter().enumerate() {
+                let out = sys.probe_with_errors(*k, i as u64 * 1013, errors);
+                assert!(!out.found, "{} hallucinated under loss", sys.scheme_name());
+                assert!(!out.aborted, "{}", sys.scheme_name());
+            }
+        }
+    }
+}
+
+#[test]
+fn lossless_error_model_is_identity() {
+    let ds = DatasetBuilder::new(80, 5).build().unwrap();
+    let params = Params::paper();
+    for sys in systems(&ds, &params) {
+        for (i, r) in ds.records().iter().enumerate().step_by(9) {
+            let t = i as u64 * 733;
+            let plain = sys.probe(r.key, t);
+            let lossless = sys.probe_with_errors(r.key, t, ErrorModel::NONE);
+            assert_eq!(plain, lossless, "{}", sys.scheme_name());
+            assert_eq!(plain.retries, 0);
+        }
+    }
+}
+
+#[test]
+fn costs_degrade_with_loss() {
+    let ds = DatasetBuilder::new(300, 7).build().unwrap();
+    let params = Params::paper();
+    let sys = DistributedScheme::new().build(&ds, &params).unwrap();
+    let mean_access = |loss: f64| {
+        let errors = ErrorModel::new(loss, 3);
+        let mut total = 0u64;
+        let mut retries = 0u64;
+        let mut n = 0u64;
+        for (i, r) in ds.records().iter().enumerate() {
+            let out = sys.probe_with_errors(r.key, i as u64 * 4099, errors);
+            assert!(out.found);
+            total += out.access;
+            retries += u64::from(out.retries);
+            n += 1;
+        }
+        (total as f64 / n as f64, retries as f64 / n as f64)
+    };
+    let (at0, r0) = mean_access(0.0);
+    let (at10, r10) = mean_access(0.10);
+    let (at30, r30) = mean_access(0.30);
+    assert_eq!(r0, 0.0);
+    assert!(r10 > 0.0 && r30 > r10, "retries rise with loss");
+    assert!(at10 > at0, "access degrades with loss");
+    assert!(at30 > at10, "…monotonically across these rates");
+}
+
+#[test]
+fn hybrid_attr_queries_survive_loss() {
+    let ds = DatasetBuilder::new(120, 9).build().unwrap();
+    let params = Params::paper();
+    let sys = HybridScheme::new().build(&ds, &params).unwrap();
+    let errors = ErrorModel::new(0.10, 17);
+    for (i, r) in ds.records().iter().enumerate().step_by(13) {
+        let m = sys.attr_query(r.attrs[1]);
+        let out =
+            bda::core::machine::run_machine_with_errors(sys.channel(), m, i as u64 * 577, errors);
+        assert!(out.found, "attr {} lost", r.attrs[1]);
+        assert!(!out.aborted);
+    }
+}
