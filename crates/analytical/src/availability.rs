@@ -140,7 +140,9 @@ mod tests {
     const NR: usize = 1_500;
 
     fn simulate(sys: &dyn DynSystem, a: f64) -> (f64, f64) {
-        let (ds, pool) = DatasetBuilder::new(NR, 77).build_with_absent_pool(NR).unwrap();
+        let (ds, pool) = DatasetBuilder::new(NR, 77)
+            .build_with_absent_pool(NR)
+            .unwrap();
         let _ = &ds;
         let workload = QueryWorkload::new(&ds, pool, a, Popularity::Uniform, 5);
         let mut cfg = SimConfig::quick();
@@ -206,7 +208,9 @@ mod tests {
     #[test]
     fn distributed_tracks_availability() {
         let p = Params::paper();
-        let sys = bda_btree::DistributedScheme::new().build(&dataset(), &p).unwrap();
+        let sys = bda_btree::DistributedScheme::new()
+            .build(&dataset(), &p)
+            .unwrap();
         for a in [0.0, 0.5, 1.0] {
             check(
                 &format!("distributed a={a}"),

@@ -1,10 +1,10 @@
 //! `(1,m)` and distributed-indexing models (paper §2.1).
 
-use bda_core::Params;
 use bda_btree::optimal::{
     distributed_access_buckets, distributed_access_buckets_ragged, optimal_m, optimal_r,
     optimal_r_ragged,
 };
+use bda_core::Params;
 
 use crate::Model;
 
@@ -100,8 +100,8 @@ pub fn distributed_paper(params: &Params, nr: usize, r: Option<usize>) -> Model 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bda_core::DynSystem;
     use bda_btree::{DistributedScheme, IndexTree, OneMScheme};
+    use bda_core::DynSystem;
     use bda_core::{Dataset, Key, Record, Scheme};
 
     fn ds(n: u64) -> Dataset {

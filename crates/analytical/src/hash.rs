@@ -51,10 +51,7 @@ pub fn hash(params: &Params, nr: usize, na: u64, nc: usize) -> Model {
     // initial read, the extra read after a wrapped locate (probability of
     // the p > h branch, ≈ (Nc + ½Na)/N), the slot bucket, the chain scan
     // and the download.
-    let p_wrap: f64 = (0..na)
-        .map(|h| (n - h as f64 - 1.0) / n)
-        .sum::<f64>()
-        / na_f;
+    let p_wrap: f64 = (0..na).map(|h| (n - h as f64 - 1.0) / n).sum::<f64>() / na_f;
     let tuning = (0.5 + 1.0 + p_wrap + 1.0 + ct + 1.0) * dt;
 
     Model { access, tuning }

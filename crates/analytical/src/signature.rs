@@ -52,12 +52,7 @@ pub fn false_drop_probability(sig: &SigParams, distinct_strings: usize) -> f64 {
 /// Tt = ½·(It + Dt) + (Nr+1)/2 · It + (Fd + 1) · Dt,
 /// Fd = p_fd · (Nr − 1)/2
 /// ```
-pub fn signature(
-    params: &Params,
-    sig: &SigParams,
-    distinct_strings: usize,
-    nr: usize,
-) -> Model {
+pub fn signature(params: &Params, sig: &SigParams, distinct_strings: usize, nr: usize) -> Model {
     let dt = f64::from(params.data_bucket_size());
     let it = f64::from(params.header_size + sig.sig_bytes);
     let n = nr as f64;

@@ -79,7 +79,13 @@ mod tests {
         let p = Params::paper();
         let key = ds.record(10).key;
         assert!(FlatScheme.build(&ds, &p).unwrap().probe(key, 0).found);
-        assert!(OneMScheme::new().build(&ds, &p).unwrap().probe(key, 0).found);
+        assert!(
+            OneMScheme::new()
+                .build(&ds, &p)
+                .unwrap()
+                .probe(key, 0)
+                .found
+        );
         assert!(
             DistributedScheme::new()
                 .build(&ds, &p)
@@ -87,7 +93,13 @@ mod tests {
                 .probe(key, 0)
                 .found
         );
-        assert!(HashScheme::new().build(&ds, &p).unwrap().probe(key, 0).found);
+        assert!(
+            HashScheme::new()
+                .build(&ds, &p)
+                .unwrap()
+                .probe(key, 0)
+                .found
+        );
         assert!(
             SimpleSignatureScheme::new()
                 .build(&ds, &p)

@@ -15,16 +15,12 @@ fn construction(c: &mut Criterion) {
     for nr in [1_000usize, 10_000] {
         let dataset = DatasetBuilder::new(nr, 7).build().unwrap();
         for kind in SchemeKind::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), nr),
-                &dataset,
-                |b, ds| {
-                    b.iter(|| {
-                        let sys = kind.build(black_box(ds), &params).unwrap();
-                        black_box(sys.cycle_len())
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.name(), nr), &dataset, |b, ds| {
+                b.iter(|| {
+                    let sys = kind.build(black_box(ds), &params).unwrap();
+                    black_box(sys.cycle_len())
+                })
+            });
         }
     }
     group.finish();

@@ -1,0 +1,190 @@
+//! Machine-readable engine throughput harness.
+//!
+//! Drives a burst of concurrent clients (default 100 000, all tuned in
+//! within one bucket, so the whole population is simultaneously in
+//! flight) through the slab engine for every scheme, and writes
+//! `BENCH_engine.json` with requests/sec, peak in-flight clients and
+//! events processed — the numbers the perf trajectory is tracked by.
+//!
+//! ```text
+//! engine_bench [--clients N] [--records N] [--out PATH] [--no-reference]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bda_bench::SchemeKind;
+use bda_core::{Key, Params, Ticks};
+use bda_datagen::{DatasetBuilder, Prng};
+use bda_sim::{engine::reference::run_requests_reference, Engine, EngineStats};
+
+struct Cli {
+    clients: usize,
+    records: usize,
+    out: String,
+    reference: bool,
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        clients: 100_000,
+        records: 1_000,
+        out: "BENCH_engine.json".into(),
+        reference: true,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut num = |name: &str| -> usize {
+            args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                eprintln!("{name} requires an integer");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--clients" => cli.clients = num("--clients"),
+            "--records" => cli.records = num("--records"),
+            "--out" => {
+                cli.out = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                })
+            }
+            "--no-reference" => cli.reference = false,
+            "--help" | "-h" => {
+                eprintln!("engine_bench [--clients N] [--records N] [--out PATH] [--no-reference]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    cli
+}
+
+/// `n` requests for present keys, all arriving within a 16-tick window —
+/// narrower than any bucket, so every client is concurrently in flight.
+fn burst(ds: &bda_core::Dataset, n: usize, seed: u64) -> Vec<(Ticks, Key)> {
+    let keys: Vec<Key> = ds.keys().collect();
+    let mut rng = Prng::new(seed);
+    (0..n)
+        .map(|i| {
+            let key = keys[rng.below(keys.len() as u64) as usize];
+            ((i % 16) as Ticks, key)
+        })
+        .collect()
+}
+
+struct Row {
+    scheme: &'static str,
+    elapsed_sec: f64,
+    requests_per_sec: f64,
+    stats: EngineStats,
+    reference_speedup: Option<f64>,
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let cli = parse_cli();
+    let params = Params::paper();
+    let dataset = DatasetBuilder::new(cli.records, 11).build().unwrap();
+    let requests = burst(&dataset, cli.clients, 5);
+    // Reference comparison at a size the naive engine handles quickly.
+    let ref_requests = burst(&dataset, (cli.clients / 5).max(1), 9);
+
+    println!(
+        "{:<22} {:>12} {:>14} {:>14} {:>12} {:>10}",
+        "scheme", "req/s", "peak in-flight", "events", "batches", "vs naive"
+    );
+    let mut rows = Vec::new();
+    for kind in SchemeKind::ALL {
+        let system = kind.build(&dataset, &params).unwrap();
+        let mut engine = Engine::new(system.as_ref());
+        // Warm the arena so steady-state (allocation-free) throughput is
+        // what gets measured.
+        engine.run_batch(&requests);
+        let before = engine.stats();
+        let start = Instant::now();
+        let completed = engine.run_batch(&requests);
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(completed.len(), requests.len());
+        assert!(
+            completed.iter().all(|r| !r.outcome.aborted),
+            "protocol bug in {}",
+            kind.name()
+        );
+        let after = engine.stats();
+        let stats = EngineStats {
+            events: after.events - before.events,
+            wake_batches: after.wake_batches - before.wake_batches,
+            peak_in_flight: after.peak_in_flight,
+            completed: after.completed - before.completed,
+        };
+
+        let reference_speedup = cli.reference.then(|| {
+            let mut slab = Engine::new(system.as_ref());
+            slab.run_batch(&ref_requests);
+            let start = Instant::now();
+            slab.run_batch(&ref_requests);
+            let slab_t = start.elapsed().as_secs_f64();
+            let start = Instant::now();
+            run_requests_reference(system.as_ref(), &ref_requests);
+            let ref_t = start.elapsed().as_secs_f64();
+            ref_t / slab_t.max(1e-12)
+        });
+
+        let row = Row {
+            scheme: kind.name(),
+            elapsed_sec: elapsed,
+            requests_per_sec: requests.len() as f64 / elapsed.max(1e-12),
+            stats,
+            reference_speedup,
+        };
+        println!(
+            "{:<22} {:>12.0} {:>14} {:>14} {:>12} {:>10}",
+            row.scheme,
+            row.requests_per_sec,
+            row.stats.peak_in_flight,
+            row.stats.events,
+            row.stats.wake_batches,
+            row.reference_speedup
+                .map_or("-".into(), |s| format!("{s:.1}x")),
+        );
+        rows.push(row);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"engine\",");
+    let _ = writeln!(json, "  \"clients\": {},", cli.clients);
+    let _ = writeln!(json, "  \"records\": {},", cli.records);
+    json.push_str("  \"schemes\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"scheme\": \"{}\", \"requests\": {}, \"elapsed_sec\": {:.6}, \
+             \"requests_per_sec\": {:.1}, \"peak_in_flight\": {}, \"events\": {}, \
+             \"wake_batches\": {}, \"reference_speedup\": {}}}",
+            json_escape(r.scheme),
+            cli.clients,
+            r.elapsed_sec,
+            r.requests_per_sec,
+            r.stats.peak_in_flight,
+            r.stats.events,
+            r.stats.wake_batches,
+            r.reference_speedup
+                .map_or("null".into(), |s| format!("{s:.2}")),
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&cli.out, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", cli.out);
+        std::process::exit(1);
+    });
+    println!("\nwrote {}", cli.out);
+}

@@ -41,14 +41,20 @@ pub fn ablation_r(cli: &Cli) {
 
     let mut t = Table::new(&["r", "access(S)", "tuning(S)", "cycle buckets", "note"]);
     for r in 0..k {
-        let sys = DistributedScheme::with_r(r).build(&dataset, &params).unwrap();
+        let sys = DistributedScheme::with_r(r)
+            .build(&dataset, &params)
+            .unwrap();
         let (at, tt) = simulate(cli, &sys, &dataset);
         t.row(vec![
             r.to_string(),
             format!("{at:.0}"),
             format!("{tt:.0}"),
             bda_core::DynSystem::num_buckets(&sys).to_string(),
-            if r == r_star { "← optimal (paper's choice)".into() } else { String::new() },
+            if r == r_star {
+                "← optimal (paper's choice)".into()
+            } else {
+                String::new()
+            },
         ]);
     }
     println!("# Ablation — distributed indexing replication depth r (k = {k})\n");
@@ -77,7 +83,11 @@ pub fn ablation_m(cli: &Cli) {
             format!("{at:.0}"),
             format!("{tt:.0}"),
             bda_core::DynSystem::num_buckets(&sys).to_string(),
-            if m == m_star { "← optimal m* = √(Nr/I)".into() } else { String::new() },
+            if m == m_star {
+                "← optimal m* = √(Nr/I)".into()
+            } else {
+                String::new()
+            },
         ]);
     }
     println!("# Ablation — (1,m) indexing segment count m (m* = {m_star})\n");

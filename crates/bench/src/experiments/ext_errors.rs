@@ -26,9 +26,11 @@ pub fn run(cli: &Cli) {
 
     let schemes = SchemeKind::PAPER;
     let headers: Vec<String> = std::iter::once("loss%".to_string())
-        .chain(schemes.iter().flat_map(|s| {
-            [format!("{} At", s.name()), format!("{} Tt", s.name())]
-        }))
+        .chain(
+            schemes
+                .iter()
+                .flat_map(|s| [format!("{} At", s.name()), format!("{} Tt", s.name())]),
+        )
         .collect();
     let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut t = Table::new(&headers_ref);
@@ -44,9 +46,7 @@ pub fn run(cli: &Cli) {
             let mut tt = 0f64;
             let mut aborted = 0u64;
             for _ in 0..queries {
-                let key = dataset
-                    .record(rng.below(dataset.len() as u64) as usize)
-                    .key;
+                let key = dataset.record(rng.below(dataset.len() as u64) as usize).key;
                 let tune_in = rng.below(cycle * 8);
                 let out = sys.probe_with_errors(key, tune_in, errors);
                 aborted += u64::from(out.aborted);

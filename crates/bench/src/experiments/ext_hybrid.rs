@@ -30,7 +30,9 @@ pub fn run(cli: &Cli) {
     let queries = if cli.quick { 2_000 } else { 10_000 };
 
     let dist = DistributedScheme::new().build(&dataset, &params).unwrap();
-    let sig = SimpleSignatureScheme::new().build(&dataset, &params).unwrap();
+    let sig = SimpleSignatureScheme::new()
+        .build(&dataset, &params)
+        .unwrap();
     let hybrid = HybridScheme::new().build(&dataset, &params).unwrap();
 
     let mut rng = Prng::new(cli.seed ^ 0x4B1D);
@@ -63,21 +65,36 @@ pub fn run(cli: &Cli) {
         assert!(o.found && !o.aborted);
         (o.access, o.tuning)
     });
-    t.row(vec!["key".into(), "distributed".into(), format!("{a:.0}"), format!("{tu:.0}")]);
+    t.row(vec![
+        "key".into(),
+        "distributed".into(),
+        format!("{a:.0}"),
+        format!("{tu:.0}"),
+    ]);
     let (a, tu) = avg(&mut |i| {
         let (k, t0) = key_cases[i];
         let o = DynSystem::probe(&hybrid, k, t0);
         assert!(o.found && !o.aborted);
         (o.access, o.tuning)
     });
-    t.row(vec!["key".into(), "hybrid".into(), format!("{a:.0}"), format!("{tu:.0}")]);
+    t.row(vec![
+        "key".into(),
+        "hybrid".into(),
+        format!("{a:.0}"),
+        format!("{tu:.0}"),
+    ]);
     let (a, tu) = avg(&mut |i| {
         let (k, t0) = key_cases[i];
         let o = DynSystem::probe(&sig, k, t0);
         assert!(o.found && !o.aborted);
         (o.access, o.tuning)
     });
-    t.row(vec!["key".into(), "signature".into(), format!("{a:.0}"), format!("{tu:.0}")]);
+    t.row(vec![
+        "key".into(),
+        "signature".into(),
+        format!("{a:.0}"),
+        format!("{tu:.0}"),
+    ]);
 
     // Attribute queries (distributed indexing cannot answer these).
     let (a, tu) = avg(&mut |i| {
@@ -86,7 +103,12 @@ pub fn run(cli: &Cli) {
         assert!(o.found && !o.aborted);
         (o.access, o.tuning)
     });
-    t.row(vec!["attribute".into(), "hybrid".into(), format!("{a:.0}"), format!("{tu:.0}")]);
+    t.row(vec![
+        "attribute".into(),
+        "hybrid".into(),
+        format!("{a:.0}"),
+        format!("{tu:.0}"),
+    ]);
     let (a, tu) = avg(&mut |i| {
         let (v, t0) = attr_cases[i];
         let m = sig.attr_query(v);

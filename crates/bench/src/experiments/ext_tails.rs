@@ -31,17 +31,15 @@ pub fn run(cli: &Cli) {
             config: cli.sim_config(),
         })
         .collect();
-    let reports = run_cells(&specs);
+    let reports = match run_cells(&specs) {
+        Ok(reports) => reports,
+        Err(err) => {
+            eprintln!("tails sweep aborted: {err}");
+            return;
+        }
+    };
 
-    let mut t = Table::new(&[
-        "scheme",
-        "mean",
-        "p50",
-        "p95",
-        "p99",
-        "max",
-        "p99/mean",
-    ]);
+    let mut t = Table::new(&["scheme", "mean", "p50", "p95", "p99", "max", "p99/mean"]);
     for r in &reports {
         let p50 = r.access_quantile(0.50);
         let p95 = r.access_quantile(0.95);

@@ -30,7 +30,11 @@ pub fn run(cli: &Cli) {
     // Datasets first (shared across schemes at each size).
     let datasets: Vec<_> = sizes
         .iter()
-        .map(|&nr| DatasetBuilder::new(nr, cli.seed ^ nr as u64).build().unwrap())
+        .map(|&nr| {
+            DatasetBuilder::new(nr, cli.seed ^ nr as u64)
+                .build()
+                .unwrap()
+        })
         .collect();
 
     let specs: Vec<CellSpec> = datasets
@@ -46,7 +50,13 @@ pub fn run(cli: &Cli) {
             })
         })
         .collect();
-    let reports = run_cells(&specs);
+    let reports = match run_cells(&specs) {
+        Ok(reports) => reports,
+        Err(err) => {
+            eprintln!("fig4 sweep aborted: {err}");
+            return;
+        }
+    };
 
     // Analytical counterparts. Signature strings: datagen records carry
     // 4 attributes with the key as attribute 0 → 4 distinct strings.
@@ -121,5 +131,7 @@ pub fn run(cli: &Cli) {
     print!("{}", tt.render());
     let _ = at.write_csv("fig4a_access_vs_records");
     let _ = tt.write_csv("fig4b_tuning_vs_records");
-    println!("\n(csv: target/experiments/fig4a_access_vs_records.csv, fig4b_tuning_vs_records.csv)");
+    println!(
+        "\n(csv: target/experiments/fig4a_access_vs_records.csv, fig4b_tuning_vs_records.csv)"
+    );
 }

@@ -44,7 +44,13 @@ pub fn run(cli: &Cli) {
             })
         })
         .collect();
-    let reports = run_cells(&specs);
+    let reports = match run_cells(&specs) {
+        Ok(reports) => reports,
+        Err(err) => {
+            eprintln!("fig5 sweep aborted: {err}");
+            return;
+        }
+    };
 
     let headers: Vec<&str> = std::iter::once("availability%")
         .chain(schemes.iter().map(|s| s.name()))
@@ -70,7 +76,9 @@ pub fn run(cli: &Cli) {
 
     // Analytical overlay (extension models; the paper's Fig. 5 is purely
     // empirical). Hashing uses the realized layout statistics.
-    let hash_sys = bda_hash::HashScheme::new().build(&dataset, &params).unwrap();
+    let hash_sys = bda_hash::HashScheme::new()
+        .build(&dataset, &params)
+        .unwrap();
     let mut ma = Table::new(&headers);
     let mut mt = Table::new(&headers);
     for &pct in &AVAILABILITY {

@@ -42,7 +42,13 @@ pub fn run(cli: &Cli) {
             })
         })
         .collect();
-    let reports = run_cells(&specs);
+    let reports = match run_cells(&specs) {
+        Ok(reports) => reports,
+        Err(err) => {
+            eprintln!("fig6 sweep aborted: {err}");
+            return;
+        }
+    };
 
     let headers: Vec<&str> = std::iter::once("record/key")
         .chain(schemes.iter().map(|s| s.name()))

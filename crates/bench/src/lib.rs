@@ -29,7 +29,7 @@ pub mod sweep;
 pub mod table;
 
 pub use schemes::SchemeKind;
-pub use sweep::{run_cell, CellSpec};
+pub use sweep::{run_cell, run_cells, CellError, CellSpec};
 pub use table::Table;
 
 /// Parse the common CLI flags every experiment binary supports.

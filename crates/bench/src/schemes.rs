@@ -4,9 +4,7 @@ use bda_btree::{DistributedScheme, OneMScheme};
 use bda_core::{Dataset, DynSystem, Params, Result, Scheme};
 use bda_hash::HashScheme;
 use bda_hybrid::HybridScheme;
-use bda_signature::{
-    IntegratedSignatureScheme, MultiLevelSignatureScheme, SimpleSignatureScheme,
-};
+use bda_signature::{IntegratedSignatureScheme, MultiLevelSignatureScheme, SimpleSignatureScheme};
 
 /// The access methods the paper evaluates, plus the two signature
 /// extensions.
@@ -72,13 +70,9 @@ impl SchemeKind {
         Ok(match self {
             SchemeKind::Flat => Box::new(bda_core::FlatScheme.build(dataset, params)?),
             SchemeKind::OneM => Box::new(OneMScheme::new().build(dataset, params)?),
-            SchemeKind::Distributed => {
-                Box::new(DistributedScheme::new().build(dataset, params)?)
-            }
+            SchemeKind::Distributed => Box::new(DistributedScheme::new().build(dataset, params)?),
             SchemeKind::Hashing => Box::new(HashScheme::new().build(dataset, params)?),
-            SchemeKind::Signature => {
-                Box::new(SimpleSignatureScheme::new().build(dataset, params)?)
-            }
+            SchemeKind::Signature => Box::new(SimpleSignatureScheme::new().build(dataset, params)?),
             SchemeKind::IntegratedSignature => {
                 Box::new(IntegratedSignatureScheme::default().build(dataset, params)?)
             }

@@ -75,10 +75,7 @@ impl Table {
     /// right-aligned), for pasting into EXPERIMENTS.md.
     pub fn to_markdown(&self) -> String {
         let numeric: Vec<bool> = (0..self.headers.len())
-            .map(|c| {
-                !self.rows.is_empty()
-                    && self.rows.iter().all(|r| r[c].parse::<f64>().is_ok())
-            })
+            .map(|c| !self.rows.is_empty() && self.rows.iter().all(|r| r[c].parse::<f64>().is_ok()))
             .collect();
         let mut out = String::new();
         out.push_str(&format!("| {} |\n", self.headers.join(" | ")));

@@ -171,8 +171,8 @@ impl System for DistributedSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bda_core::Record;
     use bda_core::DynSystem;
+    use bda_core::Record;
 
     fn ds(n: u64) -> Dataset {
         Dataset::new((0..n).map(|i| Record::keyed(i * 3)).collect()).unwrap()

@@ -125,9 +125,7 @@ impl ProtocolMachine<BTreePayload> for BTreeMachine {
                 }
             },
             State::Fetch => match payload {
-                BTreePayload::Data(db) if db.key == self.key => {
-                    Action::Finish(Verdict::found())
-                }
+                BTreePayload::Data(db) if db.key == self.key => Action::Finish(Verdict::found()),
                 _ => {
                     debug_assert!(false, "data pointer resolved to the wrong bucket");
                     Action::Finish(Verdict::not_found())

@@ -111,8 +111,7 @@ impl Scheme for OneMScheme {
 
         let pre = preorder(&tree);
         let bounds = segment_bounds(dataset.len(), m);
-        let mut slots =
-            Vec::with_capacity(m * pre.len() + dataset.len());
+        let mut slots = Vec::with_capacity(m * pre.len() + dataset.len());
         for s in 0..m {
             for (i, &(level, node)) in pre.iter().enumerate() {
                 slots.push(Slot::Index {
@@ -155,8 +154,8 @@ impl System for OneMSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bda_core::Record;
     use bda_core::DynSystem;
+    use bda_core::Record;
 
     fn ds(n: u64) -> Dataset {
         Dataset::new((0..n).map(|i| Record::keyed(i * 3)).collect()).unwrap()

@@ -166,7 +166,9 @@ mod tests {
         // Exhaustive check against brute force.
         for (nr, i) in [(1000usize, 7usize), (5000, 40), (123, 5)] {
             let cost = |m: usize| nr as f64 / m as f64 + (i * m) as f64;
-            let brute = (1..=nr).min_by(|&a, &b| cost(a).total_cmp(&cost(b))).unwrap();
+            let brute = (1..=nr)
+                .min_by(|&a, &b| cost(a).total_cmp(&cost(b)))
+                .unwrap();
             assert_eq!(cost(optimal_m(nr, i)), cost(brute), "nr={nr} i={i}");
         }
     }
@@ -188,10 +190,7 @@ mod tests {
         }
         let r = optimal_r(n, k, nr);
         assert!(r < k);
-        let best = costs
-            .iter()
-            .cloned()
-            .fold(f64::INFINITY, f64::min);
+        let best = costs.iter().cloned().fold(f64::INFINITY, f64::min);
         assert_eq!(distributed_access_buckets(n, k, r, nr), best);
     }
 

@@ -104,8 +104,7 @@ impl Options {
 }
 
 fn parse_num<T: std::str::FromStr>(flag: &str, s: &str) -> Result<T, String> {
-    s.parse()
-        .map_err(|_| format!("{flag}: cannot parse {s:?}"))
+    s.parse().map_err(|_| format!("{flag}: cannot parse {s:?}"))
 }
 
 #[cfg(test)]
@@ -127,7 +126,14 @@ mod tests {
     #[test]
     fn flags_override() {
         let o = parse(&[
-            "--scheme", "hashing", "--records", "42", "--tune-in", "9", "--loss", "2.5",
+            "--scheme",
+            "hashing",
+            "--records",
+            "42",
+            "--tune-in",
+            "9",
+            "--loss",
+            "2.5",
         ])
         .unwrap();
         assert_eq!(o.scheme, "hashing");

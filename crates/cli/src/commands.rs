@@ -5,9 +5,7 @@ use bda_core::{Dataset, DynSystem, ErrorModel, Key, Params, Scheme};
 use bda_datagen::{DatasetBuilder, Popularity, QueryWorkload};
 use bda_hash::HashScheme;
 use bda_hybrid::HybridScheme;
-use bda_signature::{
-    IntegratedSignatureScheme, MultiLevelSignatureScheme, SimpleSignatureScheme,
-};
+use bda_signature::{IntegratedSignatureScheme, MultiLevelSignatureScheme, SimpleSignatureScheme};
 use bda_sim::{SimConfig, Simulator};
 
 use crate::args::Options;
@@ -36,11 +34,17 @@ fn dataset(o: &Options) -> Result<(Dataset, Vec<Key>), String> {
 
 fn build_dyn(name: &str, ds: &Dataset, p: &Params) -> Result<Box<dyn DynSystem>, String> {
     let sys: Box<dyn DynSystem> = match name {
-        "flat" => Box::new(bda_core::FlatScheme.build(ds, p).map_err(|e| e.to_string())?),
+        "flat" => Box::new(
+            bda_core::FlatScheme
+                .build(ds, p)
+                .map_err(|e| e.to_string())?,
+        ),
         "one-m" | "(1,m)" => Box::new(OneMScheme::new().build(ds, p).map_err(|e| e.to_string())?),
-        "distributed" => {
-            Box::new(DistributedScheme::new().build(ds, p).map_err(|e| e.to_string())?)
-        }
+        "distributed" => Box::new(
+            DistributedScheme::new()
+                .build(ds, p)
+                .map_err(|e| e.to_string())?,
+        ),
         "hashing" => Box::new(HashScheme::new().build(ds, p).map_err(|e| e.to_string())?),
         "signature" => Box::new(
             SimpleSignatureScheme::new()
@@ -57,8 +61,17 @@ fn build_dyn(name: &str, ds: &Dataset, p: &Params) -> Result<Box<dyn DynSystem>,
                 .build(ds, p)
                 .map_err(|e| e.to_string())?,
         ),
-        "hybrid" => Box::new(HybridScheme::new().build(ds, p).map_err(|e| e.to_string())?),
-        other => return Err(format!("unknown scheme {other:?} (try: {})", SCHEMES.join(", "))),
+        "hybrid" => Box::new(
+            HybridScheme::new()
+                .build(ds, p)
+                .map_err(|e| e.to_string())?,
+        ),
+        other => {
+            return Err(format!(
+                "unknown scheme {other:?} (try: {})",
+                SCHEMES.join(", ")
+            ))
+        }
     };
     Ok(sys)
 }
@@ -73,7 +86,12 @@ pub fn inspect(o: &Options) -> Result<(), String> {
     let data_bytes = ds.len() as u64 * u64::from(p.data_bucket_size());
     println!("scheme            : {}", sys.scheme_name());
     println!("records           : {}", ds.len());
-    println!("record/key ratio  : {} ({}B / {}B)", p.record_key_ratio(), p.record_size, p.key_size);
+    println!(
+        "record/key ratio  : {} ({}B / {}B)",
+        p.record_key_ratio(),
+        p.record_size,
+        p.key_size
+    );
     println!("buckets per cycle : {buckets}");
     println!("cycle length      : {cycle} bytes");
     println!(
@@ -85,19 +103,25 @@ pub fn inspect(o: &Options) -> Result<(), String> {
     // Scheme-specific details where the typed system exposes them.
     match o.scheme.as_str() {
         "distributed" => {
-            let sys = DistributedScheme::new().build(&ds, &p).map_err(|e| e.to_string())?;
+            let sys = DistributedScheme::new()
+                .build(&ds, &p)
+                .map_err(|e| e.to_string())?;
             println!("tree levels (k)   : {}", sys.num_levels());
             println!("replicated levels : {} (optimal)", sys.r());
             println!("index segments    : {}", sys.num_segments());
         }
         "one-m" | "(1,m)" => {
-            let sys = OneMScheme::new().build(&ds, &p).map_err(|e| e.to_string())?;
+            let sys = OneMScheme::new()
+                .build(&ds, &p)
+                .map_err(|e| e.to_string())?;
             println!("tree levels (k)   : {}", sys.num_levels());
             println!("data segments (m) : {} (optimal)", sys.m());
             println!("index buckets/copy: {}", sys.index_buckets_per_copy());
         }
         "hashing" => {
-            let sys = HashScheme::new().build(&ds, &p).map_err(|e| e.to_string())?;
+            let sys = HashScheme::new()
+                .build(&ds, &p)
+                .map_err(|e| e.to_string())?;
             println!("allocated (Na)    : {}", sys.na());
             println!("collisions (Nc)   : {}", sys.num_collisions());
             println!("empty slots       : {}", sys.num_empty());
@@ -136,23 +160,33 @@ pub fn trace(o: &Options) -> Result<(), String> {
     );
     let t: Trace = match o.scheme.as_str() {
         "flat" => {
-            let sys = bda_core::FlatScheme.build(&ds, &p).map_err(|e| e.to_string())?;
+            let sys = bda_core::FlatScheme
+                .build(&ds, &p)
+                .map_err(|e| e.to_string())?;
             trace_query(&sys, key, o.tune_in, errors, describe::flat)
         }
         "one-m" | "(1,m)" => {
-            let sys = OneMScheme::new().build(&ds, &p).map_err(|e| e.to_string())?;
+            let sys = OneMScheme::new()
+                .build(&ds, &p)
+                .map_err(|e| e.to_string())?;
             trace_query(&sys, key, o.tune_in, errors, describe::btree)
         }
         "distributed" => {
-            let sys = DistributedScheme::new().build(&ds, &p).map_err(|e| e.to_string())?;
+            let sys = DistributedScheme::new()
+                .build(&ds, &p)
+                .map_err(|e| e.to_string())?;
             trace_query(&sys, key, o.tune_in, errors, describe::btree)
         }
         "hashing" => {
-            let sys = HashScheme::new().build(&ds, &p).map_err(|e| e.to_string())?;
+            let sys = HashScheme::new()
+                .build(&ds, &p)
+                .map_err(|e| e.to_string())?;
             trace_query(&sys, key, o.tune_in, errors, describe::hash)
         }
         "signature" => {
-            let sys = SimpleSignatureScheme::new().build(&ds, &p).map_err(|e| e.to_string())?;
+            let sys = SimpleSignatureScheme::new()
+                .build(&ds, &p)
+                .map_err(|e| e.to_string())?;
             trace_query(&sys, key, o.tune_in, errors, describe::sig)
         }
         "integrated-signature" => {
@@ -168,10 +202,17 @@ pub fn trace(o: &Options) -> Result<(), String> {
             trace_query(&sys, key, o.tune_in, errors, describe::sig)
         }
         "hybrid" => {
-            let sys = HybridScheme::new().build(&ds, &p).map_err(|e| e.to_string())?;
+            let sys = HybridScheme::new()
+                .build(&ds, &p)
+                .map_err(|e| e.to_string())?;
             trace_query(&sys, key, o.tune_in, errors, describe::hybrid)
         }
-        other => return Err(format!("unknown scheme {other:?} (try: {})", SCHEMES.join(", "))),
+        other => {
+            return Err(format!(
+                "unknown scheme {other:?} (try: {})",
+                SCHEMES.join(", ")
+            ))
+        }
     };
     // Long scans are elided in the middle to keep traces readable.
     const HEAD: usize = 30;
@@ -250,10 +291,20 @@ pub fn simulate(o: &Options) -> Result<(), String> {
     cfg.accuracy = o.accuracy;
     let r = Simulator::new(sys.as_ref(), workload, cfg).run();
     println!("scheme        : {}", r.scheme);
-    println!("requests      : {} ({} rounds{})", r.requests, r.rounds,
-        if r.converged { "" } else { ", NOT converged" });
-    println!("access time   : {:.0} ± {:.0} bytes (99% CI)", r.access.mean, r.access.ci_half_width);
-    println!("tuning time   : {:.0} ± {:.0} bytes (99% CI)", r.tuning.mean, r.tuning.ci_half_width);
+    println!(
+        "requests      : {} ({} rounds{})",
+        r.requests,
+        r.rounds,
+        if r.converged { "" } else { ", NOT converged" }
+    );
+    println!(
+        "access time   : {:.0} ± {:.0} bytes (99% CI)",
+        r.access.mean, r.access.ci_half_width
+    );
+    println!(
+        "tuning time   : {:.0} ± {:.0} bytes (99% CI)",
+        r.tuning.mean, r.tuning.ci_half_width
+    );
     println!("found         : {} / {}", r.found, r.requests);
     println!("false drops   : {}", r.false_drops);
     println!("cycle length  : {} bytes", r.cycle_len);

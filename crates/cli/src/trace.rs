@@ -1,9 +1,7 @@
 //! Typed walk tracing: run one query and render each protocol step with a
 //! human-readable description of the bucket it touched.
 
-use bda_core::{
-    Channel, ErrorModel, Key, ProtocolMachine, System, Ticks, Walk, WalkStep,
-};
+use bda_core::{Channel, ErrorModel, Key, ProtocolMachine, System, Ticks, Walk, WalkStep};
 
 /// One rendered trace plus the query outcome.
 pub struct Trace {
@@ -136,10 +134,14 @@ pub mod describe {
         use bda_hybrid::HybridPayload as H;
         match p {
             H::Index { node, .. } => btree(&bda_btree::BTreePayload::Index(node.clone())),
-            H::Sig { sig, record_index, .. } => {
+            H::Sig {
+                sig, record_index, ..
+            } => {
                 format!("sig   rec#{record_index} weight={}", sig.weight())
             }
-            H::Data { key, record_index, .. } => {
+            H::Data {
+                key, record_index, ..
+            } => {
                 format!("data  key={key} rec#{record_index}")
             }
         }
@@ -154,7 +156,9 @@ pub mod describe {
             SigPayload::GroupSig { sig, group_len, .. } => {
                 format!("gsig  frame of {group_len} weight={}", sig.weight())
             }
-            SigPayload::Data { key, record_index, .. } => {
+            SigPayload::Data {
+                key, record_index, ..
+            } => {
                 format!("data  key={key} rec#{record_index}")
             }
         }
@@ -170,7 +174,13 @@ mod tests {
     fn trace_lines_cover_the_walk() {
         let ds = Dataset::new((0..8).map(|i| Record::keyed(i * 2)).collect()).unwrap();
         let sys = FlatScheme.build(&ds, &Params::paper()).unwrap();
-        let t = trace_query(&sys, bda_core::Key(6), 100, ErrorModel::NONE, describe::flat);
+        let t = trace_query(
+            &sys,
+            bda_core::Key(6),
+            100,
+            ErrorModel::NONE,
+            describe::flat,
+        );
         assert!(t.outcome.found);
         assert!(t.lines.first().unwrap().contains("TUNE-IN"));
         assert!(t.lines.last().unwrap().contains("FOUND"));

@@ -44,7 +44,10 @@ impl fmt::Display for BdaError {
         match self {
             BdaError::EmptyDataset => write!(f, "dataset contains no records"),
             BdaError::UnsortedDataset { index } => {
-                write!(f, "dataset records are not sorted by key (at index {index})")
+                write!(
+                    f,
+                    "dataset records are not sorted by key (at index {index})"
+                )
             }
             BdaError::DuplicateKey { key } => {
                 write!(f, "dataset contains duplicate key {key}")

@@ -52,7 +52,7 @@ pub use machine::{
 };
 pub use params::Params;
 pub use record::{Dataset, Record};
-pub use scheme::{DynSystem, QueryRun, Scheme, System};
+pub use scheme::{DynSystem, QueryRun, QuerySlot, Scheme, System, WalkSlot};
 
 /// Simulation time, measured in **bytes broadcast** since time zero.
 ///

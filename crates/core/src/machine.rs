@@ -188,7 +188,9 @@ impl<'a, P, M: ProtocolMachine<P>> Walk<'a, P, M> {
         // budget of four cycles plus slack catches runaway machines without
         // ever triggering for correct ones on a lossless channel. Lossy
         // channels get a budget scaled by the expected retry factor.
-        let base = (ch.num_buckets() as u32).saturating_mul(4).saturating_add(64);
+        let base = (ch.num_buckets() as u32)
+            .saturating_mul(4)
+            .saturating_add(64);
         let max_probes = if errors.loss_prob > 0.0 {
             let factor = (1.0 / (1.0 - errors.loss_prob.min(0.99))).ceil() as u32 + 4;
             base.saturating_mul(factor)

@@ -45,7 +45,9 @@ impl Params {
     /// 5 to 100, i.e. key sizes from 100 down to 5 bytes).
     pub fn with_record_key_ratio(ratio: u32) -> Result<Self> {
         if ratio == 0 {
-            return Err(BdaError::BadParams("record/key ratio must be positive".into()));
+            return Err(BdaError::BadParams(
+                "record/key ratio must be positive".into(),
+            ));
         }
         let record_size = 500;
         let key_size = (record_size / ratio).max(1);

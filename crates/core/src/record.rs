@@ -142,12 +142,8 @@ mod tests {
 
     #[test]
     fn from_unsorted_sorts_first() {
-        let d = Dataset::from_unsorted(vec![
-            Record::keyed(5),
-            Record::keyed(1),
-            Record::keyed(3),
-        ])
-        .unwrap();
+        let d = Dataset::from_unsorted(vec![Record::keyed(5), Record::keyed(1), Record::keyed(3)])
+            .unwrap();
         let keys: Vec<u64> = d.keys().map(Key::value).collect();
         assert_eq!(keys, vec![1, 3, 5]);
     }

@@ -71,6 +71,78 @@ impl<P, M: ProtocolMachine<P>> QueryRun for Walk<'_, P, M> {
     }
 }
 
+/// A **reusable** stepping-query slot: the allocation-free counterpart of
+/// [`DynSystem::begin`].
+///
+/// [`DynSystem::begin`] boxes a fresh walker per request, which caps how
+/// many concurrent clients a simulation can sustain. A `QuerySlot` is
+/// allocated once (per *concurrent client slot*, not per request) and then
+/// re-armed with [`QuerySlot::start`] for each new query, so a steady-state
+/// simulation with a bounded client population performs no per-request heap
+/// allocation at all. The discrete-event engine in `bda-sim` keeps a slab
+/// of these.
+pub trait QuerySlot {
+    /// (Re)arm the slot for a new query on `key` tuning in at `tune_in`.
+    /// Any previous query's state is discarded; internal storage is reused.
+    fn start(&mut self, key: Key, tune_in: Ticks);
+
+    /// Perform the next protocol action of the current query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot was never started.
+    fn step(&mut self) -> WalkStep;
+
+    /// Absolute time the current query has reached.
+    fn now(&self) -> Ticks;
+
+    /// Whether the current query has completed (also true before the first
+    /// [`QuerySlot::start`]).
+    fn is_done(&self) -> bool;
+}
+
+/// The canonical [`QuerySlot`] for any [`System`]: an in-place
+/// [`Walk`], rebuilt (not reallocated) on every [`QuerySlot::start`].
+pub struct WalkSlot<'a, S: System> {
+    system: &'a S,
+    walk: Option<Walk<'a, S::Payload, S::Machine>>,
+}
+
+impl<'a, S: System> WalkSlot<'a, S> {
+    /// An empty slot for `system`; call [`QuerySlot::start`] to arm it.
+    pub fn new(system: &'a S) -> Self {
+        WalkSlot { system, walk: None }
+    }
+}
+
+impl<S: System> QuerySlot for WalkSlot<'_, S> {
+    fn start(&mut self, key: Key, tune_in: Ticks) {
+        self.walk = Some(Walk::new(
+            self.system.channel(),
+            self.system.query(key),
+            tune_in,
+        ));
+    }
+
+    fn step(&mut self) -> WalkStep {
+        self.walk
+            .as_mut()
+            .expect("QuerySlot::step before start")
+            .step()
+    }
+
+    fn now(&self) -> Ticks {
+        self.walk
+            .as_ref()
+            .expect("QuerySlot::now before start")
+            .now()
+    }
+
+    fn is_done(&self) -> bool {
+        self.walk.as_ref().map_or(true, Walk::is_done)
+    }
+}
+
 /// Object-safe view of a [`System`], so the testbed and harness can treat
 /// heterogeneous schemes uniformly (`Box<dyn DynSystem>`).
 ///
@@ -97,6 +169,11 @@ pub trait DynSystem: Send + Sync {
 
     /// Start a stepping query for the event-driven testbed.
     fn begin(&self, key: Key, tune_in: Ticks) -> Box<dyn QueryRun + '_>;
+
+    /// Allocate a reusable client slot. One slot serves many sequential
+    /// queries via [`QuerySlot::start`]; the slab-based event engine keeps
+    /// one per concurrent client instead of boxing a walker per request.
+    fn make_slot(&self) -> Box<dyn QuerySlot + '_>;
 }
 
 impl<S: System> DynSystem for S
@@ -125,6 +202,10 @@ where
 
     fn begin(&self, key: Key, tune_in: Ticks) -> Box<dyn QueryRun + '_> {
         Box::new(Walk::new(self.channel(), self.query(key), tune_in))
+    }
+
+    fn make_slot(&self) -> Box<dyn QuerySlot + '_> {
+        Box::new(WalkSlot::new(self))
     }
 }
 
@@ -157,15 +238,35 @@ mod tests {
 
         assert_eq!(dynsys.scheme_name(), "flat");
         assert_eq!(dynsys.num_buckets(), 8);
-        assert_eq!(
-            dynsys.cycle_len(),
-            8 * u64::from(params.data_bucket_size())
-        );
+        assert_eq!(dynsys.cycle_len(), 8 * u64::from(params.data_bucket_size()));
 
         for t in [0u64, 17, 1000, 5555] {
             let a = run_machine(sys.channel(), sys.query(Key(30)), t);
             let b = dynsys.probe(Key(30), t);
             assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn reused_slot_agrees_with_one_shot_probe() {
+        let ds = tiny_dataset();
+        let sys = FlatScheme.build(&ds, &Params::paper()).unwrap();
+        let dynsys: &dyn DynSystem = &sys;
+        let mut slot = dynsys.make_slot();
+        assert!(slot.is_done(), "fresh slot is idle");
+        // One slot serves many sequential queries.
+        for key in [Key(0), Key(50), Key(55), Key(20)] {
+            for t in [0u64, 123, 4096] {
+                slot.start(key, t);
+                assert!(!slot.is_done());
+                let stepped = loop {
+                    if let WalkStep::Done(out) = slot.step() {
+                        break out;
+                    }
+                };
+                assert!(slot.is_done());
+                assert_eq!(stepped, dynsys.probe(key, t));
+            }
         }
     }
 

@@ -17,18 +17,18 @@ pub struct Dictionary {
 }
 
 const ONSETS: &[&str] = &[
-    "b", "bl", "br", "c", "ch", "cl", "cr", "d", "dr", "f", "fl", "fr", "g", "gl", "gr", "h",
-    "j", "k", "l", "m", "n", "p", "ph", "pl", "pr", "qu", "r", "s", "sc", "sh", "sk", "sl",
-    "sm", "sn", "sp", "st", "str", "sw", "t", "th", "tr", "v", "w", "wh", "z",
+    "b", "bl", "br", "c", "ch", "cl", "cr", "d", "dr", "f", "fl", "fr", "g", "gl", "gr", "h", "j",
+    "k", "l", "m", "n", "p", "ph", "pl", "pr", "qu", "r", "s", "sc", "sh", "sk", "sl", "sm", "sn",
+    "sp", "st", "str", "sw", "t", "th", "tr", "v", "w", "wh", "z",
 ];
 const NUCLEI: &[&str] = &[
     "a", "ai", "au", "e", "ea", "ee", "ei", "i", "ia", "ie", "o", "oa", "oi", "oo", "ou", "u",
     "ue", "y",
 ];
 const CODAS: &[&str] = &[
-    "", "b", "ck", "ct", "d", "ft", "g", "k", "l", "ll", "lt", "m", "mp", "n", "nd", "ng",
-    "nk", "nt", "p", "r", "rd", "rk", "rm", "rn", "rt", "s", "sh", "sk", "sp", "ss", "st",
-    "t", "th", "x",
+    "", "b", "ck", "ct", "d", "ft", "g", "k", "l", "ll", "lt", "m", "mp", "n", "nd", "ng", "nk",
+    "nt", "p", "r", "rd", "rk", "rm", "rn", "rt", "s", "sh", "sk", "sp", "ss", "st", "t", "th",
+    "x",
 ];
 
 /// Generate one pronounceable word from an ordinal, deterministically.

@@ -69,7 +69,11 @@ mod tests {
 
     #[test]
     fn slots_are_in_range() {
-        for f in [HashFn::Mixed, HashFn::Modulo, HashFn::Clustered { factor: 4 }] {
+        for f in [
+            HashFn::Mixed,
+            HashFn::Modulo,
+            HashFn::Clustered { factor: 4 },
+        ] {
             for k in 0..1000u64 {
                 assert!(f.slot(Key(k.wrapping_mul(0x12345)), 97) < 97);
             }
@@ -93,8 +97,9 @@ mod tests {
         // Sequential even keys with even na: only even slots hit — the
         // classic failure a "good" hash avoids.
         let na = 10u64;
-        let hit: std::collections::HashSet<u64> =
-            (0..100u64).map(|k| HashFn::Modulo.slot(Key(k * 2), na)).collect();
+        let hit: std::collections::HashSet<u64> = (0..100u64)
+            .map(|k| HashFn::Modulo.slot(Key(k * 2), na))
+            .collect();
         assert!(hit.iter().all(|s| s % 2 == 0));
     }
 
@@ -104,7 +109,11 @@ mod tests {
         let hit: std::collections::HashSet<u64> = (0..5_000u64)
             .map(|k| HashFn::Clustered { factor: 5 }.slot(Key(mix_for_test(k)), na))
             .collect();
-        assert!(hit.len() <= 20, "only every 5th slot reachable, got {}", hit.len());
+        assert!(
+            hit.len() <= 20,
+            "only every 5th slot reachable, got {}",
+            hit.len()
+        );
     }
 
     fn mix_for_test(v: u64) -> u64 {

@@ -1,8 +1,8 @@
 //! Channel layout and client protocol for simple hashing.
 
 use bda_core::{
-    Action, BdaError, Bucket, BucketMeta, Channel, Dataset, Key, Params, ProtocolMachine,
-    Result, Scheme, System, Ticks, Verdict,
+    Action, BdaError, Bucket, BucketMeta, Channel, Dataset, Key, Params, ProtocolMachine, Result,
+    Scheme, System, Ticks, Verdict,
 };
 
 use crate::hash_fn::HashFn;
@@ -322,8 +322,8 @@ impl HashMachine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bda_core::Record;
     use bda_core::DynSystem;
+    use bda_core::Record;
 
     fn ds(n: u64) -> Dataset {
         // Spread keys via a multiplier so Mixed and Modulo both behave.
@@ -345,10 +345,7 @@ mod tests {
             sys.channel().num_buckets(),
             sys.na() as usize + sys.num_collisions()
         );
-        assert_eq!(
-            sys.channel().num_buckets(),
-            500 + sys.num_empty()
-        );
+        assert_eq!(sys.channel().num_buckets(), 500 + sys.num_empty());
     }
 
     #[test]
@@ -491,9 +488,7 @@ mod tests {
         for b in ch.buckets() {
             let p = &b.payload;
             if let Some(shift) = p.shift_buckets {
-                let tgt = ch
-                    .bucket((p.phys + shift) as usize)
-                    .payload;
+                let tgt = ch.bucket((p.phys + shift) as usize).payload;
                 // The chain-start bucket is either empty (hash value unused)
                 // or begins the chain for hash value == phys.
                 if let Some(e) = tgt.entry {

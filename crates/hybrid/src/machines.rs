@@ -133,9 +133,7 @@ impl ProtocolMachine<HybridPayload> for HybridAttrMachine {
                 } else {
                     self.coverage.mark(*record_index);
                     if self.coverage.is_full() {
-                        Action::Finish(
-                            Verdict::not_found().with_false_drops(self.false_drops),
-                        )
+                        Action::Finish(Verdict::not_found().with_false_drops(self.false_drops))
                     } else {
                         // Skip this record's data bucket and any index
                         // segment behind it, straight to the next signature.
@@ -269,12 +267,8 @@ mod tests {
     #[test]
     fn alignment_reads_hop_to_next_signature() {
         let sigp = SigParams::default();
-        let mut m = HybridAttrMachine::new(
-            QueryTarget::Attribute(1),
-            sigp.attr_signature(1),
-            5,
-            533,
-        );
+        let mut m =
+            HybridAttrMachine::new(QueryTarget::Attribute(1), sigp.attr_signature(1), 5, 533);
         m.start(0);
         let idx = HybridPayload::Index {
             node: bda_btree::IndexBucket {

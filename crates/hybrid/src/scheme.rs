@@ -17,8 +17,7 @@ use bda_btree::optimal::optimal_r_ragged;
 use bda_btree::{ControlEntry, IndexBucket, IndexEntry, IndexTree};
 use bda_core::machine::run_machine;
 use bda_core::{
-    AccessOutcome, BdaError, Bucket, Channel, Dataset, Key, Params, Result, Scheme, System,
-    Ticks,
+    AccessOutcome, BdaError, Bucket, Channel, Dataset, Key, Params, Result, Scheme, System, Ticks,
 };
 use bda_signature::{QueryTarget, SigParams};
 
@@ -213,9 +212,7 @@ impl Scheme for HybridScheme {
                 Slot::Sig(_) => sig_starts.push(starts[i]),
                 Slot::Data(d) => {
                     if data_start[d].replace(starts[i]).is_some() {
-                        return Err(BdaError::BuildError(format!(
-                            "record {d} appears twice"
-                        )));
+                        return Err(BdaError::BuildError(format!("record {d} appears twice")));
                     }
                 }
             }
@@ -235,11 +232,18 @@ impl Scheme for HybridScheme {
         let next_in = |sorted: &[Ticks], from_end: Ticks| -> Ticks {
             let from = from_end % cycle;
             let i = sorted.partition_point(|&s| s < from);
-            let target = if i == sorted.len() { sorted[0] } else { sorted[i] };
+            let target = if i == sorted.len() {
+                sorted[0]
+            } else {
+                sorted[i]
+            };
             fwd(from_end, target)
         };
         let nearest_occ = |occs: &[Ticks], from_end: Ticks| -> Ticks {
-            occs.iter().map(|&o| fwd(from_end, o)).min().expect("non-empty")
+            occs.iter()
+                .map(|&o| fwd(from_end, o))
+                .min()
+                .expect("non-empty")
         };
 
         // --- payload construction ------------------------------------------
@@ -279,13 +283,12 @@ impl Scheme for HybridScheme {
                                 data_start[lo + j].expect("validated above")
                             } else {
                                 let child = tree.child(level, node, j);
-                                let occs =
-                                    index_occ.get(&(level + 1, child)).ok_or_else(|| {
-                                        BdaError::BuildError(format!(
-                                            "child ({}, {child}) never broadcast",
-                                            level + 1
-                                        ))
-                                    })?;
+                                let occs = index_occ.get(&(level + 1, child)).ok_or_else(|| {
+                                    BdaError::BuildError(format!(
+                                        "child ({}, {child}) never broadcast",
+                                        level + 1
+                                    ))
+                                })?;
                                 let d = nearest_occ(occs, end);
                                 return Ok(IndexEntry {
                                     max_key: tnode.child_max[j],

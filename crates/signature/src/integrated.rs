@@ -7,8 +7,8 @@
 //! so frames false-drop more) for far fewer signature probes.
 
 use bda_core::{
-    Action, Bucket, BucketMeta, Channel, Coverage, Dataset, Key, Params, ProtocolMachine,
-    Result, Scheme, System, Ticks, Verdict,
+    Action, Bucket, BucketMeta, Channel, Coverage, Dataset, Key, Params, ProtocolMachine, Result,
+    Scheme, System, Ticks, Verdict,
 };
 
 use crate::sig::{SigParams, Signature};
@@ -177,9 +177,7 @@ impl ProtocolMachine<SigPayload> for IntegratedMachine {
                     // frame at once.
                     self.coverage.mark_range(*first_record, *group_len);
                     if self.coverage.is_full() {
-                        Action::Finish(
-                            Verdict::not_found().with_false_drops(self.false_drops),
-                        )
+                        Action::Finish(Verdict::not_found().with_false_drops(self.false_drops))
                     } else {
                         // Doze over the whole frame.
                         Action::DozeTo(meta.end + Ticks::from(*group_len) * self.data_size)
@@ -208,7 +206,10 @@ impl ProtocolMachine<SigPayload> for IntegratedMachine {
                 }
             }
             SigPayload::RecordSig { .. } => {
-                debug_assert!(false, "record signatures do not appear in integrated layout");
+                debug_assert!(
+                    false,
+                    "record signatures do not appear in integrated layout"
+                );
                 Action::ReadNext
             }
         }
@@ -218,8 +219,8 @@ impl ProtocolMachine<SigPayload> for IntegratedMachine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bda_core::Record;
     use bda_core::DynSystem;
+    use bda_core::Record;
 
     fn ds(n: u64) -> Dataset {
         Dataset::new(

@@ -7,8 +7,8 @@
 //! drops cost a record signature rather than a whole data bucket.
 
 use bda_core::{
-    Action, Bucket, BucketMeta, Channel, Coverage, Dataset, Key, Params, ProtocolMachine,
-    Result, Scheme, System, Ticks, Verdict,
+    Action, Bucket, BucketMeta, Channel, Coverage, Dataset, Key, Params, ProtocolMachine, Result,
+    Scheme, System, Ticks, Verdict,
 };
 
 use crate::sig::{SigParams, Signature};
@@ -206,14 +206,11 @@ impl ProtocolMachine<SigPayload> for MultiLevelMachine {
                     // No false negatives: the whole frame is ruled out.
                     self.coverage.mark_range(*first_record, *group_len);
                     if self.coverage.is_full() {
-                        Action::Finish(
-                            Verdict::not_found().with_false_drops(self.false_drops),
-                        )
+                        Action::Finish(Verdict::not_found().with_false_drops(self.false_drops))
                     } else {
                         // Doze over the frame: group_len × (sig + data).
                         Action::DozeTo(
-                            meta.end
-                                + Ticks::from(*group_len) * (self.sig_size + self.data_size),
+                            meta.end + Ticks::from(*group_len) * (self.sig_size + self.data_size),
                         )
                     }
                 }
@@ -261,8 +258,8 @@ impl ProtocolMachine<SigPayload> for MultiLevelMachine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bda_core::Record;
     use bda_core::DynSystem;
+    use bda_core::Record;
 
     fn ds(n: u64) -> Dataset {
         Dataset::new(

@@ -7,8 +7,8 @@
 //! match.
 
 use bda_core::{
-    Action, Bucket, BucketMeta, Channel, Coverage, Dataset, Key, Params, ProtocolMachine,
-    Result, Scheme, System, Ticks, Verdict,
+    Action, Bucket, BucketMeta, Channel, Coverage, Dataset, Key, Params, ProtocolMachine, Result,
+    Scheme, System, Ticks, Verdict,
 };
 
 use crate::sig::{SigParams, Signature};
@@ -181,7 +181,10 @@ impl SimpleSignatureSystem {
     /// carrying attribute value `value`. Run it with
     /// [`bda_core::machine::run_machine`] or [`bda_core::Walk`].
     pub fn attr_query(&self, value: u64) -> SimpleSigMachine {
-        self.machine(QueryTarget::Attribute(value), self.sig.attr_signature(value))
+        self.machine(
+            QueryTarget::Attribute(value),
+            self.sig.attr_signature(value),
+        )
     }
 
     fn machine(&self, target: QueryTarget, query: Signature) -> SimpleSigMachine {
@@ -237,9 +240,7 @@ impl ProtocolMachine<SigPayload> for SimpleSigMachine {
                     // A non-matching signature rules its record out.
                     self.coverage.mark(*record_index);
                     if self.coverage.is_full() {
-                        Action::Finish(
-                            Verdict::not_found().with_false_drops(self.false_drops),
-                        )
+                        Action::Finish(Verdict::not_found().with_false_drops(self.false_drops))
                     } else {
                         // Doze over the data bucket to the next signature.
                         Action::DozeTo(meta.end + self.data_size)
@@ -280,8 +281,8 @@ impl ProtocolMachine<SigPayload> for SimpleSigMachine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bda_core::Record;
     use bda_core::DynSystem;
+    use bda_core::Record;
 
     fn ds(n: u64) -> Dataset {
         Dataset::new(

@@ -7,15 +7,19 @@ use bda_signature::{
 use proptest::prelude::*;
 
 fn arb_records() -> impl Strategy<Value = Dataset> {
-    prop::collection::btree_map(0u64..1 << 48, prop::collection::vec(any::<u64>(), 0..5), 1..120)
-        .prop_map(|m| {
-            Dataset::new(
-                m.into_iter()
-                    .map(|(k, attrs)| Record::new(Key(k), attrs))
-                    .collect(),
-            )
-            .unwrap()
-        })
+    prop::collection::btree_map(
+        0u64..1 << 48,
+        prop::collection::vec(any::<u64>(), 0..5),
+        1..120,
+    )
+    .prop_map(|m| {
+        Dataset::new(
+            m.into_iter()
+                .map(|(k, attrs)| Record::new(Key(k), attrs))
+                .collect(),
+        )
+        .unwrap()
+    })
 }
 
 fn arb_sig() -> impl Strategy<Value = SigParams> {

@@ -8,11 +8,37 @@
 //! "broadcasting of each data item, generation of each user request and
 //! processing of the request are all considered to be separate events …
 //! handled independently" (§3).
+//!
+//! # Architecture
+//!
+//! The engine scales to very large concurrent client populations through
+//! three structural choices (see DESIGN.md, "Discrete-event engine"):
+//!
+//! * **Slab-backed client arena.** Clients live in reusable
+//!   [`QuerySlot`]s held in a slab (`Vec` + free list). A slot is
+//!   allocated once per *concurrent client*, then re-armed for each new
+//!   request — at steady state the engine performs no per-request heap
+//!   allocation, where the previous design boxed a fresh
+//!   `Box<dyn QueryRun>` per request.
+//! * **Bucket-aligned wakeup scheduler.** After its first step a client
+//!   only ever wakes at a bucket boundary of the one shared broadcast
+//!   cycle, so pending wake-ups collapse onto few distinct instants. The
+//!   scheduler batches all clients waking at the same instant behind a
+//!   single entry in an ordered map of *distinct times*: scheduler
+//!   traffic is `O(distinct boundaries)` instead of `O(clients)`, and
+//!   every batch is stepped together in one cache-friendly sweep.
+//! * **Steady-state streaming.** [`Engine::run_stream`] admits requests
+//!   from an iterator only while the in-flight population is below a
+//!   bound, so simulating millions of requests needs memory proportional
+//!   to the *concurrency*, not to the request count.
+//!
+//! The naive heap engine this replaces is preserved as
+//! [`reference::run_requests_reference`] — the oracle the property suite
+//! checks the slab engine against.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::BTreeMap;
 
-use bda_core::{AccessOutcome, DynSystem, Key, QueryRun, Ticks, WalkStep};
+use bda_core::{AccessOutcome, DynSystem, Key, QuerySlot, Ticks, WalkStep};
 
 /// One completed request with its timing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,12 +51,249 @@ pub struct CompletedRequest {
     pub outcome: AccessOutcome,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Event {
-    /// A request tunes in.
-    Arrival(usize),
-    /// A client finishes its current listen/doze and acts again.
-    Wake(usize),
+/// Engine-level counters, for throughput tracking and the perf harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Walker steps processed (reads + dozes + completions).
+    pub events: u64,
+    /// Wake-up batches drained — each batch is one distinct simulated
+    /// instant; `events / wake_batches` is the mean batching factor the
+    /// bucket-aligned scheduler achieved.
+    pub wake_batches: u64,
+    /// Maximum number of clients simultaneously in flight (tuned in but
+    /// not yet finished).
+    pub peak_in_flight: usize,
+    /// Requests completed.
+    pub completed: u64,
+}
+
+/// Batching wake-up scheduler.
+///
+/// All post-arrival wake times are bucket boundaries of the shared cycle,
+/// so at any moment the set of pending wake *times* is small (bounded by
+/// the boundaries of roughly one cycle plus pending arrival instants)
+/// even when the set of pending *clients* is huge. An ordered map over
+/// the distinct instants holds every client waking at each one; drained
+/// waiter vectors are pooled and reused, so steady-state scheduling does
+/// no allocation.
+#[derive(Debug, Default)]
+struct WakeupScheduler {
+    /// Clients waiting per distinct instant, in scheduling order.
+    waiters: BTreeMap<Ticks, Vec<u32>>,
+    /// Empty vectors recycled from drained batches.
+    pool: Vec<Vec<u32>>,
+}
+
+impl WakeupScheduler {
+    fn schedule(&mut self, t: Ticks, client: u32) {
+        self.waiters
+            .entry(t)
+            .or_insert_with(|| self.pool.pop().unwrap_or_default())
+            .push(client);
+    }
+
+    /// Remove and return the earliest batch `(instant, clients)`. The
+    /// previous contents of `buf` are returned to the vector pool.
+    fn pop_batch(&mut self, buf: &mut Vec<u32>) -> Option<Ticks> {
+        let (t, clients) = self.waiters.pop_first()?;
+        let mut old = std::mem::replace(buf, clients);
+        old.clear();
+        self.pool.push(old);
+        Some(t)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.waiters.is_empty()
+    }
+}
+
+/// Per-client request bookkeeping, parallel to the slot slab.
+#[derive(Debug, Clone, Copy)]
+struct ClientMeta {
+    arrival: Ticks,
+    key: Key,
+    /// Caller-supplied tag (request index in batch mode, admission
+    /// sequence in streaming mode).
+    tag: u64,
+    /// Whether the arrival event has fired (the client counts as
+    /// in-flight from then until completion).
+    started: bool,
+}
+
+/// The slab + scheduler discrete-event engine.
+///
+/// An `Engine` is bound to one system and reusable across any number of
+/// batches or streams; slot allocations persist, so repeated rounds (the
+/// simulator's normal operation) run allocation-free after warm-up.
+pub struct Engine<'a> {
+    system: &'a dyn DynSystem,
+    /// Slab of reusable client slots: created lazily on first use, then
+    /// recycled via the free list forever after.
+    slots: Vec<Box<dyn QuerySlot + 'a>>,
+    meta: Vec<ClientMeta>,
+    free: Vec<u32>,
+    in_flight: usize,
+    sched: WakeupScheduler,
+    /// Scratch buffer for draining batches without reallocating.
+    batch: Vec<u32>,
+    stats: EngineStats,
+}
+
+impl<'a> Engine<'a> {
+    /// A fresh engine for `system` with an empty arena.
+    pub fn new(system: &'a dyn DynSystem) -> Self {
+        Engine {
+            system,
+            slots: Vec::new(),
+            meta: Vec::new(),
+            free: Vec::new(),
+            in_flight: 0,
+            sched: WakeupScheduler::default(),
+            batch: Vec::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Counters accumulated over everything this engine has run.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Clients currently tuned in (arrived but not finished).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Number of client slots currently admitted (in flight or awaiting
+    /// their arrival instant).
+    pub(crate) fn occupied(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Admit a request: claim a slot (reusing a free one if possible) and
+    /// schedule its arrival event.
+    pub(crate) fn admit(&mut self, arrival: Ticks, key: Key, tag: u64) {
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.meta[id as usize] = ClientMeta {
+                    arrival,
+                    key,
+                    tag,
+                    started: false,
+                };
+                id
+            }
+            None => {
+                let id = u32::try_from(self.slots.len()).expect("client population fits in u32");
+                self.slots.push(self.system.make_slot());
+                self.meta.push(ClientMeta {
+                    arrival,
+                    key,
+                    tag,
+                    started: false,
+                });
+                id
+            }
+        };
+        self.sched.schedule(arrival, id);
+    }
+
+    /// Step client `id` once; on completion, report `(tag, result)` and
+    /// recycle the slot.
+    fn step_client(&mut self, id: u32, on_complete: &mut impl FnMut(u64, CompletedRequest)) {
+        let m = self.meta[id as usize];
+        if !m.started {
+            self.meta[id as usize].started = true;
+            self.in_flight += 1;
+            self.stats.peak_in_flight = self.stats.peak_in_flight.max(self.in_flight);
+            self.slots[id as usize].start(m.key, m.arrival);
+        }
+        self.stats.events += 1;
+        match self.slots[id as usize].step() {
+            WalkStep::Read { until, .. } | WalkStep::Doze { until } => {
+                self.sched.schedule(until, id);
+            }
+            WalkStep::Done(outcome) => {
+                self.in_flight -= 1;
+                self.stats.completed += 1;
+                self.free.push(id);
+                on_complete(
+                    m.tag,
+                    CompletedRequest {
+                        arrival: m.arrival,
+                        key: m.key,
+                        outcome,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Drain the earliest wake-up batch, stepping every client scheduled
+    /// for that instant. Returns `false` when nothing is pending.
+    pub(crate) fn advance(&mut self, on_complete: &mut impl FnMut(u64, CompletedRequest)) -> bool {
+        let mut batch = std::mem::take(&mut self.batch);
+        let advanced = self.sched.pop_batch(&mut batch).is_some();
+        if advanced {
+            self.stats.wake_batches += 1;
+            for &id in &batch {
+                self.step_client(id, on_complete);
+            }
+        }
+        self.batch = batch;
+        advanced
+    }
+
+    /// Run a whole batch of `(arrival, key)` requests to completion,
+    /// returning outcomes **in request order**. Arrivals need not be
+    /// sorted; simultaneous arrivals are fine.
+    pub fn run_batch(&mut self, requests: &[(Ticks, Key)]) -> Vec<CompletedRequest> {
+        for (i, &(t, key)) in requests.iter().enumerate() {
+            self.admit(t, key, i as u64);
+        }
+        let mut done: Vec<Option<CompletedRequest>> = vec![None; requests.len()];
+        while self.advance(&mut |tag, r| done[tag as usize] = Some(r)) {}
+        done.into_iter()
+            .map(|d| d.expect("engine invariant: every admitted request completes"))
+            .collect()
+    }
+
+    /// Steady-state mode: stream requests through a bounded in-flight
+    /// population.
+    ///
+    /// Requests are admitted from `requests` (in order) whenever fewer
+    /// than `max_in_flight` clients are admitted, so memory is
+    /// `O(max_in_flight)` regardless of how long the stream is.
+    /// Completions are reported to `on_complete` in completion order.
+    /// Because clients on a broadcast channel are independent, each
+    /// request's outcome is identical to batch mode; only the reporting
+    /// order differs.
+    pub fn run_stream<I>(
+        &mut self,
+        requests: I,
+        max_in_flight: usize,
+        mut on_complete: impl FnMut(CompletedRequest),
+    ) where
+        I: IntoIterator<Item = (Ticks, Key)>,
+    {
+        let cap = max_in_flight.max(1);
+        let mut pending = requests.into_iter();
+        let mut exhausted = false;
+        loop {
+            while !exhausted && self.occupied() < cap {
+                match pending.next() {
+                    Some((t, key)) => self.admit(t, key, 0),
+                    None => exhausted = true,
+                }
+            }
+            if !self.advance(&mut |_tag, r| on_complete(r)) {
+                debug_assert!(self.sched.is_empty());
+                if exhausted {
+                    break;
+                }
+            }
+        }
+    }
 }
 
 /// Run a batch of requests through the event engine and return their
@@ -39,77 +302,67 @@ enum Event {
 /// `requests` are `(arrival time, key)` pairs; arrivals need not be sorted.
 /// Concurrent clients interleave: the engine always advances the globally
 /// earliest pending event, exactly like a real shared broadcast medium.
-pub fn run_requests(
-    system: &dyn DynSystem,
-    requests: &[(Ticks, Key)],
-) -> Vec<CompletedRequest> {
-    // (time, tiebreak sequence, event) — BinaryHeap is a max-heap, so wrap
-    // in Reverse for earliest-first ordering. The sequence number keeps
-    // simultaneous events deterministic (arrival before wake is irrelevant
-    // for correctness; determinism is what matters for reproducibility).
-    let mut queue: BinaryHeap<Reverse<(Ticks, u64, usize, u8)>> = BinaryHeap::new();
-    let mut seq = 0u64;
-    for (i, &(t, _)) in requests.iter().enumerate() {
-        queue.push(Reverse((t, seq, i, 0)));
-        seq += 1;
-    }
-
-    let mut runs: Vec<Option<Box<dyn QueryRun + '_>>> =
-        (0..requests.len()).map(|_| None).collect();
-    let mut done: Vec<Option<CompletedRequest>> = vec![None; requests.len()];
-
-    while let Some(Reverse((_t, _s, idx, kind))) = queue.pop() {
-        let event = if kind == 0 {
-            Event::Arrival(idx)
-        } else {
-            Event::Wake(idx)
-        };
-        match event {
-            Event::Arrival(i) => {
-                let (arrival, key) = requests[i];
-                runs[i] = Some(system.begin(key, arrival));
-                // Immediately perform the first step; its completion time
-                // becomes the next wake-up.
-                step_client(i, &mut runs, &mut done, requests, &mut queue, &mut seq);
-            }
-            Event::Wake(i) => {
-                step_client(i, &mut runs, &mut done, requests, &mut queue, &mut seq);
-            }
-        }
-    }
-
-    done.into_iter()
-        .map(|d| d.expect("every request completes"))
-        .collect()
+pub fn run_requests(system: &dyn DynSystem, requests: &[(Ticks, Key)]) -> Vec<CompletedRequest> {
+    Engine::new(system).run_batch(requests)
 }
 
-fn step_client<'a>(
-    i: usize,
-    runs: &mut [Option<Box<dyn QueryRun + 'a>>],
-    done: &mut [Option<CompletedRequest>],
-    requests: &[(Ticks, Key)],
-    queue: &mut BinaryHeap<Reverse<(Ticks, u64, usize, u8)>>,
-    seq: &mut u64,
-) {
-    let run = runs[i].as_mut().expect("client exists while stepping");
-    match run.step() {
-        WalkStep::Read { until, .. } => {
-            queue.push(Reverse((until, *seq, i, 1)));
-            *seq += 1;
+pub mod reference {
+    //! The naive per-request engine the slab design replaced: one
+    //! `Box<dyn QueryRun>` per request, every wake-up an individual entry
+    //! in a tuple-keyed `BinaryHeap`. Kept as the behavioural oracle for
+    //! the equivalence property suite (`engine_equiv`), and as the
+    //! baseline the `engine_bench` harness measures speedups against.
+
+    use super::*;
+    use bda_core::QueryRun;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    /// Reference implementation of [`super::run_requests`]: identical
+    /// outcomes, naive scheduling.
+    pub fn run_requests_reference(
+        system: &dyn DynSystem,
+        requests: &[(Ticks, Key)],
+    ) -> Vec<CompletedRequest> {
+        // (time, tiebreak sequence, request index, kind) with kind 0 =
+        // arrival, 1 = wake; Reverse for earliest-first order.
+        let mut queue: BinaryHeap<Reverse<(Ticks, u64, usize, u8)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        for (i, &(t, _)) in requests.iter().enumerate() {
+            queue.push(Reverse((t, seq, i, 0)));
+            seq += 1;
         }
-        WalkStep::Doze { until } => {
-            queue.push(Reverse((until, *seq, i, 1)));
-            *seq += 1;
+
+        let mut runs: Vec<Option<Box<dyn QueryRun + '_>>> =
+            (0..requests.len()).map(|_| None).collect();
+        let mut done: Vec<Option<CompletedRequest>> = vec![None; requests.len()];
+
+        while let Some(Reverse((_t, _s, i, kind))) = queue.pop() {
+            if kind == 0 {
+                let (arrival, key) = requests[i];
+                runs[i] = Some(system.begin(key, arrival));
+            }
+            let run = runs[i].as_mut().expect("client exists while stepping");
+            match run.step() {
+                WalkStep::Read { until, .. } | WalkStep::Doze { until } => {
+                    queue.push(Reverse((until, seq, i, 1)));
+                    seq += 1;
+                }
+                WalkStep::Done(outcome) => {
+                    let (arrival, key) = requests[i];
+                    done[i] = Some(CompletedRequest {
+                        arrival,
+                        key,
+                        outcome,
+                    });
+                    runs[i] = None;
+                }
+            }
         }
-        WalkStep::Done(outcome) => {
-            let (arrival, key) = requests[i];
-            done[i] = Some(CompletedRequest {
-                arrival,
-                key,
-                outcome,
-            });
-            runs[i] = None;
-        }
+
+        done.into_iter()
+            .map(|d| d.expect("every request completes"))
+            .collect()
     }
 }
 
@@ -126,9 +379,8 @@ mod tests {
     #[test]
     fn event_engine_matches_direct_probe() {
         let sys = system();
-        let requests: Vec<(Ticks, Key)> = (0..200u64)
-            .map(|i| (i * 137, Key((i % 32) * 2)))
-            .collect();
+        let requests: Vec<(Ticks, Key)> =
+            (0..200u64).map(|i| (i * 137, Key((i % 32) * 2))).collect();
         let results = run_requests(&sys, &requests);
         assert_eq!(results.len(), requests.len());
         for (r, &(t, k)) in results.iter().zip(&requests) {
@@ -170,5 +422,69 @@ mod tests {
     fn empty_batch_is_fine() {
         let sys = system();
         assert!(run_requests(&sys, &[]).is_empty());
+    }
+
+    #[test]
+    fn slab_engine_matches_reference_engine() {
+        let sys = system();
+        let requests: Vec<(Ticks, Key)> = (0..500u64)
+            .map(|i| ((i * 7919) % 100_000, Key((i % 40) * 2)))
+            .collect();
+        let slab = run_requests(&sys, &requests);
+        let naive = reference::run_requests_reference(&sys, &requests);
+        assert_eq!(slab, naive);
+    }
+
+    #[test]
+    fn slots_are_recycled_across_batches() {
+        let sys = system();
+        let mut engine = Engine::new(&sys);
+        let requests: Vec<(Ticks, Key)> =
+            (0..100u64).map(|i| (i * 31, Key((i % 32) * 2))).collect();
+        engine.run_batch(&requests);
+        let slots_after_first = engine.slots.len();
+        engine.run_batch(&requests);
+        assert_eq!(
+            engine.slots.len(),
+            slots_after_first,
+            "second identical batch must not grow the arena"
+        );
+        assert_eq!(engine.stats().completed, 200);
+    }
+
+    #[test]
+    fn streaming_bounds_the_population() {
+        let sys = system();
+        let mut engine = Engine::new(&sys);
+        let requests: Vec<(Ticks, Key)> = (0..1000u64).map(|i| (i, Key((i % 32) * 2))).collect();
+        let mut results = Vec::new();
+        engine.run_stream(requests.iter().copied(), 16, |r| results.push(r));
+        assert_eq!(results.len(), requests.len());
+        assert!(engine.slots.len() <= 16, "arena capped at max_in_flight");
+        assert!(engine.stats().peak_in_flight <= 16);
+        // Outcomes equal batch mode's, request by request.
+        let batch = run_requests(&sys, &requests);
+        results.sort_by_key(|r| r.arrival);
+        for (s, b) in results.iter().zip(&batch) {
+            assert_eq!(s, b);
+        }
+    }
+
+    #[test]
+    fn batches_step_same_instant_clients_together() {
+        let sys = system();
+        let mut engine = Engine::new(&sys);
+        // 50 clients arriving at the same instant collapse onto shared
+        // wake-up batches: far fewer batches than events.
+        let requests = vec![(777u64, Key(8)); 50];
+        engine.run_batch(&requests);
+        let stats = engine.stats();
+        assert_eq!(stats.completed, 50);
+        assert!(
+            stats.wake_batches < stats.events / 10,
+            "expected heavy batching, got {} batches for {} events",
+            stats.wake_batches,
+            stats.events
+        );
     }
 }

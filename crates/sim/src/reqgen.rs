@@ -42,10 +42,8 @@ mod tests {
     #[test]
     fn rounds_have_monotone_arrivals_and_valid_keys() {
         let ds = fixtures();
-        let mut generator = RequestGenerator::new(
-            Arrivals::new(800.0, 1),
-            QueryWorkload::uniform(&ds, 2),
-        );
+        let mut generator =
+            RequestGenerator::new(Arrivals::new(800.0, 1), QueryWorkload::uniform(&ds, 2));
         let round = generator.round(500);
         assert_eq!(round.len(), 500);
         for w in round.windows(2) {
@@ -59,10 +57,8 @@ mod tests {
     #[test]
     fn successive_rounds_continue_the_clock() {
         let ds = fixtures();
-        let mut generator = RequestGenerator::new(
-            Arrivals::new(100.0, 3),
-            QueryWorkload::uniform(&ds, 4),
-        );
+        let mut generator =
+            RequestGenerator::new(Arrivals::new(100.0, 3), QueryWorkload::uniform(&ds, 4));
         let r1 = generator.round(100);
         let r2 = generator.round(100);
         assert!(r1.last().unwrap().0 <= r2.first().unwrap().0);

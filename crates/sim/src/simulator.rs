@@ -10,7 +10,7 @@ use bda_core::{DynSystem, Ticks};
 use bda_datagen::{Arrivals, Popularity, QueryWorkload};
 
 use crate::accuracy::AccuracyController;
-use crate::engine::run_requests;
+use crate::engine::{Engine, EngineStats};
 use crate::histogram::Histogram;
 use crate::reqgen::RequestGenerator;
 use crate::results::ResultHandler;
@@ -38,6 +38,13 @@ pub struct SimConfig {
     /// results — see the `drivers_equiv` integration test — but much less
     /// scheduling overhead; what the sweep harness uses).
     pub event_driven: bool,
+    /// Steady-state mode: keep at most this many clients admitted at
+    /// once, streaming requests through the engine instead of
+    /// materializing whole request batches. `None` (the default) runs the
+    /// classic round-batch testbed. Only meaningful with `event_driven`;
+    /// memory becomes `O(max_in_flight)` regardless of how many requests
+    /// the accuracy controller ends up demanding.
+    pub max_in_flight: Option<usize>,
 }
 
 impl SimConfig {
@@ -52,6 +59,7 @@ impl SimConfig {
             mean_interarrival: 10_000.0,
             seed: 0x0EDB_2002,
             event_driven: true,
+            max_in_flight: None,
         }
     }
 
@@ -104,6 +112,8 @@ pub struct SimReport {
     pub cycle_len: Ticks,
     /// Access-time distribution (log-bucketed histogram).
     pub access_hist: Histogram,
+    /// Engine counters (all zero when the direct-walker fast path ran).
+    pub engine: EngineStats,
 }
 
 impl SimReport {
@@ -176,14 +186,20 @@ impl<'a> Simulator<'a> {
 
     /// Run until the accuracy targets are met (or `max_rounds` elapse).
     pub fn run(&mut self) -> SimReport {
+        if self.config.event_driven {
+            if let Some(cap) = self.config.max_in_flight {
+                return self.run_steady(cap);
+            }
+        }
         let controller = self.config.controller();
         let mut handler = ResultHandler::new();
+        let mut engine = Engine::new(self.system);
         let mut rounds = 0;
         let mut converged = false;
         while rounds < self.config.max_rounds {
             let batch = self.generator.round(self.config.round_requests);
             let completed = if self.config.event_driven {
-                run_requests(self.system, &batch)
+                engine.run_batch(&batch)
             } else {
                 batch
                     .iter()
@@ -203,6 +219,49 @@ impl<'a> Simulator<'a> {
                 break;
             }
         }
+        self.report(&handler, rounds, converged, engine.stats())
+    }
+
+    /// Steady-state rounds: a bounded client population streams through a
+    /// persistent engine; round boundaries are counted in *completions*
+    /// rather than materialized request batches.
+    fn run_steady(&mut self, cap: usize) -> SimReport {
+        let controller = self.config.controller();
+        let mut handler = ResultHandler::new();
+        let mut engine = Engine::new(self.system);
+        let mut rounds = 0;
+        let mut converged = false;
+        let mut completed_in_round = 0usize;
+        'sim: while rounds < self.config.max_rounds {
+            while engine.occupied() < cap {
+                let (t, key) = self.generator.next_request();
+                engine.admit(t, key, 0);
+            }
+            engine.advance(&mut |_tag, r| {
+                handler.record(&r);
+                completed_in_round += 1;
+            });
+            while completed_in_round >= self.config.round_requests {
+                completed_in_round -= self.config.round_requests;
+                rounds += 1;
+                if rounds >= self.config.min_rounds
+                    && controller.satisfied(&[handler.access(), handler.tuning()])
+                {
+                    converged = true;
+                    break 'sim;
+                }
+            }
+        }
+        self.report(&handler, rounds, converged, engine.stats())
+    }
+
+    fn report(
+        &self,
+        handler: &ResultHandler,
+        rounds: usize,
+        converged: bool,
+        engine: EngineStats,
+    ) -> SimReport {
         SimReport {
             scheme: self.system.scheme_name(),
             rounds,
@@ -216,6 +275,7 @@ impl<'a> Simulator<'a> {
             converged,
             cycle_len: self.system.cycle_len(),
             access_hist: handler.access_histogram().clone(),
+            engine,
         }
     }
 }
@@ -272,6 +332,40 @@ mod tests {
         assert_eq!(a.access, b.access);
         assert_eq!(a.tuning, b.tuning);
         assert_eq!(a.found, b.found);
+    }
+
+    #[test]
+    fn steady_state_mode_matches_batch_statistics() {
+        let ds = DatasetBuilder::new(120, 17).build().unwrap();
+        let sys = FlatScheme.build(&ds, &Params::paper()).unwrap();
+        let mut cfg = SimConfig::quick();
+        // Pin the completion count so both runs measure 3 × 200 requests.
+        cfg.min_rounds = 3;
+        cfg.max_rounds = 3;
+        let batch = Simulator::uniform(&sys, &ds, cfg).run();
+        cfg.max_in_flight = Some(32);
+        let steady = Simulator::uniform(&sys, &ds, cfg).run();
+        assert_eq!(steady.requests, batch.requests);
+        assert_eq!(steady.aborted, 0);
+        assert!(steady.engine.peak_in_flight <= 32);
+        assert!(steady.engine.events > 0);
+        // Completion order may differ from arrival order, so the streams
+        // agree statistically rather than bit-for-bit.
+        let ratio = steady.mean_access() / batch.mean_access();
+        assert!((0.95..=1.05).contains(&ratio), "ratio={ratio}");
+    }
+
+    #[test]
+    fn batch_mode_reports_engine_stats() {
+        let ds = DatasetBuilder::new(50, 23).build().unwrap();
+        let sys = FlatScheme.build(&ds, &Params::paper()).unwrap();
+        let mut cfg = SimConfig::quick();
+        cfg.min_rounds = 2;
+        cfg.max_rounds = 2;
+        let report = Simulator::uniform(&sys, &ds, cfg).run();
+        assert_eq!(report.engine.completed, report.requests);
+        assert!(report.engine.peak_in_flight >= 1);
+        assert!(report.engine.events >= report.requests);
     }
 
     #[test]

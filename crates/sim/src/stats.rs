@@ -227,7 +227,10 @@ mod tests {
         ];
         for (p, df, want, tol) in cases {
             let got = student_t_quantile(p, df);
-            assert!((got - want).abs() < tol, "p={p} df={df}: got {got} want {want}");
+            assert!(
+                (got - want).abs() < tol,
+                "p={p} df={df}: got {got} want {want}"
+            );
         }
     }
 

@@ -15,7 +15,14 @@ use bda::core::machine::run_machine;
 use bda::prelude::*;
 
 const CATEGORIES: [&str; 8] = [
-    "restaurant", "fuel", "hotel", "pharmacy", "museum", "park", "atm", "cafe",
+    "restaurant",
+    "fuel",
+    "hotel",
+    "pharmacy",
+    "museum",
+    "park",
+    "atm",
+    "cafe",
 ];
 
 fn main() {
@@ -36,11 +43,16 @@ fn main() {
     let dataset = Dataset::new(records).unwrap();
     let params = Params::paper();
 
-    let sig = SimpleSignatureScheme::new().build(&dataset, &params).unwrap();
+    let sig = SimpleSignatureScheme::new()
+        .build(&dataset, &params)
+        .unwrap();
     let hybrid = HybridScheme::new().build(&dataset, &params).unwrap();
     let dist = DistributedScheme::new().build(&dataset, &params).unwrap();
 
-    println!("city-guide broadcast: {} POIs, 8 categories, 64 zones\n", dataset.len());
+    println!(
+        "city-guide broadcast: {} POIs, 8 categories, 64 zones\n",
+        dataset.len()
+    );
 
     // --- key lookups -----------------------------------------------------
     println!("key lookups (averages over 2000 queries, bytes):");
@@ -63,7 +75,10 @@ fn main() {
 
     // --- attribute queries ------------------------------------------------
     println!("\nattribute queries: \"any POI with category X\" (2000 queries):");
-    println!("  {:<12} {:>12} {:>12} {:>8}", "scheme", "access", "tuning", "fdrops");
+    println!(
+        "  {:<12} {:>12} {:>12} {:>8}",
+        "scheme", "access", "tuning", "fdrops"
+    );
     let mut q = Prng::new(2);
     let mut run_attrs = |name: &str, f: &mut dyn FnMut(u64, u64) -> AccessOutcome| {
         let (mut at, mut tt, mut fd) = (0u64, 0u64, 0u64);

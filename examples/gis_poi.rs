@@ -64,7 +64,9 @@ fn main() {
     let one_m = OneMScheme::new().build(&dataset, &params).unwrap();
     let dist = DistributedScheme::new().build(&dataset, &params).unwrap();
     let hashing = HashScheme::new().build(&dataset, &params).unwrap();
-    let sig = SimpleSignatureScheme::new().build(&dataset, &params).unwrap();
+    let sig = SimpleSignatureScheme::new()
+        .build(&dataset, &params)
+        .unwrap();
     let systems: [&dyn DynSystem; 5] = [&flat, &one_m, &dist, &hashing, &sig];
 
     let mut best: Option<(&str, f64)> = None;

@@ -20,7 +20,9 @@ fn main() {
     let flat = FlatScheme.build(&dataset, &params).unwrap();
     let dist = DistributedScheme::new().build(&dataset, &params).unwrap();
     let hashing = HashScheme::new().build(&dataset, &params).unwrap();
-    let sig = SimpleSignatureScheme::new().build(&dataset, &params).unwrap();
+    let sig = SimpleSignatureScheme::new()
+        .build(&dataset, &params)
+        .unwrap();
     let systems: [&dyn DynSystem; 4] = [&flat, &dist, &hashing, &sig];
 
     println!("2000 records; 3000 key lookups per cell; metrics in bytes\n");
@@ -39,9 +41,7 @@ fn main() {
             let mut retries = 0u64;
             let mut found = 0u64;
             for _ in 0..queries {
-                let key = dataset
-                    .record(rng.below(dataset.len() as u64) as usize)
-                    .key;
+                let key = dataset.record(rng.below(dataset.len() as u64) as usize).key;
                 let out = sys.probe_with_errors(key, rng.below(cycle * 4), errors);
                 assert!(!out.aborted, "protocols must recover, not give up");
                 access += out.access;

@@ -29,17 +29,28 @@ fn main() {
     let outcome = system.probe(key, 5_000_000);
     println!("\nquery {key}:");
     println!("  found       : {}", outcome.found);
-    println!("  access time : {:>9} bytes (client waiting time)", outcome.access);
-    println!("  tuning time : {:>9} bytes (energy: bytes listened to)", outcome.tuning);
+    println!(
+        "  access time : {:>9} bytes (client waiting time)",
+        outcome.access
+    );
+    println!(
+        "  tuning time : {:>9} bytes (energy: bytes listened to)",
+        outcome.tuning
+    );
     println!("  bucket reads: {:>9}", outcome.probes);
 
     // 4. The same query under every access method the paper compares.
     println!("\nper-scheme comparison (same query, same tune-in):");
-    println!("  {:<14} {:>12} {:>12} {:>7}", "scheme", "access", "tuning", "reads");
+    println!(
+        "  {:<14} {:>12} {:>12} {:>7}",
+        "scheme", "access", "tuning", "reads"
+    );
     let flat = FlatScheme.build(&dataset, &params).unwrap();
     let one_m = OneMScheme::new().build(&dataset, &params).unwrap();
     let hashing = HashScheme::new().build(&dataset, &params).unwrap();
-    let sig = SimpleSignatureScheme::new().build(&dataset, &params).unwrap();
+    let sig = SimpleSignatureScheme::new()
+        .build(&dataset, &params)
+        .unwrap();
     let systems: [&dyn DynSystem; 5] = [&flat, &one_m, &system, &hashing, &sig];
     for sys in systems {
         let o = sys.probe(key, 5_000_000);

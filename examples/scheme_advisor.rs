@@ -47,7 +47,10 @@ fn parse_args() -> Args {
             }
         }
     }
-    assert!((0.0..=1.0).contains(&a.availability), "availability in 0..=100");
+    assert!(
+        (0.0..=1.0).contains(&a.availability),
+        "availability in 0..=100"
+    );
     a
 }
 
@@ -70,13 +73,12 @@ fn main() {
     let one_m = OneMScheme::new().build(&dataset, &params).unwrap();
     let dist = DistributedScheme::new().build(&dataset, &params).unwrap();
     let hashing = HashScheme::new().build(&dataset, &params).unwrap();
-    let sig = SimpleSignatureScheme::new().build(&dataset, &params).unwrap();
+    let sig = SimpleSignatureScheme::new()
+        .build(&dataset, &params)
+        .unwrap();
     let systems: [&dyn DynSystem; 5] = [&flat, &one_m, &dist, &hashing, &sig];
 
-    println!(
-        "  {:<14} {:>12} {:>12}",
-        "scheme", "access", "tuning"
-    );
+    println!("  {:<14} {:>12} {:>12}", "scheme", "access", "tuning");
     let mut measured: Vec<(&str, f64, f64)> = Vec::new();
     for sys in systems {
         let workload = QueryWorkload::new(

@@ -39,7 +39,10 @@ fn main() {
     let dataset = ticker_dataset(3_000, 2002);
     let params = Params::paper();
 
-    println!("stock ticker broadcast: {} symbols, every query answerable\n", dataset.len());
+    println!(
+        "stock ticker broadcast: {} symbols, every query answerable\n",
+        dataset.len()
+    );
     println!(
         "  {:<14} {:>12} {:>12} {:>10}",
         "scheme", "access", "tuning", "cycle(B)"
@@ -49,7 +52,9 @@ fn main() {
     let one_m = OneMScheme::new().build(&dataset, &params).unwrap();
     let dist = DistributedScheme::new().build(&dataset, &params).unwrap();
     let hashing = HashScheme::new().build(&dataset, &params).unwrap();
-    let sig = SimpleSignatureScheme::new().build(&dataset, &params).unwrap();
+    let sig = SimpleSignatureScheme::new()
+        .build(&dataset, &params)
+        .unwrap();
     let systems: [&dyn DynSystem; 5] = [&flat, &one_m, &dist, &hashing, &sig];
 
     let mut best_indexed: Option<(&str, f64)> = None;

@@ -60,8 +60,7 @@ fn btree_schemes_fail_fast_scanners_pay_a_cycle() {
         flat_t += flat.probe(*k, t).tuning;
         sig_t += sig.probe(*k, t).tuning;
     }
-    let (dist_t, onem_t, flat_t, sig_t) =
-        (dist_t / n, onem_t / n, flat_t / n, sig_t / n);
+    let (dist_t, onem_t, flat_t, sig_t) = (dist_t / n, onem_t / n, flat_t / n, sig_t / n);
 
     // B+-tree schemes: a handful of index probes.
     assert!(dist_t <= 10 * dt, "distributed fail tuning {dist_t}");

@@ -4,7 +4,13 @@
 
 use bda::prelude::*;
 
-fn mean(sys: &dyn DynSystem, ds: &Dataset, availability: f64, pool: &[Key], seed: u64) -> (f64, f64) {
+fn mean(
+    sys: &dyn DynSystem,
+    ds: &Dataset,
+    availability: f64,
+    pool: &[Key],
+    seed: u64,
+) -> (f64, f64) {
     let workload = QueryWorkload::new(ds, pool.to_vec(), availability, Popularity::Uniform, seed);
     let mut cfg = SimConfig::quick();
     cfg.event_driven = false;
@@ -17,7 +23,9 @@ fn mean(sys: &dyn DynSystem, ds: &Dataset, availability: f64, pool: &[Key], seed
 #[test]
 fn fig4_orderings() {
     let nr = 2_000;
-    let (ds, _) = DatasetBuilder::new(nr, 41).build_with_absent_pool(1).unwrap();
+    let (ds, _) = DatasetBuilder::new(nr, 41)
+        .build_with_absent_pool(1)
+        .unwrap();
     let p = Params::paper();
 
     let flat = FlatScheme.build(&ds, &p).unwrap();
@@ -38,7 +46,10 @@ fn fig4_orderings() {
     // Fig. 4(b): hashing < distributed < signature ≪ flat.
     assert!(tt_hash < tt_dist, "hashing has the best tuning time");
     assert!(tt_dist < tt_sig, "distributed beats signature on tuning");
-    assert!(tt_sig < tt_flat / 2.0, "flat tuning is far worse than any index");
+    assert!(
+        tt_sig < tt_flat / 2.0,
+        "flat tuning is far worse than any index"
+    );
 }
 
 /// Fig. 4(b): distributed tuning is a step function of Nr (jumps only when
@@ -74,7 +85,9 @@ fn fig4_tuning_growth_shapes() {
 #[test]
 fn fig5_availability_crossover() {
     let nr = 2_000;
-    let (ds, pool) = DatasetBuilder::new(nr, 43).build_with_absent_pool(nr).unwrap();
+    let (ds, pool) = DatasetBuilder::new(nr, 43)
+        .build_with_absent_pool(nr)
+        .unwrap();
     let p = Params::paper();
 
     let dist = DistributedScheme::new().build(&ds, &p).unwrap();
@@ -119,7 +132,10 @@ fn fig5_availability_crossover() {
 
     // Signature tuning decreases as availability rises (no full scans).
     let (_, tt_sig1) = mean(&sig, &ds, 1.0, &[], 18);
-    assert!(tt_sig1 < tt_sig0, "signature tuning drops with availability");
+    assert!(
+        tt_sig1 < tt_sig0,
+        "signature tuning drops with availability"
+    );
 }
 
 /// Fig. 6: the record/key ratio strongly affects only the B+-tree schemes;
@@ -155,7 +171,10 @@ fn fig6_ratio_effects() {
         "distributed tuning near hashing at ratio 100: {tt_d100} vs {tt_h100}"
     );
     // And tree tuning shrinks as the ratio grows (fewer, shallower levels).
-    assert!(tt_d100 < tt_d5, "tuning falls with the ratio: {tt_d100} vs {tt_d5}");
+    assert!(
+        tt_d100 < tt_d5,
+        "tuning falls with the ratio: {tt_d100} vs {tt_d5}"
+    );
 }
 
 /// §5.3 summary, rule (5): at large record/key ratios, (1,m) is preferable

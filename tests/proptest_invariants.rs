@@ -6,9 +6,8 @@ use proptest::prelude::*;
 
 /// Random dataset of 1–300 records with well-spread distinct keys.
 fn arb_dataset() -> impl Strategy<Value = Dataset> {
-    (1usize..300, any::<u64>()).prop_map(|(n, seed)| {
-        DatasetBuilder::new(n, seed).build().expect("valid dataset")
-    })
+    (1usize..300, any::<u64>())
+        .prop_map(|(n, seed)| DatasetBuilder::new(n, seed).build().expect("valid dataset"))
 }
 
 /// Random record/key geometry within the paper's Fig. 6 range.
@@ -27,6 +26,39 @@ fn all_systems(ds: &Dataset, p: &Params) -> Vec<Box<dyn DynSystem>> {
         Box::new(MultiLevelSignatureScheme::new(5).build(ds, p).unwrap()),
         Box::new(HybridScheme::new().build(ds, p).unwrap()),
     ]
+}
+
+/// Pinned counterexample once minimized by proptest (from the since-retired
+/// `proptest_invariants.proptest-regressions` file): a single-record dataset
+/// probed for four absent keys at `t = 0` with a 5:1 record/key ratio made
+/// `absent_keys_never_found` fail. Kept as a plain deterministic test so the
+/// case runs on every `cargo test` regardless of the property runner.
+#[test]
+fn regression_single_record_absent_keys() {
+    let ds = Dataset::new(vec![bda::core::Record::new(
+        Key(16521629639822800165),
+        vec![16521629639822800165, 10319722088908242066, 20, 118],
+    )])
+    .unwrap();
+    let pool = [
+        Key(14940551573328774178),
+        Key(7330353808519802590),
+        Key(15675389096631490580),
+        Key(2742214171129066944),
+    ];
+    let params = Params {
+        record_size: 500,
+        key_size: 100,
+        ptr_size: 4,
+        header_size: 8,
+    };
+    for sys in all_systems(&ds, &params) {
+        for key in pool {
+            let out = sys.probe(key, 0);
+            assert!(!out.found, "{} hallucinated {key}", sys.scheme_name());
+            assert!(!out.aborted, "{} aborted on {key}", sys.scheme_name());
+        }
+    }
 }
 
 proptest! {

@@ -1,0 +1,183 @@
+//! Vendored, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! re-implements the small API surface the workspace's benches use:
+//! [`Criterion`], benchmark groups, [`BenchmarkId`], `Bencher::iter`,
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is calibrated to a target run time
+//! (~300 ms by default, CRITERION_TARGET_MS overrides), then timed in one
+//! batch; mean ns/iteration is printed to stdout. There is no statistical
+//! analysis, HTML report, or baseline comparison — for machine-readable
+//! trend tracking the workspace uses `engine_bench` + `BENCH_engine.json`
+//! instead.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching criterion's own `black_box` (benches may import
+/// either this or `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+fn target_time() -> Duration {
+    std::env::var("CRITERION_TARGET_MS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_millis(300))
+}
+
+/// Identifier combining a function name and a parameter, e.g.
+/// `BenchmarkId::new("flat", 5000)` → `flat/5000`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// Timing driver passed to the closure of `bench_function`.
+pub struct Bencher {
+    /// (iterations, total elapsed) of the measured batch.
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Calibrate then measure `routine`, recording mean time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration: double iterations until the batch takes >= 10 ms.
+        let mut n: u64 = 1;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                std_black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(10) || n >= 1 << 30 {
+                break elapsed.as_secs_f64() / n as f64;
+            }
+            n *= 2;
+        };
+        let target = target_time().as_secs_f64();
+        let iters = ((target / per_iter.max(1e-12)) as u64).clamp(1, 1 << 32);
+        let start = Instant::now();
+        for _ in 0..iters {
+            std_black_box(routine());
+        }
+        self.result = Some((iters, start.elapsed()));
+    }
+}
+
+fn report(group: Option<&str>, id: &str, bencher: &Bencher) {
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    match bencher.result {
+        Some((iters, elapsed)) => {
+            let ns = elapsed.as_nanos() as f64 / iters as f64;
+            println!("bench {label:<50} {ns:>14.1} ns/iter ({iters} iters)");
+        }
+        None => println!("bench {label:<50} (no measurement)"),
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { result: None };
+        f(&mut b);
+        report(Some(&self.name), &id.id, &b);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher { result: None };
+        f(&mut b, input);
+        report(Some(&self.name), &id.id, &b);
+        self
+    }
+
+    /// Throughput/marker settings are accepted and ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { result: None };
+        f(&mut b);
+        report(None, id, &b);
+        self
+    }
+}
+
+/// Groups benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,105 @@
+//! Collection strategies: `vec`, `btree_set`, `btree_map`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+fn draw_len(range: &Range<usize>, rng: &mut TestRng) -> usize {
+    assert!(range.start < range.end, "empty size range");
+    range.start + rng.below((range.end - range.start) as u64) as usize
+}
+
+/// `Vec` of `len ∈ size` values drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = draw_len(&self.size, rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `BTreeSet` with `len ∈ size` distinct values drawn from `element`.
+///
+/// Like real proptest, the target length is best-effort: if the element
+/// strategy cannot produce enough distinct values the set is smaller, but
+/// at least `size.start` values are always produced when possible.
+pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size }
+}
+
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let n = draw_len(&self.size, rng);
+        let mut out = BTreeSet::new();
+        let mut attempts = 0usize;
+        while out.len() < n && attempts < n * 20 + 64 {
+            out.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+/// `BTreeMap` with `len ∈ size` entries: distinct keys from `key`, values
+/// from `value`.
+pub fn btree_map<K, V>(key: K, value: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    BTreeMapStrategy { key, value, size }
+}
+
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: Range<usize>,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+        let n = draw_len(&self.size, rng);
+        let mut out = BTreeMap::new();
+        let mut attempts = 0usize;
+        while out.len() < n && attempts < n * 20 + 64 {
+            out.insert(self.key.generate(rng), self.value.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}

@@ -1,0 +1,36 @@
+//! `sample::Index` — a position into a collection whose length is only
+//! known at use time.
+
+use crate::strategy::{Arbitrary, Strategy};
+use crate::TestRng;
+
+/// An index into a not-yet-known-length collection; resolve with
+/// [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Resolve against a collection of length `len` (must be nonzero).
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+pub struct IndexStrategy;
+
+impl Strategy for IndexStrategy {
+    type Value = Index;
+
+    fn generate(&self, rng: &mut TestRng) -> Index {
+        Index(rng.next_u64())
+    }
+}
+
+impl Arbitrary for Index {
+    type Strategy = IndexStrategy;
+
+    fn arbitrary() -> Self::Strategy {
+        IndexStrategy
+    }
+}
