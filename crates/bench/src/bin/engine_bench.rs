@@ -123,6 +123,8 @@ fn main() {
             wake_batches: after.wake_batches - before.wake_batches,
             peak_in_flight: after.peak_in_flight,
             completed: after.completed - before.completed,
+            corrupt_reads: after.corrupt_reads - before.corrupt_reads,
+            abandoned: after.abandoned - before.abandoned,
         };
 
         let reference_speedup = cli.reference.then(|| {

@@ -7,15 +7,112 @@
 //! how each scheme's access and tuning time degrade with the loss rate —
 //! pointer-chasing schemes pay a full protocol restart per lost index
 //! bucket, while scanners degrade smoothly.
+//!
+//! Two execution modes share the sweep grid:
+//!
+//! * **walker** (default) — one isolated client per query via
+//!   [`bda_core::DynSystem::probe_with_errors`]; fastest, the historical
+//!   mode.
+//! * **engine** (`--engine`) — every cell's queries run as *concurrent
+//!   clients* through the slab discrete-event engine
+//!   ([`bda_sim::Engine::with_faults`]), exactly the fault-injection
+//!   testbed the differential suite verifies. Outcomes are identical per
+//!   request (engine ≡ walker — `engine_lossy_equiv` proves it); the
+//!   engine mode additionally reports retries per query from
+//!   [`bda_sim::EngineStats`].
 
-use bda_core::{ErrorModel, Params};
+use bda_core::{ErrorModel, Key, Params, RetryPolicy, Ticks};
 use bda_datagen::{DatasetBuilder, Prng};
+use bda_sim::Engine;
 
 use crate::table::Table;
 use crate::{Cli, SchemeKind};
 
-/// Loss probabilities swept (percent).
-pub const LOSS_PCT: [u32; 5] = [0, 2, 5, 10, 20];
+/// Loss probabilities swept (percent) — the Fig-4-style 0–25 % range.
+pub const LOSS_PCT: [u32; 6] = [0, 2, 5, 10, 20, 25];
+
+/// Mean access/tuning time (plus degradation counters) for one
+/// (scheme, loss) cell.
+struct CellResult {
+    at: f64,
+    tt: f64,
+    retries_per_query: f64,
+}
+
+/// The cell's query stream: keys drawn from the broadcast set, tune-ins
+/// spread over eight cycles. Identical for both execution modes, so
+/// `--engine` runs are directly comparable with walker runs.
+fn cell_requests(
+    dataset: &bda_core::Dataset,
+    cycle: Ticks,
+    queries: usize,
+    seed: u64,
+) -> Vec<(Ticks, Key)> {
+    let mut rng = Prng::new(seed);
+    (0..queries)
+        .map(|_| {
+            let key = dataset.record(rng.below(dataset.len() as u64) as usize).key;
+            (rng.below(cycle * 8), key)
+        })
+        .collect()
+}
+
+fn run_cell_walker(
+    sys: &dyn bda_core::DynSystem,
+    requests: &[(Ticks, Key)],
+    errors: ErrorModel,
+) -> CellResult {
+    let mut at = 0f64;
+    let mut tt = 0f64;
+    let mut retries = 0u64;
+    for &(tune_in, key) in requests {
+        let out = sys.probe_with_errors(key, tune_in, errors);
+        assert!(!out.aborted, "{} aborted under loss", sys.scheme_name());
+        assert!(out.found, "{} lost a broadcast key", sys.scheme_name());
+        at += out.access as f64;
+        tt += out.tuning as f64;
+        retries += u64::from(out.retries);
+    }
+    let n = requests.len() as f64;
+    CellResult {
+        at: at / n,
+        tt: tt / n,
+        retries_per_query: retries as f64 / n,
+    }
+}
+
+fn run_cell_engine(
+    sys: &dyn bda_core::DynSystem,
+    requests: &[(Ticks, Key)],
+    errors: ErrorModel,
+) -> CellResult {
+    let mut engine = Engine::with_faults(sys, errors, RetryPolicy::UNBOUNDED);
+    let completed = engine.run_batch(requests);
+    let mut at = 0f64;
+    let mut tt = 0f64;
+    for r in &completed {
+        assert!(
+            !r.outcome.aborted,
+            "{} aborted under loss",
+            sys.scheme_name()
+        );
+        assert!(
+            r.outcome.found,
+            "{} lost a broadcast key",
+            sys.scheme_name()
+        );
+        at += r.outcome.access as f64;
+        tt += r.outcome.tuning as f64;
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.abandoned, 0, "unbounded retries never abandon");
+    let n = requests.len() as f64;
+    CellResult {
+        at: at / n,
+        tt: tt / n,
+        retries_per_query: stats.corrupt_reads as f64 / n,
+    }
+}
 
 /// Run the error-prone-channel sweep.
 pub fn run(cli: &Cli) {
@@ -26,11 +123,13 @@ pub fn run(cli: &Cli) {
 
     let schemes = SchemeKind::PAPER;
     let headers: Vec<String> = std::iter::once("loss%".to_string())
-        .chain(
-            schemes
-                .iter()
-                .flat_map(|s| [format!("{} At", s.name()), format!("{} Tt", s.name())]),
-        )
+        .chain(schemes.iter().flat_map(|s| {
+            [
+                format!("{} At", s.name()),
+                format!("{} Tt", s.name()),
+                format!("{} rt/q", s.name()),
+            ]
+        }))
         .collect();
     let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut t = Table::new(&headers_ref);
@@ -40,29 +139,28 @@ pub fn run(cli: &Cli) {
         let mut row = vec![pct.to_string()];
         for &kind in &schemes {
             let sys = kind.build(&dataset, &params).unwrap();
-            let cycle = sys.cycle_len();
-            let mut rng = Prng::new(cli.seed ^ u64::from(pct) << 32 ^ kind.name().len() as u64);
-            let mut at = 0f64;
-            let mut tt = 0f64;
-            let mut aborted = 0u64;
-            for _ in 0..queries {
-                let key = dataset.record(rng.below(dataset.len() as u64) as usize).key;
-                let tune_in = rng.below(cycle * 8);
-                let out = sys.probe_with_errors(key, tune_in, errors);
-                aborted += u64::from(out.aborted);
-                at += out.access as f64;
-                tt += out.tuning as f64;
-            }
-            assert_eq!(aborted, 0, "{} aborted under {pct}% loss", kind.name());
-            at /= queries as f64;
-            tt /= queries as f64;
-            row.push(format!("{at:.0}"));
-            row.push(format!("{tt:.0}"));
+            let seed = cli.seed ^ u64::from(pct) << 32 ^ kind.name().len() as u64;
+            let requests = cell_requests(&dataset, sys.cycle_len(), queries, seed);
+            let cell = if cli.engine {
+                run_cell_engine(sys.as_ref(), &requests, errors)
+            } else {
+                run_cell_walker(sys.as_ref(), &requests, errors)
+            };
+            row.push(format!("{:.0}", cell.at));
+            row.push(format!("{:.0}", cell.tt));
+            row.push(format!("{:.3}", cell.retries_per_query));
         }
         t.row(row);
     }
 
-    println!("# Extension — error-prone channel (Nr = {nr}, {queries} queries/cell)\n");
+    println!(
+        "# Extension — error-prone channel (Nr = {nr}, {queries} queries/cell, {} mode)\n",
+        if cli.engine {
+            "event-engine"
+        } else {
+            "direct-walker"
+        }
+    );
     print!("{}", t.render());
     let _ = t.write_csv("ext_errors");
     println!("\n(csv: target/experiments/ext_errors.csv)");

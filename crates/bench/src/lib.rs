@@ -39,6 +39,10 @@ pub struct Cli {
     pub quick: bool,
     /// Workload seed.
     pub seed: u64,
+    /// Drive cells through the discrete-event engine (concurrent clients)
+    /// instead of the direct walker, where the experiment supports it
+    /// (`ext_errors`).
+    pub engine: bool,
 }
 
 impl Cli {
@@ -46,10 +50,12 @@ impl Cli {
     pub fn parse() -> Cli {
         let mut quick = false;
         let mut seed = 0x0EDB_2002u64;
+        let mut engine = false;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--quick" => quick = true,
+                "--engine" => engine = true,
                 "--seed" => {
                     seed = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
                         eprintln!("--seed requires an integer");
@@ -58,7 +64,7 @@ impl Cli {
                 }
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --quick   loose accuracy, fast\n       --seed N  workload seed"
+                        "flags: --quick   loose accuracy, fast\n       --seed N  workload seed\n       --engine  event-engine-backed cells (ext_errors)"
                     );
                     std::process::exit(0);
                 }
@@ -68,7 +74,11 @@ impl Cli {
                 }
             }
         }
-        Cli { quick, seed }
+        Cli {
+            quick,
+            seed,
+            engine,
+        }
     }
 
     /// The simulation settings these flags select.

@@ -24,7 +24,10 @@ FLAGS:
     --key K              query this raw key value instead (trace)
     --tune-in T          absolute tune-in time in bytes (trace; default 12345)
     --availability P     percent of queries answerable (compare/simulate; default 100)
-    --loss P             bucket loss percent on an error-prone channel (trace)
+    --loss P             bucket loss percent on an error-prone channel
+                         (trace/compare/simulate; default 0)
+    --retry N            give up a query after N corrupted reads
+                         (trace/compare/simulate; default: retry forever)
     --accuracy A         confidence accuracy target (simulate; default 0.02)
 ";
 
@@ -49,6 +52,8 @@ pub struct Options {
     pub availability: f64,
     /// Bucket loss percentage.
     pub loss: f64,
+    /// Max corrupted reads tolerated before abandoning (None = forever).
+    pub retry: Option<u32>,
     /// Accuracy target.
     pub accuracy: f64,
 }
@@ -65,6 +70,7 @@ impl Default for Options {
             tune_in: 12_345,
             availability: 100.0,
             loss: 0.0,
+            retry: None,
             accuracy: 0.02,
         }
     }
@@ -89,6 +95,7 @@ impl Options {
                 "--tune-in" => o.tune_in = parse_num(flag, val()?)?,
                 "--availability" => o.availability = parse_num(flag, val()?)?,
                 "--loss" => o.loss = parse_num(flag, val()?)?,
+                "--retry" => o.retry = Some(parse_num(flag, val()?)?),
                 "--accuracy" => o.accuracy = parse_num(flag, val()?)?,
                 other => return Err(format!("unknown flag {other:?}")),
             }
@@ -99,7 +106,23 @@ impl Options {
         if !(0.0..=100.0).contains(&o.availability) {
             return Err("--availability must be 0..=100".into());
         }
+        if !(0.0..=100.0).contains(&o.loss) {
+            return Err("--loss must be 0..=100".into());
+        }
         Ok(o)
+    }
+
+    /// The error model these flags select.
+    pub fn error_model(&self) -> bda_core::ErrorModel {
+        bda_core::ErrorModel::new(self.loss / 100.0, self.seed ^ 0xE7)
+    }
+
+    /// The client retry policy these flags select.
+    pub fn retry_policy(&self) -> bda_core::RetryPolicy {
+        match self.retry {
+            Some(n) => bda_core::RetryPolicy::bounded(n),
+            None => bda_core::RetryPolicy::UNBOUNDED,
+        }
     }
 }
 
@@ -148,6 +171,21 @@ mod tests {
         assert!(parse(&["--records", "zero"]).is_err());
         assert!(parse(&["--records", "0"]).is_err());
         assert!(parse(&["--availability", "150"]).is_err());
+        assert!(parse(&["--loss", "120"]).is_err());
         assert!(parse(&["--bogus", "1"]).is_err());
+    }
+
+    #[test]
+    fn fault_flags_map_to_model_and_policy() {
+        let o = parse(&["--loss", "10", "--retry", "3", "--seed", "1"]).unwrap();
+        assert!((o.error_model().loss_prob - 0.10).abs() < 1e-12);
+        assert_eq!(o.retry_policy(), bda_core::RetryPolicy::bounded(3));
+        // Default: lossless, retry forever.
+        let d = parse(&[]).unwrap();
+        assert_eq!(
+            d.error_model(),
+            bda_core::ErrorModel::new(0.0, d.seed ^ 0xE7)
+        );
+        assert_eq!(d.retry_policy(), bda_core::RetryPolicy::UNBOUNDED);
     }
 }

@@ -1,7 +1,7 @@
 //! The four `bda-cli` commands.
 
 use bda_btree::{DistributedScheme, OneMScheme};
-use bda_core::{Dataset, DynSystem, ErrorModel, Key, Params, Scheme};
+use bda_core::{Dataset, DynSystem, Key, Params, Scheme};
 use bda_datagen::{DatasetBuilder, Popularity, QueryWorkload};
 use bda_hash::HashScheme;
 use bda_hybrid::HybridScheme;
@@ -145,9 +145,10 @@ pub fn trace(o: &Options) -> Result<(), String> {
         }
         (None, None) => ds.record(ds.len() / 2).key,
     };
-    let errors = ErrorModel::new(o.loss / 100.0, o.seed ^ 0xE7);
+    let errors = o.error_model();
+    let policy = o.retry_policy();
     println!(
-        "# {} · {} records · query {} · tune-in {}{}\n",
+        "# {} · {} records · query {} · tune-in {}{}{}\n",
         o.scheme,
         ds.len(),
         key,
@@ -156,6 +157,10 @@ pub fn trace(o: &Options) -> Result<(), String> {
             format!(" · {}% bucket loss", o.loss)
         } else {
             String::new()
+        },
+        match o.retry {
+            Some(n) => format!(" · give up after {n} retries"),
+            None => String::new(),
         }
     );
     let t: Trace = match o.scheme.as_str() {
@@ -163,49 +168,49 @@ pub fn trace(o: &Options) -> Result<(), String> {
             let sys = bda_core::FlatScheme
                 .build(&ds, &p)
                 .map_err(|e| e.to_string())?;
-            trace_query(&sys, key, o.tune_in, errors, describe::flat)
+            trace_query(&sys, key, o.tune_in, errors, policy, describe::flat)
         }
         "one-m" | "(1,m)" => {
             let sys = OneMScheme::new()
                 .build(&ds, &p)
                 .map_err(|e| e.to_string())?;
-            trace_query(&sys, key, o.tune_in, errors, describe::btree)
+            trace_query(&sys, key, o.tune_in, errors, policy, describe::btree)
         }
         "distributed" => {
             let sys = DistributedScheme::new()
                 .build(&ds, &p)
                 .map_err(|e| e.to_string())?;
-            trace_query(&sys, key, o.tune_in, errors, describe::btree)
+            trace_query(&sys, key, o.tune_in, errors, policy, describe::btree)
         }
         "hashing" => {
             let sys = HashScheme::new()
                 .build(&ds, &p)
                 .map_err(|e| e.to_string())?;
-            trace_query(&sys, key, o.tune_in, errors, describe::hash)
+            trace_query(&sys, key, o.tune_in, errors, policy, describe::hash)
         }
         "signature" => {
             let sys = SimpleSignatureScheme::new()
                 .build(&ds, &p)
                 .map_err(|e| e.to_string())?;
-            trace_query(&sys, key, o.tune_in, errors, describe::sig)
+            trace_query(&sys, key, o.tune_in, errors, policy, describe::sig)
         }
         "integrated-signature" => {
             let sys = IntegratedSignatureScheme::default()
                 .build(&ds, &p)
                 .map_err(|e| e.to_string())?;
-            trace_query(&sys, key, o.tune_in, errors, describe::sig)
+            trace_query(&sys, key, o.tune_in, errors, policy, describe::sig)
         }
         "multilevel-signature" => {
             let sys = MultiLevelSignatureScheme::default()
                 .build(&ds, &p)
                 .map_err(|e| e.to_string())?;
-            trace_query(&sys, key, o.tune_in, errors, describe::sig)
+            trace_query(&sys, key, o.tune_in, errors, policy, describe::sig)
         }
         "hybrid" => {
             let sys = HybridScheme::new()
                 .build(&ds, &p)
                 .map_err(|e| e.to_string())?;
-            trace_query(&sys, key, o.tune_in, errors, describe::hybrid)
+            trace_query(&sys, key, o.tune_in, errors, policy, describe::hybrid)
         }
         other => {
             return Err(format!(
@@ -242,14 +247,19 @@ pub fn compare(o: &Options) -> Result<(), String> {
     let (ds, pool) = dataset(o)?;
     let availability = o.availability / 100.0;
     println!(
-        "# {} records · {:.0}% availability · ratio {}\n",
+        "# {} records · {:.0}% availability · ratio {}{}\n",
         ds.len(),
         o.availability,
-        o.ratio
+        o.ratio,
+        if o.loss > 0.0 {
+            format!(" · {}% bucket loss", o.loss)
+        } else {
+            String::new()
+        }
     );
     println!(
-        "{:<22} {:>12} {:>12} {:>9} {:>7}",
-        "scheme", "access(B)", "tuning(B)", "requests", "found%"
+        "{:<22} {:>12} {:>12} {:>9} {:>8} {:>7}",
+        "scheme", "access(B)", "tuning(B)", "requests", "retry/q", "found%"
     );
     for name in SCHEMES {
         let sys = build_dyn(name, &ds, &p)?;
@@ -262,13 +272,16 @@ pub fn compare(o: &Options) -> Result<(), String> {
         );
         let mut cfg = SimConfig::quick();
         cfg.event_driven = false;
+        cfg.errors = o.error_model();
+        cfg.retry = o.retry_policy();
         let r = Simulator::new(sys.as_ref(), workload, cfg).run();
         println!(
-            "{:<22} {:>12.0} {:>12.0} {:>9} {:>6.1}%",
+            "{:<22} {:>12.0} {:>12.0} {:>9} {:>8.3} {:>6.1}%",
             r.scheme,
             r.mean_access(),
             r.mean_tuning(),
             r.requests,
+            r.mean_retries(),
             100.0 * r.found as f64 / r.requests as f64,
         );
     }
@@ -289,6 +302,8 @@ pub fn simulate(o: &Options) -> Result<(), String> {
     );
     let mut cfg = SimConfig::paper();
     cfg.accuracy = o.accuracy;
+    cfg.errors = o.error_model();
+    cfg.retry = o.retry_policy();
     let r = Simulator::new(sys.as_ref(), workload, cfg).run();
     println!("scheme        : {}", r.scheme);
     println!(
@@ -307,6 +322,18 @@ pub fn simulate(o: &Options) -> Result<(), String> {
     );
     println!("found         : {} / {}", r.found, r.requests);
     println!("false drops   : {}", r.false_drops);
+    if o.loss > 0.0 {
+        println!(
+            "corrupt reads : {} ({:.3} retries/query)",
+            r.retries,
+            r.mean_retries()
+        );
+        println!(
+            "abandoned     : {} ({:.2}% of requests)",
+            r.abandoned,
+            100.0 * r.abandonment_rate()
+        );
+    }
     println!("cycle length  : {} bytes", r.cycle_len);
     Ok(())
 }

@@ -1,7 +1,9 @@
 //! Typed walk tracing: run one query and render each protocol step with a
 //! human-readable description of the bucket it touched.
 
-use bda_core::{Channel, ErrorModel, Key, ProtocolMachine, System, Ticks, Walk, WalkStep};
+use bda_core::{
+    Channel, ErrorModel, Key, ProtocolMachine, RetryPolicy, System, Ticks, Walk, WalkStep,
+};
 
 /// One rendered trace plus the query outcome.
 pub struct Trace {
@@ -18,9 +20,10 @@ pub fn trace_walk<P, M: ProtocolMachine<P>>(
     machine: M,
     tune_in: Ticks,
     errors: ErrorModel,
+    policy: RetryPolicy,
     describe: impl Fn(&P) -> String,
 ) -> Trace {
-    let mut walk = Walk::with_errors(channel, machine, tune_in, errors);
+    let mut walk = Walk::with_policy(channel, machine, tune_in, errors, policy);
     let mut lines = vec![format!("t={tune_in:<12} TUNE-IN")];
     let outcome = loop {
         match walk.step() {
@@ -55,7 +58,13 @@ pub fn trace_walk<P, M: ProtocolMachine<P>>(
     lines.push(format!(
         "t={:<12} DONE  {} — access {}B, tuning {}B, {} probes{}{}",
         tune_in + outcome.access,
-        if outcome.found { "FOUND" } else { "NOT FOUND" },
+        if outcome.found {
+            "FOUND"
+        } else if outcome.abandoned {
+            "ABANDONED (retry policy gave up)"
+        } else {
+            "NOT FOUND"
+        },
         outcome.access,
         outcome.tuning,
         outcome.probes,
@@ -79,9 +88,17 @@ pub fn trace_query<S: System>(
     key: Key,
     tune_in: Ticks,
     errors: ErrorModel,
+    policy: RetryPolicy,
     describe: impl Fn(&S::Payload) -> String,
 ) -> Trace {
-    trace_walk(sys.channel(), sys.query(key), tune_in, errors, describe)
+    trace_walk(
+        sys.channel(),
+        sys.query(key),
+        tune_in,
+        errors,
+        policy,
+        describe,
+    )
 }
 
 /// Compact per-scheme payload descriptions.
@@ -179,6 +196,7 @@ mod tests {
             bda_core::Key(6),
             100,
             ErrorModel::NONE,
+            RetryPolicy::UNBOUNDED,
             describe::flat,
         );
         assert!(t.outcome.found);
@@ -188,5 +206,22 @@ mod tests {
         assert_eq!(t.lines.len(), t.outcome.probes as usize + 2);
         // Trace agrees with the plain probe.
         assert_eq!(t.outcome, sys.probe(bda_core::Key(6), 100));
+    }
+
+    #[test]
+    fn abandoned_traces_say_so() {
+        let ds = Dataset::new((0..8).map(|i| Record::keyed(i * 2)).collect()).unwrap();
+        let sys = FlatScheme.build(&ds, &Params::paper()).unwrap();
+        let t = trace_query(
+            &sys,
+            bda_core::Key(6),
+            0,
+            ErrorModel::new(1.0, 1),
+            RetryPolicy::bounded(1),
+            describe::flat,
+        );
+        assert!(t.outcome.abandoned);
+        assert!(!t.outcome.aborted);
+        assert!(t.lines.last().unwrap().contains("ABANDONED"));
     }
 }

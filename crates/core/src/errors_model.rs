@@ -77,6 +77,75 @@ impl Default for ErrorModel {
     }
 }
 
+/// Client-side robustness policy for error-prone channels: how long a
+/// client keeps recovering from corrupted bucket reads before giving up.
+///
+/// The walker consults the policy **only at corrupt reads** — on a
+/// lossless channel (or any run that happens to see no corruption) every
+/// policy is a no-op, so [`RetryPolicy::default`] over [`ErrorModel::NONE`]
+/// is bit-identical to the policy-free walker. When the policy gives up
+/// the query ends truthfully with [`crate::AccessOutcome::abandoned`] set:
+/// the client reports "I stopped trying", never a wrong answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Corrupted reads tolerated before abandoning; `None` retries
+    /// forever (the default — queries on a loss < 1 channel eventually
+    /// succeed).
+    pub max_retries: Option<u32>,
+    /// Whole broadcast cycles to doze after each corrupted read before
+    /// resuming (back-off). `0` (default) resumes immediately; `1` waits
+    /// for the same channel position in the next cycle, trading access
+    /// time for tuning time under bursty interference.
+    pub backoff_cycles: u32,
+    /// Abandon at the first corrupted read once this much access time
+    /// (bytes since tune-in) has elapsed. `None` (default) never
+    /// deadline-abandons.
+    pub give_up_after: Option<Ticks>,
+}
+
+impl RetryPolicy {
+    /// Retry forever, immediately — the implicit policy of every walker
+    /// before fault injection grew a policy knob.
+    pub const UNBOUNDED: RetryPolicy = RetryPolicy {
+        max_retries: None,
+        backoff_cycles: 0,
+        give_up_after: None,
+    };
+
+    /// Tolerate at most `n` corrupted reads, then abandon.
+    pub fn bounded(n: u32) -> Self {
+        RetryPolicy {
+            max_retries: Some(n),
+            ..RetryPolicy::UNBOUNDED
+        }
+    }
+
+    /// Add a next-cycle back-off of `cycles` whole cycles per retry.
+    pub fn with_backoff(mut self, cycles: u32) -> Self {
+        self.backoff_cycles = cycles;
+        self
+    }
+
+    /// Add a give-up deadline of `ticks` bytes of access time.
+    pub fn with_deadline(mut self, ticks: Ticks) -> Self {
+        self.give_up_after = Some(ticks);
+        self
+    }
+
+    /// Whether a client that has now seen `retries` corrupted reads and
+    /// spent `elapsed` bytes of access time should abandon the query.
+    pub fn gives_up(&self, retries: u32, elapsed: Ticks) -> bool {
+        self.max_retries.is_some_and(|m| retries > m)
+            || self.give_up_after.is_some_and(|d| elapsed >= d)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::UNBOUNDED
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,5 +191,34 @@ mod tests {
     fn clamping() {
         assert_eq!(ErrorModel::new(-3.0, 0).loss_prob, 0.0);
         assert_eq!(ErrorModel::new(7.0, 0).loss_prob, 1.0);
+    }
+
+    #[test]
+    fn unbounded_policy_never_gives_up() {
+        let p = RetryPolicy::default();
+        assert_eq!(p, RetryPolicy::UNBOUNDED);
+        assert!(!p.gives_up(u32::MAX, Ticks::MAX));
+    }
+
+    #[test]
+    fn bounded_policy_gives_up_past_the_budget() {
+        let p = RetryPolicy::bounded(2);
+        assert!(!p.gives_up(1, 0));
+        assert!(!p.gives_up(2, 0));
+        assert!(p.gives_up(3, 0));
+        // bounded(0) abandons at the very first corrupt read.
+        assert!(RetryPolicy::bounded(0).gives_up(1, 0));
+    }
+
+    #[test]
+    fn deadline_policy_gives_up_on_elapsed_time() {
+        let p = RetryPolicy::default().with_deadline(1_000);
+        assert!(!p.gives_up(50, 999));
+        assert!(p.gives_up(1, 1_000));
+    }
+
+    #[test]
+    fn backoff_builder_sets_cycles() {
+        assert_eq!(RetryPolicy::bounded(4).with_backoff(2).backoff_cycles, 2);
     }
 }

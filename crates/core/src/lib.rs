@@ -44,11 +44,12 @@ pub use bucket::{Bucket, BucketMeta};
 pub use channel::Channel;
 pub use coverage::Coverage;
 pub use error::{BdaError, Result};
-pub use errors_model::ErrorModel;
+pub use errors_model::{ErrorModel, RetryPolicy};
 pub use flat::{FlatPayload, FlatScheme, FlatSystem};
 pub use key::Key;
 pub use machine::{
-    run_machine_with_errors, AccessOutcome, Action, ProtocolMachine, Verdict, Walk, WalkStep,
+    run_machine_with_errors, run_machine_with_policy, AccessOutcome, Action, ProtocolMachine,
+    Verdict, Walk, WalkStep,
 };
 pub use params::Params;
 pub use record::{Dataset, Record};

@@ -14,7 +14,7 @@
 
 use crate::bucket::BucketMeta;
 use crate::channel::Channel;
-use crate::errors_model::ErrorModel;
+use crate::errors_model::{ErrorModel, RetryPolicy};
 use crate::Ticks;
 
 /// What a protocol machine wants to do next.
@@ -112,6 +112,12 @@ pub struct AccessOutcome {
     /// Corrupted bucket transmissions the client had to recover from
     /// (always 0 on a lossless channel).
     pub retries: u32,
+    /// Set when the client's [`RetryPolicy`] gave up on an error-prone
+    /// channel (retry budget exhausted or give-up deadline passed). An
+    /// abandoned query is a *truthful* failure — `found` is false and the
+    /// client knows it stopped early — unlike `aborted`, which flags a
+    /// protocol bug. Always false under [`RetryPolicy::UNBOUNDED`].
+    pub abandoned: bool,
     /// Set when the walker aborted the query because the machine exceeded
     /// its probe budget or dozed into the past — either indicates a bug in
     /// a channel builder or protocol, and tests assert it never happens.
@@ -166,6 +172,7 @@ pub struct Walk<'a, P, M> {
     outcome: Option<AccessOutcome>,
     max_probes: u32,
     errors: ErrorModel,
+    policy: RetryPolicy,
 }
 
 impl<'a, P, M: ProtocolMachine<P>> Walk<'a, P, M> {
@@ -176,12 +183,19 @@ impl<'a, P, M: ProtocolMachine<P>> Walk<'a, P, M> {
 
     /// Begin a query over an error-prone channel: each bucket transmission
     /// is independently corrupted per `errors`, and the machine recovers
-    /// via [`ProtocolMachine::on_corrupt`].
-    pub fn with_errors(
+    /// via [`ProtocolMachine::on_corrupt`] (retrying forever).
+    pub fn with_errors(ch: &'a Channel<P>, machine: M, tune_in: Ticks, errors: ErrorModel) -> Self {
+        Walk::with_policy(ch, machine, tune_in, errors, RetryPolicy::UNBOUNDED)
+    }
+
+    /// Begin a query over an error-prone channel with an explicit
+    /// client-side [`RetryPolicy`] governing recovery from corrupt reads.
+    pub fn with_policy(
         ch: &'a Channel<P>,
         mut machine: M,
         tune_in: Ticks,
         errors: ErrorModel,
+        policy: RetryPolicy,
     ) -> Self {
         let pending = machine.start(tune_in);
         // A correct protocol never needs more than a handful of cycles; the
@@ -210,6 +224,7 @@ impl<'a, P, M: ProtocolMachine<P>> Walk<'a, P, M> {
             outcome: None,
             max_probes,
             errors,
+            policy,
         }
     }
 
@@ -236,10 +251,36 @@ impl<'a, P, M: ProtocolMachine<P>> Walk<'a, P, M> {
             probes: self.probes,
             false_drops,
             retries: self.retries,
+            abandoned: false,
             aborted,
         };
         self.outcome = Some(out);
         WalkStep::Done(out)
+    }
+
+    /// Give up truthfully: the retry policy's budget or deadline ran out.
+    fn abandon(&mut self) -> WalkStep {
+        let mut step = self.finish(false, self.false_drops_hint, false);
+        if let (Some(out), WalkStep::Done(done)) = (self.outcome.as_mut(), &mut step) {
+            out.abandoned = true;
+            done.abandoned = true;
+        }
+        step
+    }
+
+    /// Apply the policy's next-cycle back-off to a post-corruption action:
+    /// the resume point shifts by whole cycles, which preserves the bucket
+    /// the machine expects to see next (the cycle is periodic).
+    fn backoff(&self, act: Action) -> Action {
+        if self.policy.backoff_cycles == 0 {
+            return act;
+        }
+        let shift = Ticks::from(self.policy.backoff_cycles) * self.ch.cycle_len();
+        match act {
+            Action::ReadNext => Action::DozeTo(self.now + shift),
+            Action::DozeTo(t) => Action::DozeTo(t + shift),
+            finish => finish,
+        }
     }
 
     /// Execute the machine's next action and report what happened.
@@ -273,7 +314,11 @@ impl<'a, P, M: ProtocolMachine<P>> Walk<'a, P, M> {
                 };
                 let next = if self.errors.corrupted(start) {
                     self.retries += 1;
-                    self.machine.on_corrupt(meta)
+                    if self.policy.gives_up(self.retries, self.now - self.tune_in) {
+                        return self.abandon();
+                    }
+                    let recovery = self.machine.on_corrupt(meta);
+                    self.backoff(recovery)
                 } else {
                     self.machine.on_bucket(&self.ch.bucket(idx).payload, meta)
                 };
@@ -311,14 +356,26 @@ pub fn run_machine<P, M: ProtocolMachine<P>>(
     run_machine_with_errors(ch, machine, tune_in, ErrorModel::NONE)
 }
 
-/// [`run_machine`] over an error-prone channel.
+/// [`run_machine`] over an error-prone channel (unbounded retries).
 pub fn run_machine_with_errors<P, M: ProtocolMachine<P>>(
     ch: &Channel<P>,
     machine: M,
     tune_in: Ticks,
     errors: ErrorModel,
 ) -> AccessOutcome {
-    let mut walk = Walk::with_errors(ch, machine, tune_in, errors);
+    run_machine_with_policy(ch, machine, tune_in, errors, RetryPolicy::UNBOUNDED)
+}
+
+/// [`run_machine`] over an error-prone channel with an explicit client
+/// [`RetryPolicy`].
+pub fn run_machine_with_policy<P, M: ProtocolMachine<P>>(
+    ch: &Channel<P>,
+    machine: M,
+    tune_in: Ticks,
+    errors: ErrorModel,
+    policy: RetryPolicy,
+) -> AccessOutcome {
+    let mut walk = Walk::with_policy(ch, machine, tune_in, errors, policy);
     loop {
         if let WalkStep::Done(out) = walk.step() {
             return out;
@@ -487,5 +544,102 @@ mod tests {
         assert!(Verdict::found().found);
         assert!(!Verdict::not_found().found);
         assert_eq!(Verdict::found().with_false_drops(3).false_drops, 3);
+    }
+
+    /// Finishes as soon as it sees any usable bucket; restarts on corrupt
+    /// ones (the default `on_corrupt`).
+    struct FirstGood;
+    impl ProtocolMachine<usize> for FirstGood {
+        fn start(&mut self, _t: Ticks) -> Action {
+            Action::ReadNext
+        }
+        fn on_bucket(&mut self, _p: &usize, _m: BucketMeta) -> Action {
+            Action::Finish(Verdict::found())
+        }
+    }
+
+    #[test]
+    fn bounded_retries_abandon_truthfully() {
+        let c = ch(&[10, 20]);
+        // Every transmission corrupt: budget of 2 retries means the third
+        // corrupt read gives up.
+        let out = run_machine_with_policy(
+            &c,
+            FirstGood,
+            0,
+            ErrorModel::new(1.0, 1),
+            RetryPolicy::bounded(2),
+        );
+        assert!(out.abandoned);
+        assert!(!out.found);
+        assert!(!out.aborted, "abandonment is not a protocol bug");
+        assert_eq!(out.retries, 3);
+        assert_eq!(out.probes, 3);
+    }
+
+    #[test]
+    fn backoff_dozes_whole_cycles_between_retries() {
+        let c = ch(&[10, 20]); // cycle length 30
+        let immediate = run_machine_with_policy(
+            &c,
+            FirstGood,
+            0,
+            ErrorModel::new(1.0, 1),
+            RetryPolicy::bounded(2),
+        );
+        let backed_off = run_machine_with_policy(
+            &c,
+            FirstGood,
+            0,
+            ErrorModel::new(1.0, 1),
+            RetryPolicy::bounded(2).with_backoff(1),
+        );
+        assert!(backed_off.abandoned);
+        // Two recoveries each doze one extra cycle; the final corrupt read
+        // abandons without a back-off.
+        assert_eq!(backed_off.access, immediate.access + 2 * c.cycle_len());
+        // Back-off is radio-off time: tuning unchanged.
+        assert_eq!(backed_off.tuning, immediate.tuning);
+    }
+
+    #[test]
+    fn give_up_deadline_abandons_at_next_corrupt_read() {
+        let c = ch(&[10, 20]);
+        let out = run_machine_with_policy(
+            &c,
+            FirstGood,
+            0,
+            ErrorModel::new(1.0, 1),
+            RetryPolicy::default().with_deadline(1),
+        );
+        assert!(out.abandoned);
+        assert_eq!(out.retries, 1, "first corrupt read is past the deadline");
+    }
+
+    #[test]
+    fn policies_are_noops_on_lossless_channels() {
+        let c = ch(&[10, 20, 30]);
+        let plain = run_machine(
+            &c,
+            Scripted {
+                reads: 2,
+                doze: Some(20),
+                seen: vec![],
+            },
+            5,
+        );
+        let strict = run_machine_with_policy(
+            &c,
+            Scripted {
+                reads: 2,
+                doze: Some(20),
+                seen: vec![],
+            },
+            5,
+            ErrorModel::NONE,
+            RetryPolicy::bounded(0).with_backoff(3).with_deadline(1),
+        );
+        assert_eq!(plain, strict);
+        assert!(!plain.abandoned);
     }
 }

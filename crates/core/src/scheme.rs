@@ -3,10 +3,10 @@
 
 use crate::channel::Channel;
 use crate::error::Result;
-use crate::errors_model::ErrorModel;
+use crate::errors_model::{ErrorModel, RetryPolicy};
 use crate::key::Key;
 use crate::machine::{
-    run_machine, run_machine_with_errors, AccessOutcome, ProtocolMachine, Walk, WalkStep,
+    run_machine, run_machine_with_policy, AccessOutcome, ProtocolMachine, Walk, WalkStep,
 };
 use crate::params::Params;
 use crate::record::Dataset;
@@ -106,21 +106,38 @@ pub trait QuerySlot {
 pub struct WalkSlot<'a, S: System> {
     system: &'a S,
     walk: Option<Walk<'a, S::Payload, S::Machine>>,
+    errors: ErrorModel,
+    policy: RetryPolicy,
 }
 
 impl<'a, S: System> WalkSlot<'a, S> {
-    /// An empty slot for `system`; call [`QuerySlot::start`] to arm it.
+    /// An empty slot for `system` over a lossless channel; call
+    /// [`QuerySlot::start`] to arm it.
     pub fn new(system: &'a S) -> Self {
-        WalkSlot { system, walk: None }
+        WalkSlot::with_faults(system, ErrorModel::NONE, RetryPolicy::UNBOUNDED)
+    }
+
+    /// An empty slot whose queries all run over the given error-prone
+    /// channel with the given client retry policy — the fault-injection
+    /// counterpart of [`WalkSlot::new`] used by the event engine.
+    pub fn with_faults(system: &'a S, errors: ErrorModel, policy: RetryPolicy) -> Self {
+        WalkSlot {
+            system,
+            walk: None,
+            errors,
+            policy,
+        }
     }
 }
 
 impl<S: System> QuerySlot for WalkSlot<'_, S> {
     fn start(&mut self, key: Key, tune_in: Ticks) {
-        self.walk = Some(Walk::new(
+        self.walk = Some(Walk::with_policy(
             self.system.channel(),
             self.system.query(key),
             tune_in,
+            self.errors,
+            self.policy,
         ));
     }
 
@@ -164,16 +181,46 @@ pub trait DynSystem: Send + Sync {
     fn probe(&self, key: Key, tune_in: Ticks) -> AccessOutcome;
 
     /// Run one complete query over an error-prone channel (extension; see
-    /// [`ErrorModel`]).
+    /// [`ErrorModel`]), retrying forever.
     fn probe_with_errors(&self, key: Key, tune_in: Ticks, errors: ErrorModel) -> AccessOutcome;
+
+    /// Run one complete query over an error-prone channel under an
+    /// explicit client [`RetryPolicy`] — the direct-walker path the
+    /// differential lossy suite checks both engines against.
+    fn probe_with_policy(
+        &self,
+        key: Key,
+        tune_in: Ticks,
+        errors: ErrorModel,
+        policy: RetryPolicy,
+    ) -> AccessOutcome;
 
     /// Start a stepping query for the event-driven testbed.
     fn begin(&self, key: Key, tune_in: Ticks) -> Box<dyn QueryRun + '_>;
+
+    /// Start a stepping query over an error-prone channel with a client
+    /// retry policy (fault-injection counterpart of [`DynSystem::begin`]).
+    fn begin_with_faults(
+        &self,
+        key: Key,
+        tune_in: Ticks,
+        errors: ErrorModel,
+        policy: RetryPolicy,
+    ) -> Box<dyn QueryRun + '_>;
 
     /// Allocate a reusable client slot. One slot serves many sequential
     /// queries via [`QuerySlot::start`]; the slab-based event engine keeps
     /// one per concurrent client instead of boxing a walker per request.
     fn make_slot(&self) -> Box<dyn QuerySlot + '_>;
+
+    /// Allocate a reusable client slot whose queries run over an
+    /// error-prone channel with a client retry policy (fault-injection
+    /// counterpart of [`DynSystem::make_slot`]).
+    fn make_slot_with_faults(
+        &self,
+        errors: ErrorModel,
+        policy: RetryPolicy,
+    ) -> Box<dyn QuerySlot + '_>;
 }
 
 impl<S: System> DynSystem for S
@@ -197,15 +244,49 @@ where
     }
 
     fn probe_with_errors(&self, key: Key, tune_in: Ticks, errors: ErrorModel) -> AccessOutcome {
-        run_machine_with_errors(self.channel(), self.query(key), tune_in, errors)
+        self.probe_with_policy(key, tune_in, errors, RetryPolicy::UNBOUNDED)
+    }
+
+    fn probe_with_policy(
+        &self,
+        key: Key,
+        tune_in: Ticks,
+        errors: ErrorModel,
+        policy: RetryPolicy,
+    ) -> AccessOutcome {
+        run_machine_with_policy(self.channel(), self.query(key), tune_in, errors, policy)
     }
 
     fn begin(&self, key: Key, tune_in: Ticks) -> Box<dyn QueryRun + '_> {
         Box::new(Walk::new(self.channel(), self.query(key), tune_in))
     }
 
+    fn begin_with_faults(
+        &self,
+        key: Key,
+        tune_in: Ticks,
+        errors: ErrorModel,
+        policy: RetryPolicy,
+    ) -> Box<dyn QueryRun + '_> {
+        Box::new(Walk::with_policy(
+            self.channel(),
+            self.query(key),
+            tune_in,
+            errors,
+            policy,
+        ))
+    }
+
     fn make_slot(&self) -> Box<dyn QuerySlot + '_> {
         Box::new(WalkSlot::new(self))
+    }
+
+    fn make_slot_with_faults(
+        &self,
+        errors: ErrorModel,
+        policy: RetryPolicy,
+    ) -> Box<dyn QuerySlot + '_> {
+        Box::new(WalkSlot::with_faults(self, errors, policy))
     }
 }
 
@@ -266,6 +347,29 @@ mod tests {
                 };
                 assert!(slot.is_done());
                 assert_eq!(stepped, dynsys.probe(key, t));
+            }
+        }
+    }
+
+    #[test]
+    fn fault_armed_slot_agrees_with_policy_probe() {
+        let ds = tiny_dataset();
+        let sys = FlatScheme.build(&ds, &Params::paper()).unwrap();
+        let dynsys: &dyn DynSystem = &sys;
+        let errors = ErrorModel::new(0.2, 11);
+        let policy = RetryPolicy::bounded(3);
+        let mut slot = dynsys.make_slot_with_faults(errors, policy);
+        for key in [Key(0), Key(50), Key(55), Key(20)] {
+            for t in [0u64, 123, 4096] {
+                slot.start(key, t);
+                let stepped = loop {
+                    if let WalkStep::Done(out) = slot.step() {
+                        break out;
+                    }
+                };
+                assert_eq!(stepped, dynsys.probe_with_policy(key, t, errors, policy));
+                let mut run = dynsys.begin_with_faults(key, t, errors, policy);
+                assert_eq!(drain(run.as_mut()), stepped);
             }
         }
     }

@@ -70,4 +70,83 @@ proptest! {
         prop_assert!(!lossy.aborted);
         prop_assert!(lossy.access >= out.access || lossy.retries == 0);
     }
+
+    /// The error model is a pure function of (bucket start, seed): clones
+    /// agree everywhere, and distinct seeds decorrelate the corruption
+    /// pattern.
+    #[test]
+    fn error_model_is_deterministic_and_seed_sensitive(
+        loss in 0.01f64..0.99,
+        seed in any::<u64>(),
+        starts in prop::collection::vec(0u64..1 << 50, 1..200),
+    ) {
+        let m = ErrorModel::new(loss, seed);
+        let clone = m;
+        prop_assert_eq!(m, clone);
+        for &s in &starts {
+            prop_assert_eq!(m.corrupted(s), clone.corrupted(s), "clone diverged at {}", s);
+        }
+        // A different seed must not reproduce the same pattern on any
+        // reasonably long sample (probability ~loss^n of a false alarm).
+        if starts.len() >= 64 {
+            let other = ErrorModel::new(loss, seed ^ 0x9E37_79B9_7F4A_7C15);
+            let agree = starts.iter().filter(|&&s| m.corrupted(s) == other.corrupted(s)).count();
+            prop_assert!(agree < starts.len(), "seeds {} and friend fully correlated", seed);
+        }
+    }
+
+    /// Edge rates: `loss = 0` never corrupts, `loss = 1` always corrupts.
+    #[test]
+    fn error_model_edge_rates(seed in any::<u64>(), start in 0u64..1 << 50) {
+        prop_assert!(!ErrorModel::new(0.0, seed).corrupted(start));
+        prop_assert!(!ErrorModel::NONE.corrupted(start));
+        prop_assert!(ErrorModel::new(1.0, seed).corrupted(start));
+    }
+
+    /// For a fixed seed the corrupted set is pointwise monotone in the
+    /// loss probability: the same hash is compared against the threshold,
+    /// so p1 <= p2 implies corrupted(p1) ⊆ corrupted(p2) *exactly* — not
+    /// just statistically.
+    #[test]
+    fn error_model_corruption_is_monotone_in_loss(
+        seed in any::<u64>(),
+        p1 in 0.0f64..1.0,
+        p2 in 0.0f64..1.0,
+        starts in prop::collection::vec(0u64..1 << 50, 1..300),
+    ) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let weak = ErrorModel::new(lo, seed);
+        let strong = ErrorModel::new(hi, seed);
+        let mut weak_hits = 0usize;
+        let mut strong_hits = 0usize;
+        for &s in &starts {
+            if weak.corrupted(s) {
+                weak_hits += 1;
+                prop_assert!(strong.corrupted(s), "lost corruption at {} raising {} -> {}", s, lo, hi);
+            }
+            if strong.corrupted(s) {
+                strong_hits += 1;
+            }
+        }
+        prop_assert!(weak_hits <= strong_hits);
+    }
+
+    /// The empirical loss rate over a large sample tracks `loss_prob`
+    /// (binomial concentration: ±5 σ bound, deterministic per seed).
+    #[test]
+    fn error_model_empirical_rate_tracks_loss_prob(
+        seed in any::<u64>(),
+        loss in 0.05f64..0.95,
+    ) {
+        let m = ErrorModel::new(loss, seed);
+        let n = 20_000u64;
+        // Irregular stride so starts don't share low-bit structure.
+        let hits = (0..n).filter(|i| m.corrupted(i * 6_700_417)).count() as f64;
+        let rate = hits / n as f64;
+        let sigma = (loss * (1.0 - loss) / n as f64).sqrt();
+        prop_assert!(
+            (rate - loss).abs() < 5.0 * sigma + 1e-3,
+            "empirical {} vs nominal {} (seed {})", rate, loss, seed
+        );
+    }
 }

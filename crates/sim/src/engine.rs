@@ -38,7 +38,9 @@
 
 use std::collections::BTreeMap;
 
-use bda_core::{AccessOutcome, DynSystem, Key, QuerySlot, Ticks, WalkStep};
+use bda_core::{
+    AccessOutcome, DynSystem, ErrorModel, Key, QuerySlot, RetryPolicy, Ticks, WalkStep,
+};
 
 /// One completed request with its timing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +67,13 @@ pub struct EngineStats {
     pub peak_in_flight: usize,
     /// Requests completed.
     pub completed: u64,
+    /// Corrupted bucket transmissions clients recovered from (or abandoned
+    /// at) across all completed requests — always 0 on a lossless channel.
+    pub corrupt_reads: u64,
+    /// Requests whose [`RetryPolicy`] gave up (truthful
+    /// [`AccessOutcome::abandoned`] outcomes; always 0 under
+    /// [`RetryPolicy::UNBOUNDED`]).
+    pub abandoned: u64,
 }
 
 /// Batching wake-up scheduler.
@@ -137,11 +146,29 @@ pub struct Engine<'a> {
     /// Scratch buffer for draining batches without reallocating.
     batch: Vec<u32>,
     stats: EngineStats,
+    /// Per-transmission channel corruption every admitted client sees
+    /// ([`ErrorModel::NONE`] for a perfect channel).
+    errors: ErrorModel,
+    /// Client-side recovery policy for corrupt reads.
+    policy: RetryPolicy,
 }
 
 impl<'a> Engine<'a> {
-    /// A fresh engine for `system` with an empty arena.
+    /// A fresh engine for `system` with an empty arena, over a lossless
+    /// channel.
     pub fn new(system: &'a dyn DynSystem) -> Self {
+        Engine::with_faults(system, ErrorModel::NONE, RetryPolicy::UNBOUNDED)
+    }
+
+    /// A fresh engine whose clients all experience the error-prone channel
+    /// `errors` and recover per `policy` — the fault-injection testbed.
+    ///
+    /// Corruption is a pure function of each bucket occurrence's absolute
+    /// broadcast instant and the model seed, so the slab engine, the
+    /// reference heap engine and the direct walker see *identical*
+    /// corruption for the same request — the property the
+    /// `engine_lossy_equiv` differential suite pins.
+    pub fn with_faults(system: &'a dyn DynSystem, errors: ErrorModel, policy: RetryPolicy) -> Self {
         Engine {
             system,
             slots: Vec::new(),
@@ -151,6 +178,8 @@ impl<'a> Engine<'a> {
             sched: WakeupScheduler::default(),
             batch: Vec::new(),
             stats: EngineStats::default(),
+            errors,
+            policy,
         }
     }
 
@@ -162,6 +191,14 @@ impl<'a> Engine<'a> {
     /// Clients currently tuned in (arrived but not finished).
     pub fn in_flight(&self) -> usize {
         self.in_flight
+    }
+
+    /// Client slots ever allocated (the arena's high-water mark). Stays at
+    /// `max_in_flight` in streaming mode even when requests abandon: a
+    /// completed slot — found, not-found or abandoned — returns to the
+    /// free list.
+    pub fn arena_len(&self) -> usize {
+        self.slots.len()
     }
 
     /// Number of client slots currently admitted (in flight or awaiting
@@ -185,7 +222,8 @@ impl<'a> Engine<'a> {
             }
             None => {
                 let id = u32::try_from(self.slots.len()).expect("client population fits in u32");
-                self.slots.push(self.system.make_slot());
+                self.slots
+                    .push(self.system.make_slot_with_faults(self.errors, self.policy));
                 self.meta.push(ClientMeta {
                     arrival,
                     key,
@@ -216,6 +254,8 @@ impl<'a> Engine<'a> {
             WalkStep::Done(outcome) => {
                 self.in_flight -= 1;
                 self.stats.completed += 1;
+                self.stats.corrupt_reads += u64::from(outcome.retries);
+                self.stats.abandoned += u64::from(outcome.abandoned);
                 self.free.push(id);
                 on_complete(
                     m.tag,
@@ -306,6 +346,17 @@ pub fn run_requests(system: &dyn DynSystem, requests: &[(Ticks, Key)]) -> Vec<Co
     Engine::new(system).run_batch(requests)
 }
 
+/// [`run_requests`] over an error-prone channel with a client retry
+/// policy.
+pub fn run_requests_with_faults(
+    system: &dyn DynSystem,
+    requests: &[(Ticks, Key)],
+    errors: ErrorModel,
+    policy: RetryPolicy,
+) -> Vec<CompletedRequest> {
+    Engine::with_faults(system, errors, policy).run_batch(requests)
+}
+
 pub mod reference {
     //! The naive per-request engine the slab design replaced: one
     //! `Box<dyn QueryRun>` per request, every wake-up an individual entry
@@ -324,6 +375,22 @@ pub mod reference {
         system: &dyn DynSystem,
         requests: &[(Ticks, Key)],
     ) -> Vec<CompletedRequest> {
+        run_requests_reference_with_faults(
+            system,
+            requests,
+            ErrorModel::NONE,
+            RetryPolicy::UNBOUNDED,
+        )
+    }
+
+    /// Reference implementation of [`super::run_requests_with_faults`]:
+    /// the oracle side of the lossy differential suite.
+    pub fn run_requests_reference_with_faults(
+        system: &dyn DynSystem,
+        requests: &[(Ticks, Key)],
+        errors: ErrorModel,
+        policy: RetryPolicy,
+    ) -> Vec<CompletedRequest> {
         // (time, tiebreak sequence, request index, kind) with kind 0 =
         // arrival, 1 = wake; Reverse for earliest-first order.
         let mut queue: BinaryHeap<Reverse<(Ticks, u64, usize, u8)>> = BinaryHeap::new();
@@ -340,7 +407,7 @@ pub mod reference {
         while let Some(Reverse((_t, _s, i, kind))) = queue.pop() {
             if kind == 0 {
                 let (arrival, key) = requests[i];
-                runs[i] = Some(system.begin(key, arrival));
+                runs[i] = Some(system.begin_with_faults(key, arrival, errors, policy));
             }
             let run = runs[i].as_mut().expect("client exists while stepping");
             match run.step() {
@@ -468,6 +535,51 @@ mod tests {
         for (s, b) in results.iter().zip(&batch) {
             assert_eq!(s, b);
         }
+    }
+
+    #[test]
+    fn faulty_engine_matches_direct_walker_and_counts_degradation() {
+        let sys = system();
+        let errors = ErrorModel::new(0.15, 0xFA11);
+        let policy = RetryPolicy::bounded(2);
+        let requests: Vec<(Ticks, Key)> =
+            (0..300u64).map(|i| (i * 613, Key((i % 32) * 2))).collect();
+        let mut engine = Engine::with_faults(&sys, errors, policy);
+        let results = engine.run_batch(&requests);
+        let mut retries = 0u64;
+        let mut abandoned = 0u64;
+        for (r, &(t, k)) in results.iter().zip(&requests) {
+            let direct = sys.probe_with_policy(k, t, errors, policy);
+            assert_eq!(r.outcome, direct, "slab ≡ walker under loss at t={t}");
+            retries += u64::from(r.outcome.retries);
+            abandoned += u64::from(r.outcome.abandoned);
+            // Truthfulness: a key that is broadcast is found unless the
+            // policy abandoned; it is never silently missed.
+            assert!(r.outcome.found || r.outcome.abandoned);
+            assert!(!r.outcome.aborted);
+        }
+        let stats = engine.stats();
+        assert!(retries > 0, "15% loss must corrupt something");
+        assert_eq!(stats.corrupt_reads, retries);
+        assert_eq!(stats.abandoned, abandoned);
+    }
+
+    #[test]
+    fn lossless_faulty_constructor_is_identity() {
+        let sys = system();
+        let requests: Vec<(Ticks, Key)> =
+            (0..100u64).map(|i| (i * 137, Key((i % 32) * 2))).collect();
+        let plain = run_requests(&sys, &requests);
+        let faulty =
+            run_requests_with_faults(&sys, &requests, ErrorModel::NONE, RetryPolicy::default());
+        assert_eq!(plain, faulty);
+        let strict = run_requests_with_faults(
+            &sys,
+            &requests,
+            ErrorModel::NONE,
+            RetryPolicy::bounded(0).with_deadline(1),
+        );
+        assert_eq!(plain, strict, "policies are no-ops without corruption");
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod simulator;
 pub mod stats;
 
 pub use accuracy::AccuracyController;
-pub use engine::{run_requests, CompletedRequest, Engine, EngineStats};
+pub use engine::{run_requests, run_requests_with_faults, CompletedRequest, Engine, EngineStats};
 pub use histogram::Histogram;
 pub use reqgen::RequestGenerator;
 pub use results::ResultHandler;

@@ -11,10 +11,12 @@ pub struct ResultHandler {
     access: Welford,
     tuning: Welford,
     access_hist: Histogram,
+    retry_hist: Histogram,
     found: u64,
     not_found: u64,
     false_drops: u64,
     aborted: u64,
+    abandoned: u64,
     probes: u64,
     retries: u64,
 }
@@ -39,6 +41,8 @@ impl ResultHandler {
         self.false_drops += u64::from(o.false_drops);
         self.probes += u64::from(o.probes);
         self.retries += u64::from(o.retries);
+        self.retry_hist.record(u64::from(o.retries));
+        self.abandoned += u64::from(o.abandoned);
         self.aborted += u64::from(o.aborted);
     }
 
@@ -95,9 +99,30 @@ impl ResultHandler {
         self.retries
     }
 
+    /// Requests truthfully abandoned by the client's retry policy.
+    pub fn abandoned(&self) -> u64 {
+        self.abandoned
+    }
+
+    /// Mean corrupted reads per request — the paper-style degradation
+    /// figure for the error-prone-channel extension.
+    pub fn mean_retries(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.retries as f64 / self.total() as f64
+        }
+    }
+
     /// Access-time distribution (log-bucketed; p50/p95/p99 etc.).
     pub fn access_histogram(&self) -> &Histogram {
         &self.access_hist
+    }
+
+    /// Retry-depth distribution: how many corrupted reads each request
+    /// had to ride out (all mass at 0 on a lossless channel).
+    pub fn retry_histogram(&self) -> &Histogram {
+        &self.retry_hist
     }
 }
 
@@ -117,6 +142,7 @@ mod tests {
                 probes: 3,
                 false_drops: u32::from(!found),
                 retries: 0,
+                abandoned: false,
                 aborted: false,
             },
         }
@@ -132,7 +158,25 @@ mod tests {
         assert_eq!(h.false_drops(), 1);
         assert_eq!(h.probes(), 6);
         assert_eq!(h.aborted(), 0);
+        assert_eq!(h.abandoned(), 0);
         assert!((h.access().mean() - 200.0).abs() < 1e-12);
         assert!((h.tuning().mean() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degradation_metrics_accumulate() {
+        let mut h = ResultHandler::new();
+        let mut lossy = req(500, 50, true);
+        lossy.outcome.retries = 3;
+        let mut gave_up = req(900, 90, false);
+        gave_up.outcome.retries = 5;
+        gave_up.outcome.abandoned = true;
+        h.record_all(&[req(100, 10, true), lossy, gave_up]);
+        assert_eq!(h.retries(), 8);
+        assert_eq!(h.abandoned(), 1);
+        assert!((h.mean_retries() - 8.0 / 3.0).abs() < 1e-12);
+        // Retry-depth histogram holds one sample per request.
+        assert_eq!(h.retry_histogram().len(), 3);
+        assert_eq!(h.retry_histogram().quantile(1.0), 5);
     }
 }

@@ -6,7 +6,7 @@
 //! each, results checked against the accuracy controller after every
 //! round), and end (result extraction).
 
-use bda_core::{DynSystem, Ticks};
+use bda_core::{DynSystem, ErrorModel, RetryPolicy, Ticks};
 use bda_datagen::{Arrivals, Popularity, QueryWorkload};
 
 use crate::accuracy::AccuracyController;
@@ -45,6 +45,13 @@ pub struct SimConfig {
     /// memory becomes `O(max_in_flight)` regardless of how many requests
     /// the accuracy controller ends up demanding.
     pub max_in_flight: Option<usize>,
+    /// Fault injection: per-transmission bucket corruption every client
+    /// sees ([`ErrorModel::NONE`], the default, is a perfect channel).
+    /// Honored identically by the event engine and the direct walker.
+    pub errors: ErrorModel,
+    /// Client-side recovery policy for corrupt reads (default: retry
+    /// forever — the paper's implicit assumption).
+    pub retry: RetryPolicy,
 }
 
 impl SimConfig {
@@ -60,6 +67,8 @@ impl SimConfig {
             seed: 0x0EDB_2002,
             event_driven: true,
             max_in_flight: None,
+            errors: ErrorModel::NONE,
+            retry: RetryPolicy::UNBOUNDED,
         }
     }
 
@@ -105,6 +114,12 @@ pub struct SimReport {
     pub false_drops: u64,
     /// Walker-aborted requests — nonzero values indicate a protocol bug.
     pub aborted: u64,
+    /// Corrupted bucket reads across all requests (0 on a lossless
+    /// channel).
+    pub retries: u64,
+    /// Requests truthfully abandoned by the retry policy (0 under
+    /// [`RetryPolicy::UNBOUNDED`]).
+    pub abandoned: u64,
     /// Whether the accuracy targets were met (false only if `max_rounds`
     /// was exhausted first).
     pub converged: bool,
@@ -112,6 +127,8 @@ pub struct SimReport {
     pub cycle_len: Ticks,
     /// Access-time distribution (log-bucketed histogram).
     pub access_hist: Histogram,
+    /// Retry-depth distribution: corrupted reads ridden out per request.
+    pub retry_hist: Histogram,
     /// Engine counters (all zero when the direct-walker fast path ran).
     pub engine: EngineStats,
 }
@@ -130,6 +147,24 @@ impl SimReport {
     /// Access-time quantile (e.g. `0.95` for p95), in bytes.
     pub fn access_quantile(&self, q: f64) -> Ticks {
         self.access_hist.quantile(q)
+    }
+
+    /// Mean corrupted reads per request (0 on a lossless channel).
+    pub fn mean_retries(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.retries as f64 / self.requests as f64
+        }
+    }
+
+    /// Fraction of requests the retry policy abandoned.
+    pub fn abandonment_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.abandoned as f64 / self.requests as f64
+        }
     }
 }
 
@@ -193,7 +228,7 @@ impl<'a> Simulator<'a> {
         }
         let controller = self.config.controller();
         let mut handler = ResultHandler::new();
-        let mut engine = Engine::new(self.system);
+        let mut engine = Engine::with_faults(self.system, self.config.errors, self.config.retry);
         let mut rounds = 0;
         let mut converged = false;
         while rounds < self.config.max_rounds {
@@ -206,7 +241,12 @@ impl<'a> Simulator<'a> {
                     .map(|&(arrival, key)| crate::engine::CompletedRequest {
                         arrival,
                         key,
-                        outcome: self.system.probe(key, arrival),
+                        outcome: self.system.probe_with_policy(
+                            key,
+                            arrival,
+                            self.config.errors,
+                            self.config.retry,
+                        ),
                     })
                     .collect()
             };
@@ -228,7 +268,7 @@ impl<'a> Simulator<'a> {
     fn run_steady(&mut self, cap: usize) -> SimReport {
         let controller = self.config.controller();
         let mut handler = ResultHandler::new();
-        let mut engine = Engine::new(self.system);
+        let mut engine = Engine::with_faults(self.system, self.config.errors, self.config.retry);
         let mut rounds = 0;
         let mut converged = false;
         let mut completed_in_round = 0usize;
@@ -272,9 +312,12 @@ impl<'a> Simulator<'a> {
             not_found: handler.not_found(),
             false_drops: handler.false_drops(),
             aborted: handler.aborted(),
+            retries: handler.retries(),
+            abandoned: handler.abandoned(),
             converged,
             cycle_len: self.system.cycle_len(),
             access_hist: handler.access_histogram().clone(),
+            retry_hist: handler.retry_histogram().clone(),
             engine,
         }
     }
@@ -366,6 +409,50 @@ mod tests {
         assert_eq!(report.engine.completed, report.requests);
         assert!(report.engine.peak_in_flight >= 1);
         assert!(report.engine.events >= report.requests);
+    }
+
+    #[test]
+    fn lossy_testbed_reports_degradation_and_stays_truthful() {
+        let ds = DatasetBuilder::new(150, 31).build().unwrap();
+        let sys = FlatScheme.build(&ds, &Params::paper()).unwrap();
+        let mut cfg = SimConfig::quick();
+        cfg.min_rounds = 2;
+        cfg.max_rounds = 2;
+        cfg.errors = ErrorModel::new(0.10, 7);
+        let lossy = Simulator::uniform(&sys, &ds, cfg).run();
+        assert_eq!(lossy.aborted, 0);
+        assert_eq!(lossy.abandoned, 0, "unbounded retries never abandon");
+        assert_eq!(lossy.not_found, 0, "every broadcast key is found");
+        assert!(lossy.retries > 0, "10% loss must corrupt transmissions");
+        assert_eq!(lossy.retries, lossy.engine.corrupt_reads);
+        assert!(lossy.mean_retries() > 0.0);
+        assert_eq!(lossy.retry_hist.len(), lossy.requests);
+
+        // Degradation: lossy access time exceeds the lossless baseline.
+        cfg.errors = ErrorModel::NONE;
+        let clean = Simulator::uniform(&sys, &ds, cfg).run();
+        assert!(lossy.mean_access() > clean.mean_access());
+        assert_eq!(clean.retries, 0);
+        assert_eq!(clean.retry_hist.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn bounded_retry_policy_abandons_rather_than_lies() {
+        let ds = DatasetBuilder::new(100, 37).build().unwrap();
+        let sys = FlatScheme.build(&ds, &Params::paper()).unwrap();
+        let mut cfg = SimConfig::quick();
+        cfg.min_rounds = 2;
+        cfg.max_rounds = 2;
+        cfg.errors = ErrorModel::new(0.25, 13);
+        cfg.retry = RetryPolicy::bounded(1);
+        let report = Simulator::uniform(&sys, &ds, cfg).run();
+        assert_eq!(report.aborted, 0);
+        assert!(report.abandoned > 0, "25% loss with 1 retry must give up");
+        // Abandoned requests are the only not-found ones: the workload
+        // queries broadcast keys exclusively, and an abandoned query is
+        // truthfully not-found, never wrongly answered.
+        assert_eq!(report.not_found, report.abandoned);
+        assert!(report.abandonment_rate() > 0.0);
     }
 
     #[test]

@@ -91,6 +91,90 @@ fn costs_degrade_with_loss() {
     assert!(at30 > at10, "…monotonically across these rates");
 }
 
+/// The same correctness contract holds when queries run as *concurrent
+/// clients* through the discrete-event engine rather than as isolated
+/// walkers — and because the error model is a pure function of bucket
+/// start time, each request's outcome is identical to its walker run.
+#[test]
+fn event_engine_preserves_correctness_under_loss() {
+    let (ds, pool) = DatasetBuilder::new(100, 0xBAD)
+        .build_with_absent_pool(15)
+        .unwrap();
+    let params = Params::paper();
+    let keys: Vec<Key> = ds.keys().collect();
+    let requests: Vec<(u64, Key)> = (0..80)
+        .map(|i| {
+            let key = if i % 7 == 0 {
+                pool[i % pool.len()]
+            } else {
+                keys[(i * 13) % keys.len()]
+            };
+            (i as u64 * 997, key)
+        })
+        .collect();
+    let present: std::collections::BTreeSet<u64> = keys.iter().map(|k| k.0).collect();
+    for loss in [0.02, 0.10, 0.25] {
+        let errors = ErrorModel::new(loss, 99);
+        for sys in systems(&ds, &params) {
+            let completed = bda::sim::run_requests_with_faults(
+                sys.as_ref(),
+                &requests,
+                errors,
+                bda::core::RetryPolicy::UNBOUNDED,
+            );
+            for r in completed {
+                assert!(!r.outcome.aborted, "{}", sys.scheme_name());
+                assert_eq!(
+                    r.outcome.found,
+                    present.contains(&r.key.0),
+                    "{} answered wrongly at loss {loss}",
+                    sys.scheme_name()
+                );
+                // Engine ≡ isolated walker, per request.
+                let walker = sys.probe_with_errors(r.key, r.arrival, errors);
+                assert_eq!(r.outcome, walker, "{}", sys.scheme_name());
+            }
+        }
+    }
+}
+
+/// A bounded retry policy abandons truthfully through the engine: every
+/// give-up is reported as `abandoned` (never a wrong `found` verdict), and
+/// the engine's degradation counters agree with the outcomes.
+#[test]
+fn event_engine_bounded_retries_abandon_truthfully() {
+    let ds = DatasetBuilder::new(100, 0xBAD).build().unwrap();
+    let params = Params::paper();
+    let keys: Vec<Key> = ds.keys().collect();
+    let requests: Vec<(u64, Key)> = (0..60)
+        .map(|i| (i as u64 * 1361, keys[(i * 17) % keys.len()]))
+        .collect();
+    let errors = ErrorModel::new(0.25, 4);
+    let policy = bda::core::RetryPolicy::bounded(1);
+    for sys in systems(&ds, &params) {
+        let mut engine = bda::sim::Engine::with_faults(sys.as_ref(), errors, policy);
+        let completed = engine.run_batch(&requests);
+        let mut abandoned = 0u64;
+        for r in &completed {
+            assert!(!r.outcome.aborted, "{}", sys.scheme_name());
+            if r.outcome.abandoned {
+                assert!(!r.outcome.found, "{} lied on give-up", sys.scheme_name());
+                abandoned += 1;
+            } else {
+                // All keys here are present: not abandoned means found.
+                assert!(r.outcome.found, "{}", sys.scheme_name());
+            }
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.abandoned, abandoned, "{}", sys.scheme_name());
+        assert!(
+            stats.corrupt_reads > 0,
+            "{} saw no corruption at 25% loss",
+            sys.scheme_name()
+        );
+    }
+}
+
 #[test]
 fn hybrid_attr_queries_survive_loss() {
     let ds = DatasetBuilder::new(120, 9).build().unwrap();
