@@ -125,6 +125,8 @@ fn main() {
             completed: after.completed - before.completed,
             corrupt_reads: after.corrupt_reads - before.corrupt_reads,
             abandoned: after.abandoned - before.abandoned,
+            stale_restarts: after.stale_restarts - before.stale_restarts,
+            version_skews: after.version_skews - before.version_skews,
         };
 
         let reference_speedup = cli.reference.then(|| {
@@ -170,7 +172,8 @@ fn main() {
             json,
             "    {{\"scheme\": \"{}\", \"requests\": {}, \"elapsed_sec\": {:.6}, \
              \"requests_per_sec\": {:.1}, \"peak_in_flight\": {}, \"events\": {}, \
-             \"wake_batches\": {}, \"reference_speedup\": {}}}",
+             \"wake_batches\": {}, \"corrupt_reads\": {}, \"abandoned\": {}, \
+             \"stale_restarts\": {}, \"version_skews\": {}, \"reference_speedup\": {}}}",
             json_escape(r.scheme),
             cli.clients,
             r.elapsed_sec,
@@ -178,6 +181,10 @@ fn main() {
             r.stats.peak_in_flight,
             r.stats.events,
             r.stats.wake_batches,
+            r.stats.corrupt_reads,
+            r.stats.abandoned,
+            r.stats.stale_restarts,
+            r.stats.version_skews,
             r.reference_speedup
                 .map_or("null".into(), |s| format!("{s:.2}")),
         );

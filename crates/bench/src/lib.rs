@@ -43,6 +43,9 @@ pub struct Cli {
     /// instead of the direct walker, where the experiment supports it
     /// (`ext_errors`).
     pub engine: bool,
+    /// Dynamic broadcast: percent of records updated per cycle
+    /// (`ext_errors`; 0 = frozen program).
+    pub update_pct: u32,
 }
 
 impl Cli {
@@ -51,6 +54,7 @@ impl Cli {
         let mut quick = false;
         let mut seed = 0x0EDB_2002u64;
         let mut engine = false;
+        let mut update_pct = 0u32;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -62,9 +66,19 @@ impl Cli {
                         std::process::exit(2);
                     });
                 }
+                "--updates" => {
+                    update_pct = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--updates requires an integer percent");
+                        std::process::exit(2);
+                    });
+                    if update_pct > 100 {
+                        eprintln!("--updates must be 0..=100");
+                        std::process::exit(2);
+                    }
+                }
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --quick   loose accuracy, fast\n       --seed N  workload seed\n       --engine  event-engine-backed cells (ext_errors)"
+                        "flags: --quick      loose accuracy, fast\n       --seed N     workload seed\n       --engine     event-engine-backed cells (ext_errors)\n       --updates P  percent of records updated per cycle (ext_errors)"
                     );
                     std::process::exit(0);
                 }
@@ -78,7 +92,18 @@ impl Cli {
             quick,
             seed,
             engine,
+            update_pct,
         }
+    }
+
+    /// The dynamic-broadcast update stream these flags select (`None` =
+    /// frozen program).
+    pub fn update_spec(&self) -> Option<bda_sim::UpdateSpec> {
+        (self.update_pct > 0).then(|| bda_sim::UpdateSpec {
+            rate: f64::from(self.update_pct) / 100.0,
+            seed: self.seed ^ 0x0DD,
+            horizon_cycles: 64,
+        })
     }
 
     /// The simulation settings these flags select.

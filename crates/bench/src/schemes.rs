@@ -1,10 +1,11 @@
 //! Uniform construction of every access method under test.
 
 use bda_btree::{DistributedScheme, OneMScheme};
-use bda_core::{Dataset, DynSystem, Params, Result, Scheme};
+use bda_core::{Dataset, DynSystem, Params, Result, Scheme, System};
 use bda_hash::HashScheme;
 use bda_hybrid::HybridScheme;
 use bda_signature::{IntegratedSignatureScheme, MultiLevelSignatureScheme, SimpleSignatureScheme};
+use bda_sim::{UpdateSpec, VersionedServer};
 
 /// The access methods the paper evaluates, plus the two signature
 /// extensions.
@@ -82,6 +83,44 @@ impl SchemeKind {
             SchemeKind::Hybrid => Box::new(HybridScheme::new().build(dataset, params)?),
         })
     }
+
+    /// Build a **dynamic** broadcast server for this scheme: the program
+    /// is rebuilt (with a bumped cycle version) after every cycle the
+    /// update stream mutates the dataset. With `spec.rate == 0` the result
+    /// is bit-identical to [`SchemeKind::build`].
+    pub fn build_versioned(
+        &self,
+        dataset: &Dataset,
+        params: &Params,
+        spec: UpdateSpec,
+    ) -> Result<Box<dyn DynSystem>> {
+        fn v<Sch: Scheme>(
+            scheme: Sch,
+            ds: &Dataset,
+            p: &Params,
+            spec: UpdateSpec,
+        ) -> Result<Box<dyn DynSystem>>
+        where
+            Sch::System: 'static,
+            <Sch::System as System>::Machine: 'static,
+        {
+            Ok(Box::new(VersionedServer::build(&scheme, ds, p, spec)?))
+        }
+        match self {
+            SchemeKind::Flat => v(bda_core::FlatScheme, dataset, params, spec),
+            SchemeKind::OneM => v(OneMScheme::new(), dataset, params, spec),
+            SchemeKind::Distributed => v(DistributedScheme::new(), dataset, params, spec),
+            SchemeKind::Hashing => v(HashScheme::new(), dataset, params, spec),
+            SchemeKind::Signature => v(SimpleSignatureScheme::new(), dataset, params, spec),
+            SchemeKind::IntegratedSignature => {
+                v(IntegratedSignatureScheme::default(), dataset, params, spec)
+            }
+            SchemeKind::MultiLevelSignature => {
+                v(MultiLevelSignatureScheme::default(), dataset, params, spec)
+            }
+            SchemeKind::Hybrid => v(HybridScheme::new(), dataset, params, spec),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -100,6 +139,25 @@ mod tests {
             let out = sys.probe(key, 999);
             assert!(out.found, "{}", kind.name());
             assert!(!out.aborted);
+        }
+    }
+
+    #[test]
+    fn every_kind_builds_versioned_and_stays_truthful() {
+        let ds = DatasetBuilder::new(80, 3).build().unwrap();
+        let params = Params::paper();
+        let spec = UpdateSpec {
+            rate: 0.10,
+            seed: 17,
+            horizon_cycles: 8,
+        };
+        for kind in SchemeKind::ALL {
+            let sys = kind.build_versioned(&ds, &params, spec).unwrap();
+            assert_eq!(sys.scheme_name(), kind.name());
+            for i in [3usize, 40, 77] {
+                let out = sys.probe(ds.record(i).key, 999);
+                assert!(!out.aborted, "{}", kind.name());
+            }
         }
     }
 }

@@ -163,6 +163,10 @@ impl System for DistributedSystem {
         &self.channel
     }
 
+    fn channel_mut(&mut self) -> &mut Channel<BTreePayload> {
+        &mut self.channel
+    }
+
     fn query(&self, key: Key) -> BTreeMachine {
         BTreeMachine::new(key, self.num_levels)
     }

@@ -28,7 +28,9 @@
 //! * **Fetch** — dozing toward the data bucket; reading it completes the
 //!   query.
 
-use bda_core::{Action, BucketMeta, Key, ProtocolMachine, Ticks, Verdict};
+use bda_core::{
+    Action, BucketMeta, Key, ProtocolFault, ProtocolMachine, StaleResponse, Ticks, Verdict,
+};
 
 use crate::payload::{BTreePayload, IndexBucket};
 
@@ -60,9 +62,12 @@ impl BTreeMachine {
 
     fn visit_index(&mut self, ib: &IndexBucket, meta: BucketMeta, lateral: bool) -> Action {
         if ib.covers(self.key) {
-            let entry = ib
-                .select_entry(self.key)
-                .expect("covers(key) implies a child entry exists");
+            // covers(key) implies a child entry exists; a bucket violating
+            // that is malformed and surfaces as a typed fault, not a panic.
+            let entry = match ib.select_entry(self.key) {
+                Some(e) => e,
+                None => return Action::Fail(ProtocolFault::DanglingPointer),
+            };
             if ib.level + 1 == self.num_levels {
                 // Leaf index bucket: entries carry exact record keys.
                 if entry.max_key == self.key {
@@ -120,18 +125,23 @@ impl ProtocolMachine<BTreePayload> for BTreeMachine {
                 }
                 BTreePayload::Data(_) => {
                     // An index pointer led to a data bucket: builder bug.
-                    debug_assert!(false, "index pointer resolved to a data bucket");
-                    Action::Finish(Verdict::not_found())
+                    Action::Fail(ProtocolFault::IndexToData)
                 }
             },
             State::Fetch => match payload {
                 BTreePayload::Data(db) if db.key == self.key => Action::Finish(Verdict::found()),
-                _ => {
-                    debug_assert!(false, "data pointer resolved to the wrong bucket");
-                    Action::Finish(Verdict::not_found())
-                }
+                _ => Action::Fail(ProtocolFault::WrongDataBucket),
             },
         }
+    }
+
+    /// Every pointer the descent holds — segment offsets, child deltas,
+    /// the final data delta — was computed against the build-time cycle
+    /// layout. A version change re-shuffles all of them, so the only sound
+    /// recovery is a fresh machine re-orienting via the new program's
+    /// index segments.
+    fn on_stale(&mut self, _meta: BucketMeta) -> StaleResponse {
+        StaleResponse::Respawn
     }
 }
 
@@ -150,6 +160,7 @@ mod tests {
             start: end - 10,
             end,
             size: 10,
+            version: 0,
         }
     }
 
@@ -229,6 +240,44 @@ mod tests {
         m.start(0);
         let act = m.on_bucket(&leaf(&[10, 20, 30], true), meta(10));
         assert_eq!(act, Action::Finish(Verdict::not_found()));
+    }
+
+    #[test]
+    fn malformed_buckets_fail_typed_not_panic() {
+        // An index bucket that claims to cover the key but has no entries.
+        let hollow = BTreePayload::Index(IndexBucket {
+            level: 0,
+            node: 0,
+            min_key: Key(0),
+            max_key: Key(100),
+            segment_start: true,
+            entries: vec![],
+            control: vec![],
+            next_seg_delta: 0,
+        });
+        let mut m = BTreeMachine::new(Key(20), 1);
+        m.start(0);
+        assert_eq!(
+            m.on_bucket(&hollow, meta(10)),
+            Action::Fail(ProtocolFault::DanglingPointer)
+        );
+
+        // A data pointer that resolves to the wrong data bucket.
+        let mut m = BTreeMachine::new(Key(20), 1);
+        m.start(0);
+        assert_eq!(
+            m.on_bucket(&leaf(&[10, 20, 30], true), meta(10)),
+            Action::DozeTo(10 + 100)
+        );
+        let act = m.on_bucket(
+            &BTreePayload::Data(DataBucket {
+                key: Key(999),
+                record_index: 0,
+                next_seg_delta: 0,
+            }),
+            meta(110),
+        );
+        assert_eq!(act, Action::Fail(ProtocolFault::WrongDataBucket));
     }
 
     #[test]

@@ -146,6 +146,10 @@ impl System for OneMSystem {
         &self.channel
     }
 
+    fn channel_mut(&mut self) -> &mut Channel<BTreePayload> {
+        &mut self.channel
+    }
+
     fn query(&self, key: Key) -> BTreeMachine {
         BTreeMachine::new(key, self.num_levels)
     }

@@ -28,6 +28,10 @@ FLAGS:
                          (trace/compare/simulate; default 0)
     --retry N            give up a query after N corrupted reads
                          (trace/compare/simulate; default: retry forever)
+    --update-rate P      percent of records inserted/deleted/updated per
+                         broadcast cycle — dynamic broadcast program with
+                         versioned cycles (compare/simulate; default 0 =
+                         frozen program)
     --accuracy A         confidence accuracy target (simulate; default 0.02)
 ";
 
@@ -54,6 +58,8 @@ pub struct Options {
     pub loss: f64,
     /// Max corrupted reads tolerated before abandoning (None = forever).
     pub retry: Option<u32>,
+    /// Percent of records updated per broadcast cycle (0 = frozen).
+    pub update_rate: f64,
     /// Accuracy target.
     pub accuracy: f64,
 }
@@ -71,6 +77,7 @@ impl Default for Options {
             availability: 100.0,
             loss: 0.0,
             retry: None,
+            update_rate: 0.0,
             accuracy: 0.02,
         }
     }
@@ -96,6 +103,7 @@ impl Options {
                 "--availability" => o.availability = parse_num(flag, val()?)?,
                 "--loss" => o.loss = parse_num(flag, val()?)?,
                 "--retry" => o.retry = Some(parse_num(flag, val()?)?),
+                "--update-rate" => o.update_rate = parse_num(flag, val()?)?,
                 "--accuracy" => o.accuracy = parse_num(flag, val()?)?,
                 other => return Err(format!("unknown flag {other:?}")),
             }
@@ -108,6 +116,9 @@ impl Options {
         }
         if !(0.0..=100.0).contains(&o.loss) {
             return Err("--loss must be 0..=100".into());
+        }
+        if !(0.0..=100.0).contains(&o.update_rate) {
+            return Err("--update-rate must be 0..=100".into());
         }
         Ok(o)
     }
@@ -123,6 +134,16 @@ impl Options {
             Some(n) => bda_core::RetryPolicy::bounded(n),
             None => bda_core::RetryPolicy::UNBOUNDED,
         }
+    }
+
+    /// The dynamic-broadcast update stream these flags select (`None` =
+    /// frozen program, the paper's static broadcast).
+    pub fn update_spec(&self) -> Option<bda_sim::UpdateSpec> {
+        (self.update_rate > 0.0).then(|| bda_sim::UpdateSpec {
+            rate: self.update_rate / 100.0,
+            seed: self.seed ^ 0x0DD,
+            horizon_cycles: 64,
+        })
     }
 }
 
@@ -172,7 +193,20 @@ mod tests {
         assert!(parse(&["--records", "0"]).is_err());
         assert!(parse(&["--availability", "150"]).is_err());
         assert!(parse(&["--loss", "120"]).is_err());
+        assert!(parse(&["--update-rate", "101"]).is_err());
+        assert!(parse(&["--update-rate", "-1"]).is_err());
         assert!(parse(&["--bogus", "1"]).is_err());
+    }
+
+    #[test]
+    fn update_rate_maps_to_spec() {
+        let o = parse(&["--update-rate", "5", "--seed", "9"]).unwrap();
+        let spec = o.update_spec().expect("5% is dynamic");
+        assert!((spec.rate - 0.05).abs() < 1e-12);
+        assert_eq!(spec.seed, 9 ^ 0x0DD);
+        assert_eq!(spec.horizon_cycles, 64);
+        // Default: frozen program.
+        assert!(parse(&[]).unwrap().update_spec().is_none());
     }
 
     #[test]

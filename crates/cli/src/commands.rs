@@ -1,12 +1,12 @@
 //! The four `bda-cli` commands.
 
 use bda_btree::{DistributedScheme, OneMScheme};
-use bda_core::{Dataset, DynSystem, Key, Params, Scheme};
+use bda_core::{Dataset, DynSystem, Key, Params, Scheme, System};
 use bda_datagen::{DatasetBuilder, Popularity, QueryWorkload};
 use bda_hash::HashScheme;
 use bda_hybrid::HybridScheme;
 use bda_signature::{IntegratedSignatureScheme, MultiLevelSignatureScheme, SimpleSignatureScheme};
-use bda_sim::{SimConfig, Simulator};
+use bda_sim::{SimConfig, Simulator, UpdateSpec, VersionedServer};
 
 use crate::args::Options;
 use crate::trace::{describe, trace_query, Trace};
@@ -74,6 +74,58 @@ fn build_dyn(name: &str, ds: &Dataset, p: &Params) -> Result<Box<dyn DynSystem>,
         }
     };
     Ok(sys)
+}
+
+/// Build a dynamic broadcast server for `name`: the scheme's program is
+/// rebuilt (with a bumped cycle version) after every cycle the update
+/// stream changes the dataset.
+fn build_versioned(
+    name: &str,
+    ds: &Dataset,
+    p: &Params,
+    spec: UpdateSpec,
+) -> Result<Box<dyn DynSystem>, String> {
+    fn v<Sch: Scheme>(
+        scheme: Sch,
+        ds: &Dataset,
+        p: &Params,
+        spec: UpdateSpec,
+    ) -> Result<Box<dyn DynSystem>, String>
+    where
+        Sch::System: 'static,
+        <Sch::System as System>::Machine: 'static,
+    {
+        Ok(Box::new(
+            VersionedServer::build(&scheme, ds, p, spec).map_err(|e| e.to_string())?,
+        ))
+    }
+    match name {
+        "flat" => v(bda_core::FlatScheme, ds, p, spec),
+        "one-m" | "(1,m)" => v(OneMScheme::new(), ds, p, spec),
+        "distributed" => v(DistributedScheme::new(), ds, p, spec),
+        "hashing" => v(HashScheme::new(), ds, p, spec),
+        "signature" => v(SimpleSignatureScheme::new(), ds, p, spec),
+        "integrated-signature" => v(IntegratedSignatureScheme::default(), ds, p, spec),
+        "multilevel-signature" => v(MultiLevelSignatureScheme::default(), ds, p, spec),
+        "hybrid" => v(HybridScheme::new(), ds, p, spec),
+        other => Err(format!(
+            "unknown scheme {other:?} (try: {})",
+            SCHEMES.join(", ")
+        )),
+    }
+}
+
+/// Frozen system or dynamic server, per the `--update-rate` flag.
+fn build_system(
+    o: &Options,
+    name: &str,
+    ds: &Dataset,
+    p: &Params,
+) -> Result<Box<dyn DynSystem>, String> {
+    match o.update_spec() {
+        Some(spec) => build_versioned(name, ds, p, spec),
+        None => build_dyn(name, ds, p),
+    }
 }
 
 /// `bda-cli inspect` — layout statistics for one scheme.
@@ -246,8 +298,9 @@ pub fn compare(o: &Options) -> Result<(), String> {
     let p = params(o)?;
     let (ds, pool) = dataset(o)?;
     let availability = o.availability / 100.0;
+    let dynamic = o.update_spec().is_some();
     println!(
-        "# {} records · {:.0}% availability · ratio {}{}\n",
+        "# {} records · {:.0}% availability · ratio {}{}{}\n",
         ds.len(),
         o.availability,
         o.ratio,
@@ -255,14 +308,20 @@ pub fn compare(o: &Options) -> Result<(), String> {
             format!(" · {}% bucket loss", o.loss)
         } else {
             String::new()
+        },
+        if dynamic {
+            format!(" · {}% updates/cycle", o.update_rate)
+        } else {
+            String::new()
         }
     );
-    println!(
+    print!(
         "{:<22} {:>12} {:>12} {:>9} {:>8} {:>7}",
         "scheme", "access(B)", "tuning(B)", "requests", "retry/q", "found%"
     );
+    println!("{}", if dynamic { "  restart/q" } else { "" });
     for name in SCHEMES {
-        let sys = build_dyn(name, &ds, &p)?;
+        let sys = build_system(o, name, &ds, &p)?;
         let workload = QueryWorkload::new(
             &ds,
             pool.clone(),
@@ -274,8 +333,9 @@ pub fn compare(o: &Options) -> Result<(), String> {
         cfg.event_driven = false;
         cfg.errors = o.error_model();
         cfg.retry = o.retry_policy();
+        cfg.updates = o.update_spec();
         let r = Simulator::new(sys.as_ref(), workload, cfg).run();
-        println!(
+        print!(
             "{:<22} {:>12.0} {:>12.0} {:>9} {:>8.3} {:>6.1}%",
             r.scheme,
             r.mean_access(),
@@ -284,6 +344,10 @@ pub fn compare(o: &Options) -> Result<(), String> {
             r.mean_retries(),
             100.0 * r.found as f64 / r.requests as f64,
         );
+        if dynamic {
+            print!("  {:>9.4}", r.restart_rate());
+        }
+        println!();
     }
     Ok(())
 }
@@ -292,7 +356,7 @@ pub fn compare(o: &Options) -> Result<(), String> {
 pub fn simulate(o: &Options) -> Result<(), String> {
     let p = params(o)?;
     let (ds, pool) = dataset(o)?;
-    let sys = build_dyn(&o.scheme, &ds, &p)?;
+    let sys = build_system(o, &o.scheme, &ds, &p)?;
     let workload = QueryWorkload::new(
         &ds,
         pool,
@@ -304,6 +368,7 @@ pub fn simulate(o: &Options) -> Result<(), String> {
     cfg.accuracy = o.accuracy;
     cfg.errors = o.error_model();
     cfg.retry = o.retry_policy();
+    cfg.updates = o.update_spec();
     let r = Simulator::new(sys.as_ref(), workload, cfg).run();
     println!("scheme        : {}", r.scheme);
     println!(
@@ -333,6 +398,14 @@ pub fn simulate(o: &Options) -> Result<(), String> {
             r.abandoned,
             100.0 * r.abandonment_rate()
         );
+    }
+    if o.update_rate > 0.0 {
+        println!(
+            "version skews : {} ({:.4} stale restarts/query)",
+            r.version_skews,
+            r.restart_rate()
+        );
+        println!("stale restarts: {}", r.stale_restarts);
     }
     println!("cycle length  : {} bytes", r.cycle_len);
     Ok(())

@@ -17,12 +17,23 @@ pub struct Bucket<P> {
     pub size: u32,
     /// Scheme-specific contents.
     pub payload: P,
+    /// Broadcast-program version this bucket belongs to. Every bucket of a
+    /// cycle carries the cycle's monotonically increasing `cycle_version`
+    /// in its header, so a client can detect mid-walk that the program
+    /// changed under it (see [`crate::dynamic`]). Frozen channels stay at
+    /// version 0.
+    pub version: u64,
 }
 
 impl<P> Bucket<P> {
-    /// Construct a bucket of `size` bytes carrying `payload`.
+    /// Construct a bucket of `size` bytes carrying `payload` (version 0;
+    /// [`crate::Channel::set_version`] stamps whole cycles).
     pub fn new(size: u32, payload: P) -> Self {
-        Bucket { size, payload }
+        Bucket {
+            size,
+            payload,
+            version: 0,
+        }
     }
 }
 
@@ -43,6 +54,8 @@ pub struct BucketMeta {
     pub end: Ticks,
     /// On-air size in bytes.
     pub size: u32,
+    /// Broadcast-program version stamped in the bucket header.
+    pub version: u64,
 }
 
 #[cfg(test)]
@@ -63,6 +76,7 @@ mod tests {
             start: 1000,
             end: 1512,
             size: 512,
+            version: 0,
         };
         assert_eq!(m.end - m.start, m.size as Ticks);
     }

@@ -33,6 +33,9 @@ pub struct Channel<P> {
     starts: Vec<Ticks>,
     /// Total cycle length in bytes.
     cycle: Ticks,
+    /// Broadcast-program version stamped into every bucket header
+    /// (0 for frozen channels; see [`Channel::set_version`]).
+    version: u64,
 }
 
 impl<P> Channel<P> {
@@ -55,7 +58,24 @@ impl<P> Channel<P> {
             buckets,
             starts,
             cycle: at,
+            version: 0,
         })
+    }
+
+    /// The broadcast-program version every bucket of this cycle carries.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Stamp the whole cycle — the channel and every bucket header — with
+    /// program version `v`. A dynamic broadcast server bumps this each
+    /// time it rebuilds the program, so clients can detect mid-walk that
+    /// the buckets they are chasing belong to a different cycle layout.
+    pub fn set_version(&mut self, v: u64) {
+        self.version = v;
+        for b in &mut self.buckets {
+            b.version = v;
+        }
     }
 
     /// Number of buckets per cycle (`N` in the paper when buckets are
@@ -100,28 +120,32 @@ impl<P> Channel<P> {
     ///
     /// Returns `(bucket index, absolute start time)`. If `t` falls inside a
     /// bucket, the answer is the next one (wrapping to bucket 0 of the next
-    /// cycle after the last bucket).
+    /// cycle after the last bucket). Near `Ticks::MAX` the start time
+    /// saturates instead of overflowing (the simulation clock has run out
+    /// of representable bytes; callers observe a start pinned at the
+    /// maximum rather than a wrapped-around past instant).
     pub fn first_complete_at(&self, t: Ticks) -> (usize, Ticks) {
         let pos = self.pos(t);
         // partition_point: first index with starts[i] >= pos.
         let idx = self.starts.partition_point(|&s| s < pos);
         if idx == self.starts.len() {
             // Wrap to the start of the next cycle.
-            (0, t + (self.cycle - pos))
+            (0, t.saturating_add(self.cycle - pos))
         } else {
-            (idx, t + (self.starts[idx] - pos))
+            (idx, t.saturating_add(self.starts[idx] - pos))
         }
     }
 
     /// Absolute start time of the first occurrence of bucket `idx` at or
-    /// after absolute time `t`.
+    /// after absolute time `t` (saturating near `Ticks::MAX`, like
+    /// [`Channel::first_complete_at`]).
     pub fn occurrence_at_or_after(&self, idx: usize, t: Ticks) -> Ticks {
         let pos = self.pos(t);
         let s = self.starts[idx];
         if s >= pos {
-            t + (s - pos)
+            t.saturating_add(s - pos)
         } else {
-            t + (self.cycle - pos) + s
+            t.saturating_add(self.cycle - pos).saturating_add(s)
         }
     }
 
@@ -138,22 +162,28 @@ impl<P> Channel<P> {
         if s >= from {
             s - from
         } else {
-            self.cycle - from + s
+            (self.cycle - from).saturating_add(s)
         }
     }
 
     /// Map a payload-transforming function over every bucket, preserving
-    /// sizes and offsets. Useful for building derived channels in tests.
+    /// sizes, offsets and version stamps. Useful for building derived
+    /// channels in tests.
     pub fn map_payload<Q>(self, mut f: impl FnMut(P) -> Q) -> Channel<Q> {
         let buckets = self
             .buckets
             .into_iter()
-            .map(|b| Bucket::new(b.size, f(b.payload)))
+            .map(|b| Bucket {
+                size: b.size,
+                payload: f(b.payload),
+                version: b.version,
+            })
             .collect();
         Channel {
             buckets,
             starts: self.starts,
             cycle: self.cycle,
+            version: self.version,
         }
     }
 }
@@ -255,5 +285,32 @@ mod tests {
         assert_eq!(mapped.cycle_len(), c.cycle_len());
         assert_eq!(mapped.bucket(1).payload, 10);
         assert_eq!(mapped.start_of(1), 10);
+    }
+
+    #[test]
+    fn set_version_stamps_channel_and_every_bucket() {
+        let mut c = ch(&[10, 20, 30]);
+        assert_eq!(c.version(), 0);
+        assert!(c.buckets().iter().all(|b| b.version == 0));
+        c.set_version(7);
+        assert_eq!(c.version(), 7);
+        assert!(c.buckets().iter().all(|b| b.version == 7));
+        // map_payload keeps the stamps.
+        let mapped = c.map_payload(|i| i + 1);
+        assert_eq!(mapped.version(), 7);
+        assert!(mapped.buckets().iter().all(|b| b.version == 7));
+    }
+
+    #[test]
+    fn occurrence_arithmetic_saturates_near_ticks_max() {
+        let c = ch(&[10, 20, 30]);
+        for t in [Ticks::MAX, Ticks::MAX - 1, Ticks::MAX - 61] {
+            let (_, start) = c.first_complete_at(t);
+            assert!(start >= t || start == Ticks::MAX);
+            for idx in 0..c.num_buckets() {
+                let occ = c.occurrence_at_or_after(idx, t);
+                assert!(occ >= t || occ == Ticks::MAX);
+            }
+        }
     }
 }

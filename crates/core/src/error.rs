@@ -5,13 +5,60 @@ use std::fmt;
 /// Convenience alias used throughout the workspace.
 pub type Result<T> = std::result::Result<T, BdaError>;
 
+/// A malformed or inconsistent bucket observed by a client protocol
+/// machine at run time.
+///
+/// These used to be `unwrap()`/`debug_assert!` panics on client-visible
+/// paths; a machine now surfaces them as [`crate::Action::Fail`] so the
+/// walker can report a truthful aborted outcome (frozen channels, where
+/// any fault is a builder bug) instead of killing a worker thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolFault {
+    /// A hashing-scheme bucket in the first `Na` positions carried no
+    /// shift value.
+    MissingShift,
+    /// A hashing client's doze landed on a bucket whose physical slot is
+    /// not the one the pointer promised.
+    OffPosition,
+    /// An index bucket covered the key but held no child entry for it.
+    DanglingPointer,
+    /// An index pointer resolved to a data bucket.
+    IndexToData,
+    /// A data pointer resolved to the wrong data bucket.
+    WrongDataBucket,
+}
+
+impl fmt::Display for ProtocolFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolFault::MissingShift => {
+                write!(f, "allocated hash bucket carries no shift value")
+            }
+            ProtocolFault::OffPosition => {
+                write!(f, "hash probe landed on the wrong physical slot")
+            }
+            ProtocolFault::DanglingPointer => {
+                write!(f, "index bucket covers the key but has no child entry")
+            }
+            ProtocolFault::IndexToData => {
+                write!(f, "index pointer resolved to a data bucket")
+            }
+            ProtocolFault::WrongDataBucket => {
+                write!(f, "data pointer resolved to the wrong bucket")
+            }
+        }
+    }
+}
+
 /// Errors produced while constructing datasets, channels, or broadcast
 /// systems.
 ///
-/// Runtime *protocol* execution does not return errors: a protocol machine
-/// that misbehaves (e.g. dozes into the past) indicates a bug in a channel
-/// builder and is reported by the walker as an aborted
-/// [`crate::AccessOutcome`] so that property tests can detect it.
+/// Runtime *protocol* execution does not return `BdaError`s: a protocol
+/// machine that misbehaves (e.g. dozes into the past) indicates a bug in a
+/// channel builder and is reported by the walker as an aborted
+/// [`crate::AccessOutcome`] so that property tests can detect it, and a
+/// machine that *reads* a malformed bucket fails its walk with the typed
+/// [`ProtocolFault`] it observed (`Action::Fail`) rather than panicking.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BdaError {
     /// A dataset must contain at least one record.

@@ -31,6 +31,7 @@
 pub mod bucket;
 pub mod channel;
 pub mod coverage;
+pub mod dynamic;
 pub mod error;
 pub mod errors_model;
 pub mod flat;
@@ -43,13 +44,16 @@ pub mod scheme;
 pub use bucket::{Bucket, BucketMeta};
 pub use channel::Channel;
 pub use coverage::Coverage;
-pub use error::{BdaError, Result};
+pub use dynamic::{
+    run_versioned, run_versioned_with_policy, Epoch, ProgramTimeline, VersionedSlot, VersionedWalk,
+};
+pub use error::{BdaError, ProtocolFault, Result};
 pub use errors_model::{ErrorModel, RetryPolicy};
 pub use flat::{FlatPayload, FlatScheme, FlatSystem};
 pub use key::Key;
 pub use machine::{
     run_machine_with_errors, run_machine_with_policy, AccessOutcome, Action, ProtocolMachine,
-    Verdict, Walk, WalkStep,
+    StaleResponse, Verdict, Walk, WalkStep,
 };
 pub use params::Params;
 pub use record::{Dataset, Record};

@@ -14,6 +14,7 @@
 
 use crate::bucket::BucketMeta;
 use crate::channel::Channel;
+use crate::error::ProtocolFault;
 use crate::errors_model::{ErrorModel, RetryPolicy};
 use crate::Ticks;
 
@@ -30,6 +31,28 @@ pub enum Action {
     DozeTo(Ticks),
     /// The query is complete.
     Finish(Verdict),
+    /// The machine read a malformed bucket: a typed protocol fault instead
+    /// of a client-side panic. The walker aborts the query (`aborted` set),
+    /// because a fault on a version-consistent channel is a builder bug —
+    /// version skew is reported *before* the payload reaches the machine,
+    /// so staleness never masquerades as a fault.
+    Fail(ProtocolFault),
+}
+
+/// How a machine wants to handle a bucket whose broadcast-program version
+/// differs from the version its own pointers were derived from.
+///
+/// Returned by [`ProtocolMachine::on_stale`]. The dynamic walker reports
+/// the skew, then either lets the machine keep going with an action of its
+/// choosing or rebuilds the machine against the current program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StaleResponse {
+    /// Keep this machine's state and continue with the given action. Only
+    /// sound for machines whose remaining state is version-independent.
+    Resume(Action),
+    /// Discard the machine: the walker constructs a fresh machine from the
+    /// *current* program and restarts the protocol at the skewed bucket.
+    Respawn,
 }
 
 /// Terminal result reported by a machine.
@@ -94,6 +117,22 @@ pub trait ProtocolMachine<P> {
     fn on_corrupt(&mut self, meta: BucketMeta) -> Action {
         self.start(meta.end)
     }
+
+    /// Called when a bucket about to be delivered carries a broadcast
+    /// program version different from the one this machine was built
+    /// against (dynamic broadcast; see [`crate::dynamic`]). The payload is
+    /// withheld — stale pointers must not steer the walk — and the machine
+    /// chooses between resuming with fresh state of its own or being
+    /// respawned against the current program.
+    ///
+    /// The default is [`StaleResponse::Respawn`]: always sound, because the
+    /// replacement machine is constructed from the live program and starts
+    /// from scratch at the skewed bucket. Never called on frozen channels
+    /// (every bucket matches the anchor version).
+    fn on_stale(&mut self, meta: BucketMeta) -> StaleResponse {
+        let _ = meta;
+        StaleResponse::Respawn
+    }
 }
 
 /// The result of one client query.
@@ -119,9 +158,18 @@ pub struct AccessOutcome {
     /// protocol bug. Always false under [`RetryPolicy::UNBOUNDED`].
     pub abandoned: bool,
     /// Set when the walker aborted the query because the machine exceeded
-    /// its probe budget or dozed into the past — either indicates a bug in
-    /// a channel builder or protocol, and tests assert it never happens.
+    /// its probe budget, dozed into the past, or reported a typed
+    /// [`ProtocolFault`] — all indicate a bug in a channel builder or
+    /// protocol, and tests assert it never happens.
     pub aborted: bool,
+    /// Times the walk discarded its machine and restarted against the
+    /// current broadcast program after detecting version skew (always 0 on
+    /// a frozen channel).
+    pub stale_restarts: u32,
+    /// Buckets observed whose program version differed from the walk's
+    /// anchor version (always 0 on a frozen channel). Every restart is
+    /// preceded by a skew, so `version_skews >= stale_restarts`.
+    pub version_skews: u32,
 }
 
 /// One externally visible step of a client query — the event granularity at
@@ -253,6 +301,8 @@ impl<'a, P, M: ProtocolMachine<P>> Walk<'a, P, M> {
             retries: self.retries,
             abandoned: false,
             aborted,
+            stale_restarts: 0,
+            version_skews: 0,
         };
         self.outcome = Some(out);
         WalkStep::Done(out)
@@ -298,7 +348,8 @@ impl<'a, P, M: ProtocolMachine<P>> Walk<'a, P, M> {
                     return self.finish(false, self.false_drops_hint, true);
                 }
                 let (idx, start) = self.ch.first_complete_at(self.now);
-                let size = Ticks::from(self.ch.bucket(idx).size);
+                let bucket = self.ch.bucket(idx);
+                let size = Ticks::from(bucket.size);
                 let end = start + size;
                 let from = self.now;
                 // The client listens from `now` until the bucket completes:
@@ -311,6 +362,7 @@ impl<'a, P, M: ProtocolMachine<P>> Walk<'a, P, M> {
                     start,
                     end,
                     size: size as u32,
+                    version: bucket.version,
                 };
                 let next = if self.errors.corrupted(start) {
                     self.retries += 1;
@@ -320,7 +372,7 @@ impl<'a, P, M: ProtocolMachine<P>> Walk<'a, P, M> {
                     let recovery = self.machine.on_corrupt(meta);
                     self.backoff(recovery)
                 } else {
-                    self.machine.on_bucket(&self.ch.bucket(idx).payload, meta)
+                    self.machine.on_bucket(&bucket.payload, meta)
                 };
                 if let Action::Finish(v) = next {
                     self.false_drops_hint = v.false_drops;
@@ -342,6 +394,9 @@ impl<'a, P, M: ProtocolMachine<P>> Walk<'a, P, M> {
                 WalkStep::Doze { until: t }
             }
             Action::Finish(v) => self.finish(v.found, v.false_drops, false),
+            // A typed protocol fault on a frozen channel is a builder bug:
+            // abort so the differential suites catch it.
+            Action::Fail(_) => self.finish(false, self.false_drops_hint, true),
         }
     }
 }
@@ -537,6 +592,27 @@ mod tests {
         let c = ch(&[10, 20]);
         let out = run_machine(&c, TimeTraveller, 3);
         assert!(out.aborted);
+    }
+
+    /// A machine that reports a typed fault on its first bucket.
+    struct Faulty;
+    impl ProtocolMachine<usize> for Faulty {
+        fn start(&mut self, _t: Ticks) -> Action {
+            Action::ReadNext
+        }
+        fn on_bucket(&mut self, _p: &usize, _m: BucketMeta) -> Action {
+            Action::Fail(ProtocolFault::DanglingPointer)
+        }
+    }
+
+    #[test]
+    fn typed_faults_abort_instead_of_panicking() {
+        let c = ch(&[10, 20]);
+        let out = run_machine(&c, Faulty, 0);
+        assert!(out.aborted, "a fault on a frozen channel is a builder bug");
+        assert!(!out.found);
+        assert!(!out.abandoned);
+        assert_eq!(out.probes, 1, "the faulting read still cost a probe");
     }
 
     #[test]

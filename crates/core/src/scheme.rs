@@ -26,6 +26,17 @@ pub trait Scheme {
 
     /// Lay out the broadcast cycle for `dataset` under `params`.
     fn build(&self, dataset: &Dataset, params: &Params) -> Result<Self::System>;
+
+    /// Lay out a broadcast cycle for `dataset` stamped with program
+    /// `version` — the rebuild path a dynamic broadcast server takes at
+    /// every cycle boundary where updates were applied. Identical to
+    /// [`Scheme::build`] except that the channel and every bucket header
+    /// carry `version` instead of 0.
+    fn rebuild(&self, dataset: &Dataset, params: &Params, version: u64) -> Result<Self::System> {
+        let mut sys = self.build(dataset, params)?;
+        sys.channel_mut().set_version(version);
+        Ok(sys)
+    }
 }
 
 /// A fully built broadcast system: a channel plus the ability to start
@@ -42,6 +53,11 @@ pub trait System: Send + Sync {
 
     /// The broadcast cycle.
     fn channel(&self) -> &Channel<Self::Payload>;
+
+    /// Mutable access to the broadcast cycle, so a dynamic server can stamp
+    /// a freshly rebuilt program with its cycle version (see
+    /// [`Scheme::rebuild`]).
+    fn channel_mut(&mut self) -> &mut Channel<Self::Payload>;
 
     /// Create a protocol machine that searches for `key`.
     fn query(&self, key: Key) -> Self::Machine;

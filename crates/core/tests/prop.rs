@@ -131,6 +131,61 @@ proptest! {
         prop_assert!(weak_hits <= strong_hits);
     }
 
+    /// Cycle-boundary exactness: at any bucket's exact start time (in any
+    /// cycle), `first_complete_at` returns *that* bucket with zero wait,
+    /// `occurrence_at_or_after` is a fixed point, and `delta_from` the
+    /// bucket's own start is zero.
+    #[test]
+    fn boundary_alignment_is_exact(
+        ch in arb_channel(),
+        cyc in 0u64..1 << 20,
+        which in any::<proptest::sample::Index>(),
+    ) {
+        let i = which.index(ch.num_buckets());
+        let t = cyc * ch.cycle_len() + ch.start_of(i);
+        let (idx, start) = ch.first_complete_at(t);
+        prop_assert_eq!(idx, i);
+        prop_assert_eq!(start, t);
+        prop_assert_eq!(ch.occurrence_at_or_after(i, t), t);
+        prop_assert_eq!(ch.delta_from(ch.start_of(i), i), 0);
+        // The cycle boundary itself is bucket 0's start.
+        let (idx0, s0) = ch.first_complete_at(cyc * ch.cycle_len());
+        prop_assert_eq!(idx0, 0);
+        prop_assert_eq!(s0, cyc * ch.cycle_len());
+    }
+
+    /// Near `Ticks::MAX` the channel arithmetic saturates instead of
+    /// overflowing: results never wrap around to a past instant, and
+    /// whenever the clamp did not engage they still land on a true bucket
+    /// boundary.
+    #[test]
+    fn channel_arithmetic_is_overflow_free_near_ticks_max(
+        ch in arb_channel(),
+        back in 0u64..1 << 20,
+        which in any::<proptest::sample::Index>(),
+    ) {
+        use bda_core::Ticks;
+        let t = Ticks::MAX - back;
+        let (idx, start) = ch.first_complete_at(t);
+        prop_assert!(idx < ch.num_buckets());
+        prop_assert!(start >= t, "wrapped into the past: {} < {}", start, t);
+        if start != Ticks::MAX {
+            prop_assert_eq!(ch.pos(start), ch.start_of(idx));
+        }
+        let i = which.index(ch.num_buckets());
+        let occ = ch.occurrence_at_or_after(i, t);
+        prop_assert!(occ >= t, "occurrence wrapped into the past");
+        if occ != Ticks::MAX {
+            prop_assert_eq!(ch.pos(occ), ch.start_of(i));
+        }
+        // `delta_from` is cycle-local: bounded by two cycles for any input
+        // magnitude, and the landing position is exact.
+        let from = t % ch.cycle_len();
+        let d = ch.delta_from(from, i);
+        prop_assert!(d < 2 * ch.cycle_len());
+        prop_assert_eq!(ch.pos(from + d), ch.start_of(i));
+    }
+
     /// The empirical loss rate over a large sample tracks `loss_prob`
     /// (binomial concentration: ±5 σ bound, deterministic per seed).
     #[test]

@@ -1,8 +1,8 @@
 //! Channel layout and client protocol for simple hashing.
 
 use bda_core::{
-    Action, BdaError, Bucket, BucketMeta, Channel, Dataset, Key, Params, ProtocolMachine, Result,
-    Scheme, System, Ticks, Verdict,
+    Action, BdaError, Bucket, BucketMeta, Channel, Dataset, Key, Params, ProtocolFault,
+    ProtocolMachine, Result, Scheme, StaleResponse, System, Ticks, Verdict,
 };
 
 use crate::hash_fn::HashFn;
@@ -207,6 +207,10 @@ impl System for HashSystem {
         &self.channel
     }
 
+    fn channel_mut(&mut self) -> &mut Channel<HashPayload> {
+        &mut self.channel
+    }
+
     fn query(&self, key: Key) -> HashMachine {
         HashMachine {
             key,
@@ -301,14 +305,28 @@ impl ProtocolMachine<HashPayload> for HashMachine {
             St::Scan => self.scan(p),
         }
     }
+
+    /// `target`, the doze arithmetic, and `num_records` all assume the
+    /// cycle geometry (`Na`, chain layout) of the program the machine was
+    /// built against; a rebuilt program invalidates every one of them.
+    /// Respawn restarts the probe from scratch on the live program.
+    fn on_stale(&mut self, _meta: BucketMeta) -> StaleResponse {
+        StaleResponse::Respawn
+    }
 }
 
 impl HashMachine {
     fn on_slot_bucket(&mut self, p: &HashPayload, meta: BucketMeta) -> Action {
-        debug_assert_eq!(u64::from(p.phys), self.target, "landed off-position");
-        let shift = p
-            .shift_buckets
-            .expect("first Na buckets carry shift values");
+        // Both checks guard against malformed buckets reaching the client:
+        // a probe that lands off its computed slot, or an allocated bucket
+        // missing its shift value. Typed faults, not worker panics.
+        if u64::from(p.phys) != self.target {
+            return Action::Fail(ProtocolFault::OffPosition);
+        }
+        let shift = match p.shift_buckets {
+            Some(s) => s,
+            None => return Action::Fail(ProtocolFault::MissingShift),
+        };
         if shift == 0 {
             // The chain starts right here.
             self.scan(p)
@@ -478,6 +496,47 @@ mod tests {
         }
         let miss = sys.probe(Key(1), 99);
         assert!(!miss.found && !miss.aborted);
+    }
+
+    #[test]
+    fn malformed_buckets_fail_typed_not_panic() {
+        let d = ds(16);
+        let sys = HashScheme::new().build(&d, &Params::paper()).unwrap();
+        let meta = BucketMeta {
+            index: 0,
+            start: 0,
+            end: 108,
+            size: 108,
+            version: 0,
+        };
+
+        // A probe that lands off its computed physical slot.
+        let mut m = sys.query(d.records()[0].key);
+        m.state = St::AtSlot;
+        let off = HashPayload {
+            phys: m.target as u32 + 1,
+            shift_buckets: Some(0),
+            next_cycle_delta: 0,
+            entry: None,
+        };
+        assert_eq!(
+            m.on_bucket(&off, meta),
+            Action::Fail(ProtocolFault::OffPosition)
+        );
+
+        // An allocated bucket missing its shift value.
+        let mut m = sys.query(d.records()[0].key);
+        m.state = St::AtSlot;
+        let noshift = HashPayload {
+            phys: m.target as u32,
+            shift_buckets: None,
+            next_cycle_delta: 0,
+            entry: None,
+        };
+        assert_eq!(
+            m.on_bucket(&noshift, meta),
+            Action::Fail(ProtocolFault::MissingShift)
+        );
     }
 
     #[test]

@@ -356,6 +356,10 @@ impl System for HybridSystem {
         &self.channel
     }
 
+    fn channel_mut(&mut self) -> &mut Channel<HybridPayload> {
+        &mut self.channel
+    }
+
     fn query(&self, key: Key) -> HybridKeyMachine {
         HybridKeyMachine::new(key, self.num_levels)
     }

@@ -8,7 +8,7 @@
 
 use bda_core::{
     Action, Bucket, BucketMeta, Channel, Coverage, Dataset, Key, Params, ProtocolMachine, Result,
-    Scheme, System, Ticks, Verdict,
+    Scheme, StaleResponse, System, Ticks, Verdict,
 };
 
 use crate::sig::{SigParams, Signature};
@@ -112,6 +112,10 @@ impl System for IntegratedSystem {
         &self.channel
     }
 
+    fn channel_mut(&mut self) -> &mut Channel<SigPayload> {
+        &mut self.channel
+    }
+
     fn query(&self, key: Key) -> IntegratedMachine {
         IntegratedMachine {
             key,
@@ -158,6 +162,13 @@ impl ProtocolMachine<SigPayload> for IntegratedMachine {
         self.in_group = 0;
         self.group_matched = false;
         Action::ReadNext
+    }
+
+    /// Coverage, group position, and the query signature's frame geometry
+    /// are all bound to the build-time program; a rebuilt program needs a
+    /// fresh machine re-aligned on the new frame signatures.
+    fn on_stale(&mut self, _meta: BucketMeta) -> StaleResponse {
+        StaleResponse::Respawn
     }
 
     fn on_bucket(&mut self, payload: &SigPayload, meta: BucketMeta) -> Action {

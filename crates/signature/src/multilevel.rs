@@ -8,7 +8,7 @@
 
 use bda_core::{
     Action, Bucket, BucketMeta, Channel, Coverage, Dataset, Key, Params, ProtocolMachine, Result,
-    Scheme, System, Ticks, Verdict,
+    Scheme, StaleResponse, System, Ticks, Verdict,
 };
 
 use crate::sig::{SigParams, Signature};
@@ -126,6 +126,10 @@ impl System for MultiLevelSystem {
         &self.channel
     }
 
+    fn channel_mut(&mut self) -> &mut Channel<SigPayload> {
+        &mut self.channel
+    }
+
     fn query(&self, key: Key) -> MultiLevelMachine {
         MultiLevelMachine {
             key,
@@ -189,6 +193,12 @@ impl ProtocolMachine<SigPayload> for MultiLevelMachine {
         self.scanning = false;
         self.checking_data = false;
         Action::ReadNext
+    }
+
+    /// Coverage and the multi-level frame geometry are bound to the
+    /// build-time program; respawn re-aligns on the new program's frames.
+    fn on_stale(&mut self, _meta: BucketMeta) -> StaleResponse {
+        StaleResponse::Respawn
     }
 
     fn on_bucket(&mut self, payload: &SigPayload, meta: BucketMeta) -> Action {

@@ -8,7 +8,7 @@
 
 use bda_core::{
     Action, Bucket, BucketMeta, Channel, Coverage, Dataset, Key, Params, ProtocolMachine, Result,
-    Scheme, System, Ticks, Verdict,
+    Scheme, StaleResponse, System, Ticks, Verdict,
 };
 
 use crate::sig::{SigParams, Signature};
@@ -171,6 +171,10 @@ impl System for SimpleSignatureSystem {
         &self.channel
     }
 
+    fn channel_mut(&mut self) -> &mut Channel<SigPayload> {
+        &mut self.channel
+    }
+
     fn query(&self, key: Key) -> SimpleSigMachine {
         self.machine(QueryTarget::Key(key), self.sig.query_signature(key))
     }
@@ -227,6 +231,12 @@ impl ProtocolMachine<SigPayload> for SimpleSigMachine {
     fn on_corrupt(&mut self, _meta: BucketMeta) -> Action {
         self.checking_data = false;
         Action::ReadNext
+    }
+
+    /// Coverage is indexed by build-bound `record_index`; a rebuilt
+    /// program renumbers records, so the scan restarts from scratch.
+    fn on_stale(&mut self, _meta: BucketMeta) -> StaleResponse {
+        StaleResponse::Respawn
     }
 
     fn on_bucket(&mut self, payload: &SigPayload, meta: BucketMeta) -> Action {

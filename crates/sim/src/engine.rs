@@ -74,6 +74,13 @@ pub struct EngineStats {
     /// [`AccessOutcome::abandoned`] outcomes; always 0 under
     /// [`RetryPolicy::UNBOUNDED`]).
     pub abandoned: u64,
+    /// Stale-machine restarts across all completed requests: times a walk
+    /// discarded its protocol machine and re-anchored on the live broadcast
+    /// program after detecting version skew. Always 0 on a frozen channel.
+    pub stale_restarts: u64,
+    /// Version-skewed buckets observed across all completed requests
+    /// (`>= stale_restarts`; always 0 on a frozen channel).
+    pub version_skews: u64,
 }
 
 /// Batching wake-up scheduler.
@@ -256,6 +263,8 @@ impl<'a> Engine<'a> {
                 self.stats.completed += 1;
                 self.stats.corrupt_reads += u64::from(outcome.retries);
                 self.stats.abandoned += u64::from(outcome.abandoned);
+                self.stats.stale_restarts += u64::from(outcome.stale_restarts);
+                self.stats.version_skews += u64::from(outcome.version_skews);
                 self.free.push(id);
                 on_complete(
                     m.tag,

@@ -34,12 +34,14 @@ pub mod results;
 pub mod server;
 pub mod simulator;
 pub mod stats;
+pub mod updates;
 
 pub use accuracy::AccuracyController;
 pub use engine::{run_requests, run_requests_with_faults, CompletedRequest, Engine, EngineStats};
 pub use histogram::Histogram;
 pub use reqgen::RequestGenerator;
 pub use results::ResultHandler;
-pub use server::BroadcastServer;
+pub use server::{BroadcastServer, VersionedServer};
 pub use simulator::{SimConfig, SimReport, Simulator};
 pub use stats::{student_t_quantile, Summary, Welford};
+pub use updates::{UpdateOp, UpdateSpec, UpdateStream};

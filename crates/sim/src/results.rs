@@ -19,6 +19,8 @@ pub struct ResultHandler {
     abandoned: u64,
     probes: u64,
     retries: u64,
+    stale_restarts: u64,
+    version_skews: u64,
 }
 
 impl ResultHandler {
@@ -44,6 +46,8 @@ impl ResultHandler {
         self.retry_hist.record(u64::from(o.retries));
         self.abandoned += u64::from(o.abandoned);
         self.aborted += u64::from(o.aborted);
+        self.stale_restarts += u64::from(o.stale_restarts);
+        self.version_skews += u64::from(o.version_skews);
     }
 
     /// Record a whole batch.
@@ -104,6 +108,18 @@ impl ResultHandler {
         self.abandoned
     }
 
+    /// Stale-protocol restarts across all requests (dynamic broadcast: the
+    /// client discarded its machine and re-anchored on a newer program).
+    pub fn stale_restarts(&self) -> u64 {
+        self.stale_restarts
+    }
+
+    /// Version skews observed across all requests (bucket header version ≠
+    /// the walk's anchor version; every restart starts with one).
+    pub fn version_skews(&self) -> u64 {
+        self.version_skews
+    }
+
     /// Mean corrupted reads per request — the paper-style degradation
     /// figure for the error-prone-channel extension.
     pub fn mean_retries(&self) -> f64 {
@@ -144,6 +160,8 @@ mod tests {
                 retries: 0,
                 abandoned: false,
                 aborted: false,
+                stale_restarts: 0,
+                version_skews: 0,
             },
         }
     }
@@ -178,5 +196,16 @@ mod tests {
         // Retry-depth histogram holds one sample per request.
         assert_eq!(h.retry_histogram().len(), 3);
         assert_eq!(h.retry_histogram().quantile(1.0), 5);
+    }
+
+    #[test]
+    fn staleness_counters_accumulate() {
+        let mut h = ResultHandler::new();
+        let mut skewed = req(700, 70, true);
+        skewed.outcome.stale_restarts = 2;
+        skewed.outcome.version_skews = 3;
+        h.record_all(&[req(100, 10, true), skewed]);
+        assert_eq!(h.stale_restarts(), 2);
+        assert_eq!(h.version_skews(), 3);
     }
 }

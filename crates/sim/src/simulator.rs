@@ -15,6 +15,7 @@ use crate::histogram::Histogram;
 use crate::reqgen::RequestGenerator;
 use crate::results::ResultHandler;
 use crate::stats::Summary;
+use crate::updates::UpdateSpec;
 
 /// Simulation settings — the knobs of Table 1.
 #[derive(Debug, Clone, Copy)]
@@ -52,6 +53,14 @@ pub struct SimConfig {
     /// Client-side recovery policy for corrupt reads (default: retry
     /// forever — the paper's implicit assumption).
     pub retry: RetryPolicy,
+    /// Dynamic-broadcast mode: when set, the harness builds the system
+    /// under test as a [`crate::server::VersionedServer`] replaying this
+    /// update stream, instead of a frozen channel. The simulator itself
+    /// drives whatever [`DynSystem`] it is handed — this field travels
+    /// with the config so sweep harnesses and the CLI construct the right
+    /// server and label reports. `None` (the default) is the paper's
+    /// static broadcast.
+    pub updates: Option<UpdateSpec>,
 }
 
 impl SimConfig {
@@ -69,6 +78,7 @@ impl SimConfig {
             max_in_flight: None,
             errors: ErrorModel::NONE,
             retry: RetryPolicy::UNBOUNDED,
+            updates: None,
         }
     }
 
@@ -120,6 +130,11 @@ pub struct SimReport {
     /// Requests truthfully abandoned by the retry policy (0 under
     /// [`RetryPolicy::UNBOUNDED`]).
     pub abandoned: u64,
+    /// Stale-protocol restarts: clients that discarded their machine and
+    /// re-anchored on a newer broadcast program (0 on a frozen channel).
+    pub stale_restarts: u64,
+    /// Version skews observed in bucket headers (0 on a frozen channel).
+    pub version_skews: u64,
     /// Whether the accuracy targets were met (false only if `max_rounds`
     /// was exhausted first).
     pub converged: bool,
@@ -164,6 +179,16 @@ impl SimReport {
             0.0
         } else {
             self.abandoned as f64 / self.requests as f64
+        }
+    }
+
+    /// Mean stale restarts per request — the dynamic-broadcast
+    /// degradation figure (0 on a frozen channel).
+    pub fn restart_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.stale_restarts as f64 / self.requests as f64
         }
     }
 }
@@ -314,6 +339,8 @@ impl<'a> Simulator<'a> {
             aborted: handler.aborted(),
             retries: handler.retries(),
             abandoned: handler.abandoned(),
+            stale_restarts: handler.stale_restarts(),
+            version_skews: handler.version_skews(),
             converged,
             cycle_len: self.system.cycle_len(),
             access_hist: handler.access_histogram().clone(),

@@ -1,0 +1,235 @@
+//! Seeded, deterministic server-side update streams.
+//!
+//! A dynamic broadcast server applies a batch of insert/delete/update
+//! operations at each cycle boundary and rebuilds its program (see
+//! [`crate::server::VersionedServer`]). The batches come from an
+//! [`UpdateStream`]: a pure function of the [`UpdateSpec`] seed and the
+//! cycle number, so every driver (slab engine, reference oracle, direct
+//! walker) observes the *identical* sequence of programs — the property
+//! the dynamic differential suite pins.
+
+use bda_core::{Key, Record};
+
+/// Parameters of a deterministic update stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateSpec {
+    /// Fraction of the current dataset touched per cycle (0.05 = 5 % of
+    /// records inserted/deleted/updated each cycle). A rate of 0 produces
+    /// only empty batches: the program never changes and dynamic mode is
+    /// bit-identical to the frozen channel.
+    pub rate: f64,
+    /// Seed of the operation stream.
+    pub seed: u64,
+    /// Number of cycle boundaries at which batches are applied; after
+    /// that, the program is frozen forever (the simulation horizon).
+    pub horizon_cycles: u32,
+}
+
+impl UpdateSpec {
+    /// A frozen stream: rate 0, no cycles — dynamic mode degenerates to
+    /// the plain broadcast.
+    pub const FROZEN: UpdateSpec = UpdateSpec {
+        rate: 0.0,
+        seed: 0,
+        horizon_cycles: 0,
+    };
+
+    /// An update stream at `rate` with the default horizon of 64 cycles.
+    pub fn rate(rate: f64, seed: u64) -> Self {
+        UpdateSpec {
+            rate,
+            seed,
+            horizon_cycles: 64,
+        }
+    }
+}
+
+/// One server-side mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateOp {
+    /// Add a new record (its key is chosen to be absent).
+    Insert(Record),
+    /// Remove the record with this key.
+    Delete(Key),
+    /// Update the record's content in place (attribute change; the cycle
+    /// geometry is unaffected but the program version still advances,
+    /// because clients must not serve the stale content).
+    Touch(Key),
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic per-cycle generator of [`UpdateOp`] batches.
+#[derive(Debug, Clone)]
+pub struct UpdateStream {
+    spec: UpdateSpec,
+    state: u64,
+    cycles_emitted: u32,
+}
+
+impl UpdateStream {
+    /// A stream over `spec`.
+    pub fn new(spec: UpdateSpec) -> Self {
+        UpdateStream {
+            spec,
+            state: spec.seed ^ 0xD1B5_4A32_D192_ED03,
+            cycles_emitted: 0,
+        }
+    }
+
+    /// The batch for the next cycle boundary, computed against the current
+    /// (sorted) record set. Returns an empty batch past the horizon or at
+    /// rate 0. Deletes never empty the dataset; inserts pick gap keys next
+    /// to existing keys, so key magnitudes stay in the dataset's range.
+    pub fn next_batch(&mut self, records: &[Record]) -> Vec<UpdateOp> {
+        if self.cycles_emitted >= self.spec.horizon_cycles || self.spec.rate <= 0.0 {
+            return Vec::new();
+        }
+        self.cycles_emitted += 1;
+        let n_ops = ((self.spec.rate * records.len() as f64).round() as usize).min(records.len());
+        let mut ops = Vec::with_capacity(n_ops);
+        // Track mutations within the batch so ops stay consistent with the
+        // record set they will be applied to.
+        let mut keys: Vec<u64> = records.iter().map(|r| r.key.value()).collect();
+        for _ in 0..n_ops {
+            let r = splitmix(&mut self.state);
+            let pick = (splitmix(&mut self.state) as usize) % keys.len();
+            match r % 3 {
+                0 => {
+                    // Insert: first gap key after a random existing key
+                    // (bounded scan; skip the op if the neighbourhood is
+                    // dense).
+                    let base = keys[pick];
+                    if let Some(k) = (1..=64u64)
+                        .map(|d| base.wrapping_add(d))
+                        .find(|k| keys.binary_search(k).is_err())
+                    {
+                        let idx = keys.binary_search(&k).unwrap_err();
+                        keys.insert(idx, k);
+                        ops.push(UpdateOp::Insert(Record::new(Key(k), vec![k, r])));
+                    }
+                }
+                1 => {
+                    // Delete: never empty the dataset.
+                    if keys.len() > 1 {
+                        let k = keys.remove(pick);
+                        ops.push(UpdateOp::Delete(Key(k)));
+                    }
+                }
+                _ => ops.push(UpdateOp::Touch(Key(keys[pick]))),
+            }
+        }
+        ops
+    }
+
+    /// Apply a batch to a sorted record vector, preserving sort order.
+    /// Returns the number of ops that actually changed something.
+    pub fn apply(records: &mut Vec<Record>, ops: &[UpdateOp]) -> usize {
+        let mut changed = 0;
+        for op in ops {
+            match op {
+                UpdateOp::Insert(rec) => {
+                    if let Err(idx) = records.binary_search_by_key(&rec.key, |r| r.key) {
+                        records.insert(idx, rec.clone());
+                        changed += 1;
+                    }
+                }
+                UpdateOp::Delete(key) => {
+                    if let Ok(idx) = records.binary_search_by_key(key, |r| r.key) {
+                        if records.len() > 1 {
+                            records.remove(idx);
+                            changed += 1;
+                        }
+                    }
+                }
+                UpdateOp::Touch(key) => {
+                    if let Ok(idx) = records.binary_search_by_key(key, |r| r.key) {
+                        if let Some(a) = records[idx].attrs.first_mut() {
+                            *a = a.wrapping_add(1);
+                        }
+                        changed += 1;
+                    }
+                }
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn records(keys: &[u64]) -> Vec<Record> {
+        keys.iter().map(|&k| Record::keyed(k)).collect()
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let spec = UpdateSpec::rate(0.25, 42);
+        let mut a = UpdateStream::new(spec);
+        let mut b = UpdateStream::new(spec);
+        let mut ra = records(&[0, 10, 20, 30, 40, 50, 60, 70]);
+        let mut rb = ra.clone();
+        for _ in 0..16 {
+            let ba = a.next_batch(&ra);
+            let bb = b.next_batch(&rb);
+            assert_eq!(ba, bb);
+            UpdateStream::apply(&mut ra, &ba);
+            UpdateStream::apply(&mut rb, &bb);
+            assert_eq!(ra, rb);
+        }
+    }
+
+    #[test]
+    fn zero_rate_and_horizon_produce_empty_batches() {
+        let mut s = UpdateStream::new(UpdateSpec::FROZEN);
+        assert!(s.next_batch(&records(&[1, 2, 3])).is_empty());
+        let mut s = UpdateStream::new(UpdateSpec {
+            rate: 0.0,
+            seed: 9,
+            horizon_cycles: 100,
+        });
+        assert!(s.next_batch(&records(&[1, 2, 3])).is_empty());
+        // Past the horizon the stream goes quiet.
+        let mut s = UpdateStream::new(UpdateSpec {
+            rate: 1.0,
+            seed: 9,
+            horizon_cycles: 1,
+        });
+        let r = records(&[0, 100, 200, 300]);
+        assert!(!s.next_batch(&r).is_empty());
+        assert!(s.next_batch(&r).is_empty());
+    }
+
+    #[test]
+    fn applied_batches_keep_records_sorted_unique_nonempty() {
+        let mut s = UpdateStream::new(UpdateSpec::rate(0.5, 7));
+        let mut r = records(&[0, 10, 20, 30]);
+        for _ in 0..64 {
+            let batch = s.next_batch(&r);
+            UpdateStream::apply(&mut r, &batch);
+            assert!(!r.is_empty());
+            for w in r.windows(2) {
+                assert!(w[0].key < w[1].key, "sorted and unique");
+            }
+        }
+    }
+
+    #[test]
+    fn deletes_never_empty_a_singleton() {
+        let mut s = UpdateStream::new(UpdateSpec::rate(1.0, 3));
+        let mut r = records(&[5]);
+        for _ in 0..32 {
+            let batch = s.next_batch(&r);
+            UpdateStream::apply(&mut r, &batch);
+            assert!(!r.is_empty());
+        }
+    }
+}
