@@ -23,4 +23,6 @@ fn main() {
     ext_hybrid::run(&cli);
     println!();
     ext_tails::run(&cli);
+    println!();
+    ext_phases::run(&cli);
 }

@@ -6,8 +6,16 @@
 //! `BENCH_engine.json` with requests/sec, peak in-flight clients and
 //! events processed — the numbers the perf trajectory is tracked by.
 //!
+//! With `--metrics-out DIR` every scheme is additionally re-run with the
+//! observability layer on; the run's metrics land in `DIR/<scheme>.json`
+//! (the `bda-obs/v1` document) plus a combined `DIR/metrics.prom`
+//! Prometheus rendering, and the main JSON gains the observed throughput
+//! next to the default (no-op recorder) one — the measured cost of
+//! turning observation on.
+//!
 //! ```text
 //! engine_bench [--clients N] [--records N] [--out PATH] [--no-reference]
+//!              [--metrics-out DIR]
 //! ```
 
 use std::fmt::Write as _;
@@ -16,6 +24,7 @@ use std::time::Instant;
 use bda_bench::SchemeKind;
 use bda_core::{Key, Params, Ticks};
 use bda_datagen::{DatasetBuilder, Prng};
+use bda_obs::{export, MetricsHub};
 use bda_sim::{engine::reference::run_requests_reference, Engine, EngineStats};
 
 struct Cli {
@@ -23,6 +32,7 @@ struct Cli {
     records: usize,
     out: String,
     reference: bool,
+    metrics_out: Option<String>,
 }
 
 fn parse_cli() -> Cli {
@@ -31,6 +41,7 @@ fn parse_cli() -> Cli {
         records: 1_000,
         out: "BENCH_engine.json".into(),
         reference: true,
+        metrics_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -49,9 +60,17 @@ fn parse_cli() -> Cli {
                     std::process::exit(2);
                 })
             }
+            "--metrics-out" => {
+                cli.metrics_out = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--metrics-out requires a directory");
+                    std::process::exit(2);
+                }))
+            }
             "--no-reference" => cli.reference = false,
             "--help" | "-h" => {
-                eprintln!("engine_bench [--clients N] [--records N] [--out PATH] [--no-reference]");
+                eprintln!(
+                    "engine_bench [--clients N] [--records N] [--out PATH] [--no-reference] [--metrics-out DIR]"
+                );
                 std::process::exit(0);
             }
             other => {
@@ -61,6 +80,14 @@ fn parse_cli() -> Cli {
         }
     }
     cli
+}
+
+/// Scheme name → filesystem-safe stem (`(1,m)` → `_1_m_`).
+fn file_stem(scheme: &str) -> String {
+    scheme
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
 }
 
 /// `n` requests for present keys, all arriving within a 16-tick window —
@@ -82,6 +109,9 @@ struct Row {
     requests_per_sec: f64,
     stats: EngineStats,
     reference_speedup: Option<f64>,
+    /// Throughput of the same batch with the observability layer on
+    /// (only measured under `--metrics-out`).
+    observed_requests_per_sec: Option<f64>,
 }
 
 fn json_escape(s: &str) -> String {
@@ -97,10 +127,11 @@ fn main() {
     let ref_requests = burst(&dataset, (cli.clients / 5).max(1), 9);
 
     println!(
-        "{:<22} {:>12} {:>14} {:>14} {:>12} {:>10}",
-        "scheme", "req/s", "peak in-flight", "events", "batches", "vs naive"
+        "{:<22} {:>12} {:>14} {:>14} {:>12} {:>10} {:>12}",
+        "scheme", "req/s", "peak in-flight", "events", "batches", "vs naive", "observed r/s"
     );
     let mut rows = Vec::new();
+    let mut hubs: Vec<(&'static str, MetricsHub)> = Vec::new();
     for kind in SchemeKind::ALL {
         let system = kind.build(&dataset, &params).unwrap();
         let mut engine = Engine::new(system.as_ref());
@@ -141,15 +172,33 @@ fn main() {
             ref_t / slab_t.max(1e-12)
         });
 
+        let observed_requests_per_sec = cli.metrics_out.is_some().then(|| {
+            let mut observed = Engine::new(system.as_ref());
+            observed.enable_metrics();
+            // Same warm-up discipline as the no-op run.
+            observed.run_batch(&requests);
+            let _ = observed.take_metrics();
+            observed.enable_metrics();
+            let start = Instant::now();
+            let done = observed.run_batch(&requests);
+            let obs_elapsed = start.elapsed().as_secs_f64();
+            assert_eq!(done.len(), requests.len());
+            let hub = observed.take_metrics().expect("metrics were enabled");
+            assert_eq!(hub.completed, requests.len() as u64);
+            hubs.push((kind.name(), hub));
+            requests.len() as f64 / obs_elapsed.max(1e-12)
+        });
+
         let row = Row {
             scheme: kind.name(),
             elapsed_sec: elapsed,
             requests_per_sec: requests.len() as f64 / elapsed.max(1e-12),
             stats,
             reference_speedup,
+            observed_requests_per_sec,
         };
         println!(
-            "{:<22} {:>12.0} {:>14} {:>14} {:>12} {:>10}",
+            "{:<22} {:>12.0} {:>14} {:>14} {:>12} {:>10} {:>12}",
             row.scheme,
             row.requests_per_sec,
             row.stats.peak_in_flight,
@@ -157,8 +206,36 @@ fn main() {
             row.stats.wake_batches,
             row.reference_speedup
                 .map_or("-".into(), |s| format!("{s:.1}x")),
+            row.observed_requests_per_sec
+                .map_or("-".into(), |s| format!("{s:.0}")),
         );
         rows.push(row);
+    }
+
+    if let Some(dir) = &cli.metrics_out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {dir}: {e}");
+            std::process::exit(1);
+        }
+        for (scheme, hub) in &hubs {
+            let path = format!("{dir}/{}.json", file_stem(scheme));
+            let doc = export::to_json(scheme, hub);
+            debug_assert!(export::validate(&doc).is_ok());
+            if let Err(e) = std::fs::write(&path, doc) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        let labelled: Vec<(&str, &MetricsHub)> = hubs.iter().map(|(s, h)| (*s, h)).collect();
+        let prom_path = format!("{dir}/metrics.prom");
+        if let Err(e) = std::fs::write(&prom_path, export::to_prometheus(&labelled)) {
+            eprintln!("cannot write {prom_path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "wrote {} metrics documents + metrics.prom to {dir}",
+            hubs.len()
+        );
     }
 
     let mut json = String::new();
@@ -173,7 +250,8 @@ fn main() {
             "    {{\"scheme\": \"{}\", \"requests\": {}, \"elapsed_sec\": {:.6}, \
              \"requests_per_sec\": {:.1}, \"peak_in_flight\": {}, \"events\": {}, \
              \"wake_batches\": {}, \"corrupt_reads\": {}, \"abandoned\": {}, \
-             \"stale_restarts\": {}, \"version_skews\": {}, \"reference_speedup\": {}}}",
+             \"stale_restarts\": {}, \"version_skews\": {}, \"reference_speedup\": {}, \
+             \"observed_requests_per_sec\": {}}}",
             json_escape(r.scheme),
             cli.clients,
             r.elapsed_sec,
@@ -187,6 +265,8 @@ fn main() {
             r.stats.version_skews,
             r.reference_speedup
                 .map_or("null".into(), |s| format!("{s:.2}")),
+            r.observed_requests_per_sec
+                .map_or("null".into(), |s| format!("{s:.1}")),
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }

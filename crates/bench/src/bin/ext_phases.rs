@@ -1,0 +1,5 @@
+//! Extension: per-phase tuning-time breakdown across all schemes.
+fn main() {
+    let cli = bda_bench::Cli::parse();
+    bda_bench::experiments::ext_phases::run(&cli);
+}

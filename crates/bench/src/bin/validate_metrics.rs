@@ -1,0 +1,40 @@
+//! CI gate: structurally validate `bda-obs/v1` metrics documents.
+//!
+//! Reads every path given on the command line, runs it through the
+//! exporter's own validator (schema, required phase/gauge/histogram keys,
+//! ordering invariants like `found ≤ completed` and `p50 ≤ p99.9`), and
+//! exits nonzero on the first violation — so a broken exporter fails the
+//! `obs-smoke` job instead of silently shipping malformed telemetry.
+//!
+//! ```text
+//! validate_metrics FILE.json [FILE.json ...]
+//! ```
+
+use bda_obs::export::validate;
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("validate_metrics FILE.json [FILE.json ...]");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("FAIL {path}: cannot read: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match validate(&text) {
+            Ok(scheme) => println!("OK   {path} (scheme: {scheme})"),
+            Err(e) => {
+                eprintln!("FAIL {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    std::process::exit(i32::from(failed));
+}

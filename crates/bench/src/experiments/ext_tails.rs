@@ -9,7 +9,7 @@
 use bda_core::Params;
 use bda_datagen::DatasetBuilder;
 
-use crate::sweep::{run_cells, CellSpec};
+use crate::sweep::{run_cells_with_progress, CellSpec};
 use crate::table::Table;
 use crate::{Cli, SchemeKind};
 
@@ -31,10 +31,17 @@ pub fn run(cli: &Cli) {
             config: cli.sim_config(),
         })
         .collect();
-    let reports = match run_cells(&specs) {
+    cli.progress().emit(
+        bda_obs::Severity::Progress,
+        &format!("ext_tails: sweeping {} cells", specs.len()),
+    );
+    let reports = match run_cells_with_progress(&specs, cli.progress()) {
         Ok(reports) => reports,
         Err(err) => {
-            eprintln!("tails sweep aborted: {err}");
+            cli.progress().emit(
+                bda_obs::Severity::Error,
+                &format!("tails sweep aborted: {err}"),
+            );
             return;
         }
     };

@@ -7,7 +7,7 @@ use bda_core::Params;
 use bda_datagen::DatasetBuilder;
 use bda_signature::SigParams;
 
-use crate::sweep::{run_cells, CellSpec};
+use crate::sweep::{run_cells_with_progress, CellSpec};
 use crate::table::Table;
 use crate::{Cli, SchemeKind};
 
@@ -50,10 +50,17 @@ pub fn run(cli: &Cli) {
             })
         })
         .collect();
-    let reports = match run_cells(&specs) {
+    cli.progress().emit(
+        bda_obs::Severity::Progress,
+        &format!("fig4: sweeping {} cells", specs.len()),
+    );
+    let reports = match run_cells_with_progress(&specs, cli.progress()) {
         Ok(reports) => reports,
         Err(err) => {
-            eprintln!("fig4 sweep aborted: {err}");
+            cli.progress().emit(
+                bda_obs::Severity::Error,
+                &format!("fig4 sweep aborted: {err}"),
+            );
             return;
         }
     };

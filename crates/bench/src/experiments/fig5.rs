@@ -9,7 +9,7 @@ use bda_core::{Params, Scheme};
 use bda_datagen::DatasetBuilder;
 use bda_signature::SigParams;
 
-use crate::sweep::{run_cells, CellSpec};
+use crate::sweep::{run_cells_with_progress, CellSpec};
 use crate::table::Table;
 use crate::{Cli, SchemeKind};
 
@@ -44,10 +44,17 @@ pub fn run(cli: &Cli) {
             })
         })
         .collect();
-    let reports = match run_cells(&specs) {
+    cli.progress().emit(
+        bda_obs::Severity::Progress,
+        &format!("fig5: sweeping {} cells", specs.len()),
+    );
+    let reports = match run_cells_with_progress(&specs, cli.progress()) {
         Ok(reports) => reports,
         Err(err) => {
-            eprintln!("fig5 sweep aborted: {err}");
+            cli.progress().emit(
+                bda_obs::Severity::Error,
+                &format!("fig5 sweep aborted: {err}"),
+            );
             return;
         }
     };

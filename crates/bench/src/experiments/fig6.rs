@@ -10,7 +10,7 @@
 use bda_core::Params;
 use bda_datagen::DatasetBuilder;
 
-use crate::sweep::{run_cells, CellSpec};
+use crate::sweep::{run_cells_with_progress, CellSpec};
 use crate::table::Table;
 use crate::{Cli, SchemeKind};
 
@@ -42,10 +42,17 @@ pub fn run(cli: &Cli) {
             })
         })
         .collect();
-    let reports = match run_cells(&specs) {
+    cli.progress().emit(
+        bda_obs::Severity::Progress,
+        &format!("fig6: sweeping {} cells", specs.len()),
+    );
+    let reports = match run_cells_with_progress(&specs, cli.progress()) {
         Ok(reports) => reports,
         Err(err) => {
-            eprintln!("fig6 sweep aborted: {err}");
+            cli.progress().emit(
+                bda_obs::Severity::Error,
+                &format!("fig6 sweep aborted: {err}"),
+            );
             return;
         }
     };

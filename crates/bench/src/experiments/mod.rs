@@ -4,6 +4,7 @@
 pub mod ablations;
 pub mod ext_errors;
 pub mod ext_hybrid;
+pub mod ext_phases;
 pub mod ext_tails;
 pub mod fig4;
 pub mod fig5;

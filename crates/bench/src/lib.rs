@@ -18,18 +18,22 @@
 //! | `ext_errors` | extension: error-prone channel degradation |
 //! | `ext_hybrid` | extension: hybrid tree+signature vs its parents |
 //! | `ext_tails` | extension: p50/p95/p99 access-time tails |
+//! | `ext_phases` | extension: tuning time attributed to walk phases |
 //! | `all` | everything above, in sequence |
 //!
 //! Every binary accepts `--quick` (looser confidence/accuracy; an order of
-//! magnitude faster) and `--seed <n>`.
+//! magnitude faster), `--seed <n>`, and `--quiet` (suppress progress
+//! narration on stderr; errors still print, tables still go to stdout).
 
 pub mod experiments;
 pub mod schemes;
 pub mod sweep;
 pub mod table;
 
+use bda_obs::{NullProgress, ProgressSink, QuietProgress, StderrProgress};
+
 pub use schemes::SchemeKind;
-pub use sweep::{run_cell, run_cells, CellError, CellSpec};
+pub use sweep::{run_cell, run_cells, run_cells_with_progress, CellError, CellSpec};
 pub use table::Table;
 
 /// Parse the common CLI flags every experiment binary supports.
@@ -46,6 +50,8 @@ pub struct Cli {
     /// Dynamic broadcast: percent of records updated per cycle
     /// (`ext_errors`; 0 = frozen program).
     pub update_pct: u32,
+    /// Suppress progress narration on stderr (errors still print).
+    pub quiet: bool,
 }
 
 impl Cli {
@@ -55,11 +61,13 @@ impl Cli {
         let mut seed = 0x0EDB_2002u64;
         let mut engine = false;
         let mut update_pct = 0u32;
+        let mut quiet = false;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--quick" => quick = true,
                 "--engine" => engine = true,
+                "--quiet" => quiet = true,
                 "--seed" => {
                     seed = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
                         eprintln!("--seed requires an integer");
@@ -78,7 +86,7 @@ impl Cli {
                 }
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --quick      loose accuracy, fast\n       --seed N     workload seed\n       --engine     event-engine-backed cells (ext_errors)\n       --updates P  percent of records updated per cycle (ext_errors)"
+                        "flags: --quick      loose accuracy, fast\n       --seed N     workload seed\n       --engine     event-engine-backed cells (ext_errors)\n       --updates P  percent of records updated per cycle (ext_errors)\n       --quiet      no progress narration on stderr (errors still print)"
                     );
                     std::process::exit(0);
                 }
@@ -93,7 +101,24 @@ impl Cli {
             seed,
             engine,
             update_pct,
+            quiet,
         }
+    }
+
+    /// The progress sink these flags select: everything to stderr by
+    /// default, errors only under `--quiet`. Tables always go to stdout —
+    /// the sink carries narration, never results.
+    pub fn progress(&self) -> &'static dyn ProgressSink {
+        if self.quiet {
+            &QuietProgress
+        } else {
+            &StderrProgress
+        }
+    }
+
+    /// A sink that drops everything (for tests and embedding).
+    pub fn null_progress() -> &'static dyn ProgressSink {
+        &NullProgress
     }
 
     /// The dynamic-broadcast update stream these flags select (`None` =

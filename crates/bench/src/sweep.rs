@@ -11,6 +11,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use bda_core::{Dataset, Key, Params};
 use bda_datagen::{Popularity, QueryWorkload};
+use bda_obs::{NullProgress, ProgressSink, Severity};
 use bda_sim::{SimConfig, SimReport, Simulator};
 
 use crate::schemes::SchemeKind;
@@ -118,11 +119,23 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// Fails with the first (lowest-index) poisoned cell; all other cells
 /// still run to completion, so a sweep retried after a fix does not churn.
 pub fn run_cells(specs: &[CellSpec<'_>]) -> Result<Vec<SimReport>, CellError> {
+    run_cells_with_progress(specs, &NullProgress)
+}
+
+/// [`run_cells`] narrating per-cell completion through a [`ProgressSink`]
+/// (shared across the scoped worker threads; the sink is `Sync`). Cell
+/// failures are additionally emitted at [`Severity::Error`] so they reach
+/// a quiet sink too.
+pub fn run_cells_with_progress(
+    specs: &[CellSpec<'_>],
+    progress: &dyn ProgressSink,
+) -> Result<Vec<SimReport>, CellError> {
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
         .min(specs.len().max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
+    let done = std::sync::atomic::AtomicUsize::new(0);
     let mut cells: Vec<Option<Result<SimReport, String>>> = vec![None; specs.len()];
     let slots: Vec<std::sync::Mutex<&mut Option<Result<SimReport, String>>>> =
         cells.iter_mut().map(std::sync::Mutex::new).collect();
@@ -136,6 +149,28 @@ pub fn run_cells(specs: &[CellSpec<'_>]) -> Result<Vec<SimReport>, CellError> {
                 // A panicking simulator poisons this cell, not the sweep.
                 let outcome = catch_unwind(AssertUnwindSafe(|| run_cell(&specs[i])))
                     .unwrap_or_else(|payload| Err(panic_message(payload)));
+                let finished = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                match &outcome {
+                    Ok(r) => progress.emit(
+                        Severity::Progress,
+                        &format!(
+                            "cell {finished}/{} done: {} ({} requests, {} rounds)",
+                            specs.len(),
+                            specs[i].kind.name(),
+                            r.requests,
+                            r.rounds
+                        ),
+                    ),
+                    Err(message) => progress.emit(
+                        Severity::Error,
+                        &format!(
+                            "cell {}/{} failed: {}: {message}",
+                            i + 1,
+                            specs.len(),
+                            specs[i].kind.name()
+                        ),
+                    ),
+                }
                 if let Ok(mut slot) = slots[i].lock() {
                     **slot = Some(outcome);
                 }

@@ -106,6 +106,13 @@ impl ProtocolMachine<BTreePayload> for BTreeMachine {
         Action::ReadNext
     }
 
+    fn bucket_kind(&self, payload: &BTreePayload) -> bda_core::BucketKind {
+        match payload {
+            BTreePayload::Index(_) => bda_core::BucketKind::Index,
+            BTreePayload::Data(_) => bda_core::BucketKind::Data,
+        }
+    }
+
     fn on_bucket(&mut self, payload: &BTreePayload, meta: BucketMeta) -> Action {
         match self.state {
             State::Init => {

@@ -33,6 +33,13 @@ FLAGS:
                          versioned cycles (compare/simulate; default 0 =
                          frozen program)
     --accuracy A         confidence accuracy target (simulate; default 0.02)
+    --json               machine-readable output: one bda-trace/v1 JSON
+                         document instead of the human timeline (trace)
+    --metrics-out PATH   run with the observability layer on and write the
+                         run's metrics (compare/simulate): PATH ending in
+                         .prom gets Prometheus text, anything else the
+                         bda-obs/v1 JSON document (compare always writes
+                         Prometheus text, one family set per scheme)
 ";
 
 /// Parsed flags with defaults.
@@ -62,6 +69,10 @@ pub struct Options {
     pub update_rate: f64,
     /// Accuracy target.
     pub accuracy: f64,
+    /// Emit machine-readable JSON instead of the human rendering (trace).
+    pub json: bool,
+    /// Where to write run metrics (compare/simulate; None = don't observe).
+    pub metrics_out: Option<String>,
 }
 
 impl Default for Options {
@@ -79,6 +90,8 @@ impl Default for Options {
             retry: None,
             update_rate: 0.0,
             accuracy: 0.02,
+            json: false,
+            metrics_out: None,
         }
     }
 }
@@ -105,6 +118,8 @@ impl Options {
                 "--retry" => o.retry = Some(parse_num(flag, val()?)?),
                 "--update-rate" => o.update_rate = parse_num(flag, val()?)?,
                 "--accuracy" => o.accuracy = parse_num(flag, val()?)?,
+                "--json" => o.json = true,
+                "--metrics-out" => o.metrics_out = Some(val()?.clone()),
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -196,6 +211,17 @@ mod tests {
         assert!(parse(&["--update-rate", "101"]).is_err());
         assert!(parse(&["--update-rate", "-1"]).is_err());
         assert!(parse(&["--bogus", "1"]).is_err());
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let o = parse(&["--json", "--metrics-out", "run.prom"]).unwrap();
+        assert!(o.json);
+        assert_eq!(o.metrics_out.as_deref(), Some("run.prom"));
+        let d = parse(&[]).unwrap();
+        assert!(!d.json);
+        assert!(d.metrics_out.is_none());
+        assert!(parse(&["--metrics-out"]).is_err());
     }
 
     #[test]

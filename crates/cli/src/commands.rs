@@ -5,6 +5,7 @@ use bda_core::{Dataset, DynSystem, Key, Params, Scheme, System};
 use bda_datagen::{DatasetBuilder, Popularity, QueryWorkload};
 use bda_hash::HashScheme;
 use bda_hybrid::HybridScheme;
+use bda_obs::{export, MetricsHub};
 use bda_signature::{IntegratedSignatureScheme, MultiLevelSignatureScheme, SimpleSignatureScheme};
 use bda_sim::{SimConfig, Simulator, UpdateSpec, VersionedServer};
 
@@ -199,22 +200,24 @@ pub fn trace(o: &Options) -> Result<(), String> {
     };
     let errors = o.error_model();
     let policy = o.retry_policy();
-    println!(
-        "# {} · {} records · query {} · tune-in {}{}{}\n",
-        o.scheme,
-        ds.len(),
-        key,
-        o.tune_in,
-        if o.loss > 0.0 {
-            format!(" · {}% bucket loss", o.loss)
-        } else {
-            String::new()
-        },
-        match o.retry {
-            Some(n) => format!(" · give up after {n} retries"),
-            None => String::new(),
-        }
-    );
+    if !o.json {
+        println!(
+            "# {} · {} records · query {} · tune-in {}{}{}\n",
+            o.scheme,
+            ds.len(),
+            key,
+            o.tune_in,
+            if o.loss > 0.0 {
+                format!(" · {}% bucket loss", o.loss)
+            } else {
+                String::new()
+            },
+            match o.retry {
+                Some(n) => format!(" · give up after {n} retries"),
+                None => String::new(),
+            }
+        );
+    }
     let t: Trace = match o.scheme.as_str() {
         "flat" => {
             let sys = bda_core::FlatScheme
@@ -271,20 +274,26 @@ pub fn trace(o: &Options) -> Result<(), String> {
             ))
         }
     };
-    // Long scans are elided in the middle to keep traces readable.
-    const HEAD: usize = 30;
-    const TAIL: usize = 10;
-    if t.lines.len() <= HEAD + TAIL + 1 {
-        for l in &t.lines {
-            println!("{l}");
-        }
+    if o.json {
+        // One machine-readable document: every event (no elision), the
+        // per-phase span totals, and the outcome.
+        print!("{}", t.to_json(&o.scheme, key, o.tune_in));
     } else {
-        for l in &t.lines[..HEAD] {
-            println!("{l}");
-        }
-        println!("… {} steps elided …", t.lines.len() - HEAD - TAIL);
-        for l in &t.lines[t.lines.len() - TAIL..] {
-            println!("{l}");
+        // Long scans are elided in the middle to keep traces readable.
+        const HEAD: usize = 30;
+        const TAIL: usize = 10;
+        if t.lines.len() <= HEAD + TAIL + 1 {
+            for l in &t.lines {
+                println!("{l}");
+            }
+        } else {
+            for l in &t.lines[..HEAD] {
+                println!("{l}");
+            }
+            println!("… {} steps elided …", t.lines.len() - HEAD - TAIL);
+            for l in &t.lines[t.lines.len() - TAIL..] {
+                println!("{l}");
+            }
         }
     }
     if t.outcome.aborted {
@@ -320,6 +329,7 @@ pub fn compare(o: &Options) -> Result<(), String> {
         "scheme", "access(B)", "tuning(B)", "requests", "retry/q", "found%"
     );
     println!("{}", if dynamic { "  restart/q" } else { "" });
+    let mut hubs: Vec<(&str, MetricsHub)> = Vec::new();
     for name in SCHEMES {
         let sys = build_system(o, name, &ds, &p)?;
         let workload = QueryWorkload::new(
@@ -334,7 +344,14 @@ pub fn compare(o: &Options) -> Result<(), String> {
         cfg.errors = o.error_model();
         cfg.retry = o.retry_policy();
         cfg.updates = o.update_spec();
-        let r = Simulator::new(sys.as_ref(), workload, cfg).run();
+        let mut sim = Simulator::new(sys.as_ref(), workload, cfg);
+        let r = if o.metrics_out.is_some() {
+            let (r, hub) = sim.run_observed();
+            hubs.push((name, hub));
+            r
+        } else {
+            sim.run()
+        };
         print!(
             "{:<22} {:>12.0} {:>12.0} {:>9} {:>8.3} {:>6.1}%",
             r.scheme,
@@ -348,6 +365,15 @@ pub fn compare(o: &Options) -> Result<(), String> {
             print!("  {:>9.4}", r.restart_rate());
         }
         println!();
+    }
+    if let Some(path) = &o.metrics_out {
+        let labelled: Vec<(&str, &MetricsHub)> = hubs.iter().map(|(s, h)| (*s, h)).collect();
+        std::fs::write(path, export::to_prometheus(&labelled))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!(
+            "\nwrote Prometheus metrics for {} schemes to {path}",
+            hubs.len()
+        );
     }
     Ok(())
 }
@@ -369,7 +395,13 @@ pub fn simulate(o: &Options) -> Result<(), String> {
     cfg.errors = o.error_model();
     cfg.retry = o.retry_policy();
     cfg.updates = o.update_spec();
-    let r = Simulator::new(sys.as_ref(), workload, cfg).run();
+    let mut sim = Simulator::new(sys.as_ref(), workload, cfg);
+    let (r, hub) = if o.metrics_out.is_some() {
+        let (r, hub) = sim.run_observed();
+        (r, Some(hub))
+    } else {
+        (sim.run(), None)
+    };
     println!("scheme        : {}", r.scheme);
     println!(
         "requests      : {} ({} rounds{})",
@@ -408,5 +440,16 @@ pub fn simulate(o: &Options) -> Result<(), String> {
         println!("stale restarts: {}", r.stale_restarts);
     }
     println!("cycle length  : {} bytes", r.cycle_len);
+    if let (Some(path), Some(hub)) = (&o.metrics_out, &hub) {
+        let doc = if path.ends_with(".prom") {
+            export::to_prometheus(&[(r.scheme, hub)])
+        } else {
+            let doc = export::to_json(r.scheme, hub);
+            debug_assert!(export::validate(&doc).is_ok());
+            doc
+        };
+        std::fs::write(path, doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("metrics       : wrote {path}");
+    }
     Ok(())
 }

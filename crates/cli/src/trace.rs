@@ -1,16 +1,64 @@
 //! Typed walk tracing: run one query and render each protocol step with a
 //! human-readable description of the bucket it touched.
+//!
+//! Every trace runs the walk with the observability layer's
+//! [`SpanRecorder`] attached and diffs the accumulated [`PhaseSpans`]
+//! after each step, so each event carries the exact phase and byte deltas
+//! the metrics pipeline would attribute to it — the human timeline and
+//! the `--json` document are two renderings of the same observed walk.
 
 use bda_core::{
-    Channel, ErrorModel, Key, ProtocolMachine, RetryPolicy, System, Ticks, Walk, WalkStep,
+    Channel, ErrorModel, Key, Phase, PhaseSpans, ProtocolMachine, RetryPolicy, SpanRecorder,
+    System, Ticks, Walk, WalkStep,
 };
+
+/// One protocol step in machine-readable form.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Absolute time (bytes) at which the step finished.
+    pub t: Ticks,
+    /// `"read"` or `"doze"`.
+    pub kind: &'static str,
+    /// Bucket index on the cycle, for reads.
+    pub bucket: Option<usize>,
+    /// Phase the observability layer attributed the step to.
+    pub phase: Phase,
+    /// Access bytes the step paid (includes boundary waits and doze air).
+    pub access: u64,
+    /// Tuning bytes the step paid (0 while dozing).
+    pub tuning: u64,
+    /// Boundary-wait bytes folded into `access`, for reads.
+    pub wait: Ticks,
+    /// Whether the read arrived corrupted.
+    pub corrupt: bool,
+    /// Human description of the bucket payload, for reads.
+    pub detail: String,
+}
 
 /// One rendered trace plus the query outcome.
 pub struct Trace {
     /// Rendered timeline lines.
     pub lines: Vec<String>,
+    /// Machine-readable events, one per protocol step.
+    pub events: Vec<TraceEvent>,
+    /// Per-phase span totals for the whole walk (telescopes to the
+    /// outcome's access and tuning time exactly).
+    pub spans: PhaseSpans,
     /// The query outcome.
     pub outcome: bda_core::AccessOutcome,
+}
+
+/// The phase whose step count grew between two span snapshots, with its
+/// byte deltas. Each walk step records exactly one span, so the diff is
+/// unambiguous.
+fn span_delta(before: &PhaseSpans, after: &PhaseSpans) -> (Phase, u64, u64) {
+    for phase in Phase::ALL {
+        let (b, a) = (before.get(phase), after.get(phase));
+        if a.count > b.count {
+            return (phase, a.access - b.access, a.tuning - b.tuning);
+        }
+    }
+    unreachable!("every walk step records exactly one phase span");
 }
 
 /// Drive `machine` against `channel`, describing every bucket read with
@@ -23,38 +71,72 @@ pub fn trace_walk<P, M: ProtocolMachine<P>>(
     policy: RetryPolicy,
     describe: impl Fn(&P) -> String,
 ) -> Trace {
-    let mut walk = Walk::with_policy(channel, machine, tune_in, errors, policy);
+    let mut walk = Walk::with_recorder(
+        channel,
+        machine,
+        tune_in,
+        errors,
+        policy,
+        SpanRecorder::new(),
+    );
     let mut lines = vec![format!("t={tune_in:<12} TUNE-IN")];
+    let mut events = Vec::new();
+    let mut snapshot = walk.recorder().spans;
     let outcome = loop {
-        match walk.step() {
+        let step = walk.step();
+        let spans_now = walk.recorder().spans;
+        match step {
             WalkStep::Read {
                 bucket,
                 from,
                 until,
             } => {
+                let (phase, access, tuning) = span_delta(&snapshot, &spans_now);
                 let wait = until - from - Ticks::from(channel.bucket(bucket).size);
                 let wait_note = if wait > 0 {
                     format!(" (+{wait}B boundary wait)")
                 } else {
                     String::new()
                 };
-                let corrupt = if errors.corrupted(until - Ticks::from(channel.bucket(bucket).size))
-                {
-                    " ×CORRUPT"
-                } else {
-                    ""
-                };
+                let corrupt = errors.corrupted(until - Ticks::from(channel.bucket(bucket).size));
+                let detail = describe(&channel.bucket(bucket).payload);
                 lines.push(format!(
-                    "t={until:<12} READ  #{bucket:<6} {}{wait_note}{corrupt}",
-                    describe(&channel.bucket(bucket).payload),
+                    "t={until:<12} READ  #{bucket:<6} {detail}{wait_note}{}  [{}]",
+                    if corrupt { " ×CORRUPT" } else { "" },
+                    phase.name(),
                 ));
+                events.push(TraceEvent {
+                    t: until,
+                    kind: "read",
+                    bucket: Some(bucket),
+                    phase,
+                    access,
+                    tuning,
+                    wait,
+                    corrupt,
+                    detail,
+                });
             }
             WalkStep::Doze { until } => {
-                lines.push(format!("t={until:<12} WAKE  (dozed)"));
+                let (phase, access, tuning) = span_delta(&snapshot, &spans_now);
+                lines.push(format!("t={until:<12} WAKE  (dozed {access}B of air)"));
+                events.push(TraceEvent {
+                    t: until,
+                    kind: "doze",
+                    bucket: None,
+                    phase,
+                    access,
+                    tuning,
+                    wait: 0,
+                    corrupt: false,
+                    detail: String::new(),
+                });
             }
             WalkStep::Done(out) => break out,
         }
+        snapshot = spans_now;
     };
+    let spans = walk.recorder().spans;
     lines.push(format!(
         "t={:<12} DONE  {} — access {}B, tuning {}B, {} probes{}{}",
         tune_in + outcome.access,
@@ -79,7 +161,93 @@ pub fn trace_walk<P, M: ProtocolMachine<P>>(
             String::new()
         },
     ));
-    Trace { lines, outcome }
+    Trace {
+        lines,
+        events,
+        spans,
+        outcome,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+impl Trace {
+    /// Render the trace as a single `bda-trace/v1` JSON document: one
+    /// event object per protocol step (phase-attributed byte deltas,
+    /// bucket ids, corruption flags), the outcome, and the per-phase span
+    /// totals. The events' access/tuning deltas telescope to the
+    /// outcome's access/tuning time exactly.
+    pub fn to_json(&self, scheme: &str, key: Key, tune_in: Ticks) -> String {
+        use std::fmt::Write as _;
+
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": \"bda-trace/v1\",\n");
+        let _ = writeln!(out, "  \"scheme\": \"{}\",", json_escape(scheme));
+        let _ = writeln!(out, "  \"key\": {},", key.0);
+        let _ = writeln!(out, "  \"tune_in\": {tune_in},");
+        out.push_str("  \"events\": [\n");
+        for (i, e) in self.events.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"type\": \"{}\", \"t\": {}, \"bucket\": {}, \"phase\": \"{}\", \
+                 \"access\": {}, \"tuning\": {}, \"wait\": {}, \"corrupt\": {}, \
+                 \"detail\": \"{}\"}}",
+                e.kind,
+                e.t,
+                e.bucket.map_or("null".into(), |b| b.to_string()),
+                e.phase.name(),
+                e.access,
+                e.tuning,
+                e.wait,
+                e.corrupt,
+                json_escape(&e.detail),
+            );
+            out.push_str(if i + 1 < self.events.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"phases\": {\n");
+        for (i, (phase, t)) in self.spans.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    \"{}\": {{\"access\": {}, \"tuning\": {}, \"count\": {}}}",
+                phase.name(),
+                t.access,
+                t.tuning,
+                t.count
+            );
+            out.push_str(if i + 1 < bda_core::Phase::COUNT {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  },\n");
+        let o = &self.outcome;
+        let _ = writeln!(
+            out,
+            "  \"outcome\": {{\"found\": {}, \"access\": {}, \"tuning\": {}, \
+             \"probes\": {}, \"false_drops\": {}, \"retries\": {}, \"abandoned\": {}, \
+             \"aborted\": {}, \"stale_restarts\": {}, \"version_skews\": {}}}",
+            o.found,
+            o.access,
+            o.tuning,
+            o.probes,
+            o.false_drops,
+            o.retries,
+            o.abandoned,
+            o.aborted,
+            o.stale_restarts,
+            o.version_skews,
+        );
+        out.push_str("}\n");
+        out
+    }
 }
 
 /// Trace a key query on any typed system, with per-payload description.
@@ -206,6 +374,85 @@ mod tests {
         assert_eq!(t.lines.len(), t.outcome.probes as usize + 2);
         // Trace agrees with the plain probe.
         assert_eq!(t.outcome, sys.probe(bda_core::Key(6), 100));
+    }
+
+    #[test]
+    fn events_account_every_tick_and_render_as_json() {
+        let ds = Dataset::new((0..64).map(|i| Record::keyed(i * 2)).collect()).unwrap();
+        let sys = bda_btree::DistributedScheme::new()
+            .build(&ds, &Params::paper())
+            .unwrap();
+        let t = trace_query(
+            &sys,
+            bda_core::Key(40),
+            1_000,
+            ErrorModel::NONE,
+            RetryPolicy::UNBOUNDED,
+            describe::btree,
+        );
+        assert!(t.outcome.found);
+        // One event per protocol step; the byte deltas telescope exactly.
+        assert_eq!(
+            t.events.iter().filter(|e| e.kind == "read").count(),
+            t.outcome.probes as usize
+        );
+        let access: u64 = t.events.iter().map(|e| e.access).sum();
+        let tuning: u64 = t.events.iter().map(|e| e.tuning).sum();
+        assert_eq!(access, t.outcome.access);
+        assert_eq!(tuning, t.outcome.tuning);
+        assert_eq!(t.spans.total_access(), t.outcome.access);
+        assert_eq!(t.spans.total_tuning(), t.outcome.tuning);
+        // An indexed walk shows the full phase vocabulary in play.
+        assert!(t.events.iter().any(|e| e.phase == Phase::InitialProbe));
+        assert!(t.events.iter().any(|e| e.phase == Phase::IndexTraversal));
+        assert!(t.events.iter().any(|e| e.phase == Phase::DataRead));
+        assert!(t
+            .events
+            .iter()
+            .any(|e| e.kind == "doze" && e.phase == Phase::Doze));
+        // Dozing costs air time but no tuning.
+        assert!(t
+            .events
+            .iter()
+            .filter(|e| e.kind == "doze")
+            .all(|e| e.tuning == 0));
+        // JSON rendering carries the schema marker, every event, and the
+        // phase table.
+        let json = t.to_json("distributed", bda_core::Key(40), 1_000);
+        assert!(json.contains("\"schema\": \"bda-trace/v1\""));
+        assert!(json.contains("\"scheme\": \"distributed\""));
+        assert_eq!(
+            json.matches("{\"type\": ").count(),
+            t.events.len(),
+            "one JSON object per event"
+        );
+        assert!(json.contains("\"initial_probe\""));
+        assert!(json.contains("\"found\": true"));
+    }
+
+    #[test]
+    fn corrupt_reads_are_flagged_in_events() {
+        let ds = Dataset::new((0..8).map(|i| Record::keyed(i * 2)).collect()).unwrap();
+        let sys = FlatScheme.build(&ds, &Params::paper()).unwrap();
+        let t = trace_query(
+            &sys,
+            bda_core::Key(6),
+            0,
+            ErrorModel::new(0.5, 7),
+            RetryPolicy::UNBOUNDED,
+            describe::flat,
+        );
+        assert!(t.outcome.found);
+        assert_eq!(
+            t.events.iter().filter(|e| e.corrupt).count(),
+            t.outcome.retries as usize,
+            "corrupt flags tie to the outcome's retry count"
+        );
+        assert_eq!(
+            t.events.iter().filter(|e| e.phase == Phase::Retry).count(),
+            t.outcome.retries as usize,
+            "corrupt reads are attributed to the retry phase"
+        );
     }
 
     #[test]

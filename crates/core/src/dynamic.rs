@@ -41,6 +41,7 @@ use crate::key::Key;
 use crate::machine::{AccessOutcome, Action, ProtocolMachine, StaleResponse, WalkStep};
 use crate::scheme::{QueryRun, QuerySlot, System};
 use crate::Ticks;
+use bda_obs::{BucketKind, NoopRecorder, Phase, PhaseSpans, Recorder, SpanRecorder};
 
 /// One stretch of air time during which a single broadcast program repeats.
 #[derive(Debug)]
@@ -157,7 +158,7 @@ impl<S: System> ProgramTimeline<S> {
 ///
 /// [`Walk`]: crate::machine::Walk
 #[derive(Debug)]
-pub struct VersionedWalk<'a, S: System> {
+pub struct VersionedWalk<'a, S: System, R = NoopRecorder> {
     timeline: &'a ProgramTimeline<S>,
     machine: S::Machine,
     key: Key,
@@ -176,6 +177,7 @@ pub struct VersionedWalk<'a, S: System> {
     max_probes: u32,
     errors: ErrorModel,
     policy: RetryPolicy,
+    recorder: R,
 }
 
 impl<'a, S: System> VersionedWalk<'a, S> {
@@ -199,6 +201,24 @@ impl<'a, S: System> VersionedWalk<'a, S> {
         tune_in: Ticks,
         errors: ErrorModel,
         policy: RetryPolicy,
+    ) -> Self {
+        VersionedWalk::with_recorder(timeline, key, tune_in, errors, policy, NoopRecorder)
+    }
+}
+
+impl<'a, S: System, R: Recorder> VersionedWalk<'a, S, R> {
+    /// Begin a query that reports every step's phase-attributed span to
+    /// `recorder` — the dynamic counterpart of
+    /// [`Walk::with_recorder`](crate::machine::Walk::with_recorder). Skewed
+    /// reads (header version ≠ anchor version) are attributed to
+    /// [`Phase::StaleRecovery`].
+    pub fn with_recorder(
+        timeline: &'a ProgramTimeline<S>,
+        key: Key,
+        tune_in: Ticks,
+        errors: ErrorModel,
+        policy: RetryPolicy,
+        recorder: R,
     ) -> Self {
         let epoch = timeline.epoch(timeline.index_at(tune_in));
         let mut machine = epoch.system.query(key);
@@ -237,7 +257,18 @@ impl<'a, S: System> VersionedWalk<'a, S> {
             max_probes,
             errors,
             policy,
+            recorder,
         }
+    }
+
+    /// The walk's recorder (e.g. to read accumulated spans).
+    pub fn recorder(&self) -> &R {
+        &self.recorder
+    }
+
+    /// Mutable access to the walk's recorder.
+    pub fn recorder_mut(&mut self) -> &mut R {
+        &mut self.recorder
     }
 
     /// Absolute simulation time the client has reached.
@@ -360,6 +391,24 @@ impl<'a, S: System> VersionedWalk<'a, S> {
                     size: size as u32,
                     version: bucket.version,
                 };
+                if R::ENABLED {
+                    // Corruption trumps skew (the header is unreadable);
+                    // skew trumps structure (the payload is withheld from
+                    // the machine, so the read buys recovery, not progress).
+                    let phase = if self.errors.corrupted(start) {
+                        Phase::Retry
+                    } else if bucket.version != self.anchor_version {
+                        Phase::StaleRecovery
+                    } else if self.probes == 1 {
+                        Phase::InitialProbe
+                    } else {
+                        match self.machine.bucket_kind(&bucket.payload) {
+                            BucketKind::Index => Phase::IndexTraversal,
+                            BucketKind::Data => Phase::DataRead,
+                        }
+                    };
+                    self.recorder.span(phase, end - from, end - from);
+                }
                 let next = if self.errors.corrupted(start) {
                     // A corrupted transmission hides the header too: the
                     // client can't even see the version. Skew, if any, is
@@ -396,6 +445,9 @@ impl<'a, S: System> VersionedWalk<'a, S> {
                 if t < self.now {
                     return self.finish(false, self.false_drops_hint, true);
                 }
+                if R::ENABLED {
+                    self.recorder.span(Phase::Doze, t - self.now, 0);
+                }
                 self.now = t;
                 self.pending = Some(Action::ReadNext);
                 WalkStep::Doze { until: t }
@@ -415,7 +467,7 @@ impl<'a, S: System> VersionedWalk<'a, S> {
     }
 }
 
-impl<S: System> QueryRun for VersionedWalk<'_, S> {
+impl<S: System, R: Recorder> QueryRun for VersionedWalk<'_, S, R> {
     fn step(&mut self) -> WalkStep {
         VersionedWalk::step(self)
     }
@@ -444,6 +496,26 @@ pub fn run_versioned_with_policy<S: System>(
     policy: RetryPolicy,
 ) -> AccessOutcome {
     VersionedWalk::with_policy(timeline, key, tune_in, errors, policy).run()
+}
+
+/// [`run_versioned_with_policy`] with span instrumentation: also returns
+/// the walk's per-phase decomposition, whose totals equal the outcome's
+/// `access`/`tuning` exactly. Skewed reads land in
+/// [`Phase::StaleRecovery`].
+pub fn run_versioned_observed<S: System>(
+    timeline: &ProgramTimeline<S>,
+    key: Key,
+    tune_in: Ticks,
+    errors: ErrorModel,
+    policy: RetryPolicy,
+) -> (AccessOutcome, PhaseSpans) {
+    let mut walk =
+        VersionedWalk::with_recorder(timeline, key, tune_in, errors, policy, SpanRecorder::new());
+    loop {
+        if let WalkStep::Done(out) = walk.step() {
+            return (out, walk.recorder().spans);
+        }
+    }
 }
 
 /// The reusable [`QuerySlot`] over a [`ProgramTimeline`] — the dynamic
@@ -505,6 +577,66 @@ impl<S: System> QuerySlot for VersionedSlot<'_, S> {
 
     fn is_done(&self) -> bool {
         self.walk.as_ref().map_or(true, VersionedWalk::is_done)
+    }
+}
+
+/// The instrumented counterpart of [`VersionedSlot`]: each query runs with
+/// a [`SpanRecorder`], exposed via [`QuerySlot::spans`].
+pub struct ObservedVersionedSlot<'a, S: System> {
+    timeline: &'a ProgramTimeline<S>,
+    walk: Option<VersionedWalk<'a, S, SpanRecorder>>,
+    errors: ErrorModel,
+    policy: RetryPolicy,
+}
+
+impl<'a, S: System> ObservedVersionedSlot<'a, S> {
+    /// An empty instrumented slot; [`QuerySlot::start`] arms it.
+    pub fn with_faults(
+        timeline: &'a ProgramTimeline<S>,
+        errors: ErrorModel,
+        policy: RetryPolicy,
+    ) -> Self {
+        ObservedVersionedSlot {
+            timeline,
+            walk: None,
+            errors,
+            policy,
+        }
+    }
+}
+
+impl<S: System> QuerySlot for ObservedVersionedSlot<'_, S> {
+    fn start(&mut self, key: Key, tune_in: Ticks) {
+        self.walk = Some(VersionedWalk::with_recorder(
+            self.timeline,
+            key,
+            tune_in,
+            self.errors,
+            self.policy,
+            SpanRecorder::new(),
+        ));
+    }
+
+    fn step(&mut self) -> WalkStep {
+        self.walk
+            .as_mut()
+            .expect("QuerySlot::step before start")
+            .step()
+    }
+
+    fn now(&self) -> Ticks {
+        self.walk
+            .as_ref()
+            .expect("QuerySlot::now before start")
+            .now()
+    }
+
+    fn is_done(&self) -> bool {
+        self.walk.as_ref().map_or(true, VersionedWalk::is_done)
+    }
+
+    fn spans(&self) -> Option<&PhaseSpans> {
+        self.walk.as_ref().map(|w| &w.recorder().spans)
     }
 }
 
@@ -633,6 +765,37 @@ mod tests {
         let out = run_versioned(&tl, Key(40), boundary);
         assert!(out.found);
         assert_eq!(out.version_skews, 0);
+    }
+
+    #[test]
+    fn skewed_reads_are_attributed_to_stale_recovery() {
+        let tl = two_epoch_timeline();
+        let boundary = tl.epoch(1).start;
+        let bucket = u64::from(Params::paper().data_bucket_size());
+        let (out, spans) = run_versioned_observed(
+            &tl,
+            Key(40),
+            boundary - bucket,
+            ErrorModel::NONE,
+            RetryPolicy::UNBOUNDED,
+        );
+        assert!(out.found);
+        assert!(out.version_skews >= 1);
+        assert_eq!(spans.total_access(), out.access);
+        assert_eq!(spans.total_tuning(), out.tuning);
+        assert_eq!(
+            spans.get(Phase::StaleRecovery).count,
+            u64::from(out.version_skews),
+            "every skewed read is a StaleRecovery span"
+        );
+
+        // A skew-free walk records no StaleRecovery spans, and the observed
+        // walk's outcome matches the plain one bit-for-bit.
+        let (clean, clean_spans) =
+            run_versioned_observed(&tl, Key(20), 0, ErrorModel::NONE, RetryPolicy::UNBOUNDED);
+        assert_eq!(clean, run_versioned(&tl, Key(20), 0));
+        assert_eq!(clean_spans.get(Phase::StaleRecovery).count, 0);
+        assert_eq!(clean_spans.total_access(), clean.access);
     }
 
     #[test]

@@ -45,19 +45,25 @@ pub use bucket::{Bucket, BucketMeta};
 pub use channel::Channel;
 pub use coverage::Coverage;
 pub use dynamic::{
-    run_versioned, run_versioned_with_policy, Epoch, ProgramTimeline, VersionedSlot, VersionedWalk,
+    run_versioned, run_versioned_observed, run_versioned_with_policy, Epoch, ObservedVersionedSlot,
+    ProgramTimeline, VersionedSlot, VersionedWalk,
 };
 pub use error::{BdaError, ProtocolFault, Result};
 pub use errors_model::{ErrorModel, RetryPolicy};
 pub use flat::{FlatPayload, FlatScheme, FlatSystem};
 pub use key::Key;
 pub use machine::{
-    run_machine_with_errors, run_machine_with_policy, AccessOutcome, Action, ProtocolMachine,
-    StaleResponse, Verdict, Walk, WalkStep,
+    run_machine_observed, run_machine_with_errors, run_machine_with_policy, AccessOutcome, Action,
+    ProtocolMachine, StaleResponse, Verdict, Walk, WalkStep,
 };
 pub use params::Params;
 pub use record::{Dataset, Record};
-pub use scheme::{DynSystem, QueryRun, QuerySlot, Scheme, System, WalkSlot};
+pub use scheme::{DynSystem, ObservedWalkSlot, QueryRun, QuerySlot, Scheme, System, WalkSlot};
+
+// Observability vocabulary, re-exported so scheme crates implementing
+// `ProtocolMachine::bucket_kind` (and drivers wiring recorders through
+// walks) need not depend on `bda-obs` directly.
+pub use bda_obs::{BucketKind, NoopRecorder, Phase, PhaseSpans, Recorder, SpanRecorder};
 
 /// Simulation time, measured in **bytes broadcast** since time zero.
 ///

@@ -17,6 +17,7 @@ use crate::channel::Channel;
 use crate::error::ProtocolFault;
 use crate::errors_model::{ErrorModel, RetryPolicy};
 use crate::Ticks;
+use bda_obs::{BucketKind, NoopRecorder, Phase, PhaseSpans, Recorder, SpanRecorder};
 
 /// What a protocol machine wants to do next.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -133,6 +134,16 @@ pub trait ProtocolMachine<P> {
         let _ = meta;
         StaleResponse::Respawn
     }
+
+    /// Classify a payload for phase attribution: does reading this bucket
+    /// count as index traversal or as a data read? Only called when the
+    /// walk carries an enabled [`Recorder`], never on the uninstrumented
+    /// path. The default says `Data`, which is exact for flat broadcast
+    /// (every bucket *is* data) and a safe fallback for custom machines.
+    fn bucket_kind(&self, payload: &P) -> BucketKind {
+        let _ = payload;
+        BucketKind::Data
+    }
 }
 
 /// The result of one client query.
@@ -207,7 +218,7 @@ pub enum WalkStep {
 /// identical code path, so their results cannot diverge — a property the
 /// integration suite verifies explicitly.
 #[derive(Debug)]
-pub struct Walk<'a, P, M> {
+pub struct Walk<'a, P, M, R = NoopRecorder> {
     ch: &'a Channel<P>,
     machine: M,
     tune_in: Ticks,
@@ -221,6 +232,7 @@ pub struct Walk<'a, P, M> {
     max_probes: u32,
     errors: ErrorModel,
     policy: RetryPolicy,
+    recorder: R,
 }
 
 impl<'a, P, M: ProtocolMachine<P>> Walk<'a, P, M> {
@@ -240,10 +252,27 @@ impl<'a, P, M: ProtocolMachine<P>> Walk<'a, P, M> {
     /// client-side [`RetryPolicy`] governing recovery from corrupt reads.
     pub fn with_policy(
         ch: &'a Channel<P>,
+        machine: M,
+        tune_in: Ticks,
+        errors: ErrorModel,
+        policy: RetryPolicy,
+    ) -> Self {
+        Walk::with_recorder(ch, machine, tune_in, errors, policy, NoopRecorder)
+    }
+}
+
+impl<'a, P, M: ProtocolMachine<P>, R: Recorder> Walk<'a, P, M, R> {
+    /// Begin a query that reports every step's phase-attributed span to
+    /// `recorder`. With the default [`NoopRecorder`] (`ENABLED = false`)
+    /// every instrumentation site compiles out and this is exactly
+    /// [`Walk::with_policy`].
+    pub fn with_recorder(
+        ch: &'a Channel<P>,
         mut machine: M,
         tune_in: Ticks,
         errors: ErrorModel,
         policy: RetryPolicy,
+        recorder: R,
     ) -> Self {
         let pending = machine.start(tune_in);
         // A correct protocol never needs more than a handful of cycles; the
@@ -273,7 +302,18 @@ impl<'a, P, M: ProtocolMachine<P>> Walk<'a, P, M> {
             max_probes,
             errors,
             policy,
+            recorder,
         }
+    }
+
+    /// The walk's recorder (e.g. to read accumulated spans).
+    pub fn recorder(&self) -> &R {
+        &self.recorder
+    }
+
+    /// Mutable access to the walk's recorder.
+    pub fn recorder_mut(&mut self) -> &mut R {
+        &mut self.recorder
     }
 
     /// Absolute simulation time the client has reached.
@@ -364,6 +404,22 @@ impl<'a, P, M: ProtocolMachine<P>> Walk<'a, P, M> {
                     size: size as u32,
                     version: bucket.version,
                 };
+                if R::ENABLED {
+                    // Corruption trumps structure (the client cannot use the
+                    // payload); the very first read is the initial probe; all
+                    // other reads classify by what the machine sees in them.
+                    let phase = if self.errors.corrupted(start) {
+                        Phase::Retry
+                    } else if self.probes == 1 {
+                        Phase::InitialProbe
+                    } else {
+                        match self.machine.bucket_kind(&bucket.payload) {
+                            BucketKind::Index => Phase::IndexTraversal,
+                            BucketKind::Data => Phase::DataRead,
+                        }
+                    };
+                    self.recorder.span(phase, end - from, end - from);
+                }
                 let next = if self.errors.corrupted(start) {
                     self.retries += 1;
                     if self.policy.gives_up(self.retries, self.now - self.tune_in) {
@@ -388,6 +444,9 @@ impl<'a, P, M: ProtocolMachine<P>> Walk<'a, P, M> {
                 if t < self.now {
                     // Dozing into the past is a protocol/builder bug.
                     return self.finish(false, self.false_drops_hint, true);
+                }
+                if R::ENABLED {
+                    self.recorder.span(Phase::Doze, t - self.now, 0);
                 }
                 self.now = t;
                 self.pending = Some(Action::ReadNext);
@@ -434,6 +493,25 @@ pub fn run_machine_with_policy<P, M: ProtocolMachine<P>>(
     loop {
         if let WalkStep::Done(out) = walk.step() {
             return out;
+        }
+    }
+}
+
+/// [`run_machine_with_policy`] with span instrumentation: also returns the
+/// walk's per-phase access/tuning decomposition, whose totals equal the
+/// outcome's `access` and `tuning` exactly (spans are recorded as the
+/// bytes are paid, so the sums telescope).
+pub fn run_machine_observed<P, M: ProtocolMachine<P>>(
+    ch: &Channel<P>,
+    machine: M,
+    tune_in: Ticks,
+    errors: ErrorModel,
+    policy: RetryPolicy,
+) -> (AccessOutcome, PhaseSpans) {
+    let mut walk = Walk::with_recorder(ch, machine, tune_in, errors, policy, SpanRecorder::new());
+    loop {
+        if let WalkStep::Done(out) = walk.step() {
+            return (out, walk.recorder().spans);
         }
     }
 }
@@ -690,6 +768,83 @@ mod tests {
         );
         assert!(out.abandoned);
         assert_eq!(out.retries, 1, "first corrupt read is past the deadline");
+    }
+
+    #[test]
+    fn spans_decompose_access_and_tuning_exactly() {
+        let c = ch(&[10, 20, 30]);
+        // Tune in mid-bucket at t=5: initial probe listens through bucket 0's
+        // tail + bucket 1 (5+20... no: first_complete_at(5) is bucket 1, so
+        // the client listens 5 bytes of bucket 0 tail then bucket 1).
+        let (out, spans) = run_machine_observed(
+            &c,
+            Scripted {
+                reads: 2,
+                doze: Some(5),
+                seen: vec![],
+            },
+            5,
+            ErrorModel::NONE,
+            RetryPolicy::UNBOUNDED,
+        );
+        assert!(out.found);
+        assert_eq!(spans.total_access(), out.access);
+        assert_eq!(spans.total_tuning(), out.tuning);
+        assert_eq!(spans.get(Phase::InitialProbe).count, 1);
+        assert_eq!(spans.get(Phase::InitialProbe).access, 25); // 5 tail + 20
+        assert_eq!(spans.get(Phase::Doze).access, 5);
+        assert_eq!(spans.get(Phase::Doze).tuning, 0);
+        assert_eq!(spans.get(Phase::DataRead).count, 1); // default bucket_kind
+        assert_eq!(spans.get(Phase::Retry).count, 0);
+    }
+
+    #[test]
+    fn corrupt_reads_are_attributed_to_retry() {
+        let c = ch(&[10, 20]);
+        let (out, spans) = run_machine_observed(
+            &c,
+            FirstGood,
+            0,
+            ErrorModel::new(1.0, 1),
+            RetryPolicy::bounded(2),
+        );
+        assert!(out.abandoned);
+        assert_eq!(spans.total_access(), out.access);
+        assert_eq!(spans.total_tuning(), out.tuning);
+        // Every read was corrupt, including the first and the abandoning one.
+        assert_eq!(spans.get(Phase::Retry).count, u64::from(out.retries));
+        assert_eq!(spans.get(Phase::InitialProbe).count, 0);
+        assert_eq!(spans.get(Phase::DataRead).count, 0);
+    }
+
+    #[test]
+    fn noop_and_observed_walks_agree() {
+        let c = ch(&[10, 20, 30]);
+        for tune_in in [0u64, 3, 17, 42] {
+            let plain = run_machine_with_policy(
+                &c,
+                Scripted {
+                    reads: 2,
+                    doze: Some(20),
+                    seen: vec![],
+                },
+                tune_in,
+                ErrorModel::new(0.3, 9),
+                RetryPolicy::bounded(5),
+            );
+            let (observed, _) = run_machine_observed(
+                &c,
+                Scripted {
+                    reads: 2,
+                    doze: Some(20),
+                    seen: vec![],
+                },
+                tune_in,
+                ErrorModel::new(0.3, 9),
+                RetryPolicy::bounded(5),
+            );
+            assert_eq!(plain, observed);
+        }
     }
 
     #[test]

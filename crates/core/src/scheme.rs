@@ -6,11 +6,13 @@ use crate::error::Result;
 use crate::errors_model::{ErrorModel, RetryPolicy};
 use crate::key::Key;
 use crate::machine::{
-    run_machine, run_machine_with_policy, AccessOutcome, ProtocolMachine, Walk, WalkStep,
+    run_machine, run_machine_observed, run_machine_with_policy, AccessOutcome, ProtocolMachine,
+    Walk, WalkStep,
 };
 use crate::params::Params;
 use crate::record::Dataset;
 use crate::Ticks;
+use bda_obs::{PhaseSpans, Recorder, SpanRecorder};
 
 /// A broadcast access method: given a dataset and sizing parameters, lay
 /// out a broadcast cycle.
@@ -77,7 +79,7 @@ pub trait QueryRun {
     fn now(&self) -> Ticks;
 }
 
-impl<P, M: ProtocolMachine<P>> QueryRun for Walk<'_, P, M> {
+impl<P, M: ProtocolMachine<P>, R: Recorder> QueryRun for Walk<'_, P, M, R> {
     fn step(&mut self) -> WalkStep {
         Walk::step(self)
     }
@@ -115,6 +117,13 @@ pub trait QuerySlot {
     /// Whether the current query has completed (also true before the first
     /// [`QuerySlot::start`]).
     fn is_done(&self) -> bool;
+
+    /// The current query's per-phase span decomposition, when this slot
+    /// records one (see [`DynSystem::make_slot_observed`]). The default —
+    /// and every uninstrumented slot — returns `None`.
+    fn spans(&self) -> Option<&PhaseSpans> {
+        None
+    }
 }
 
 /// The canonical [`QuerySlot`] for any [`System`]: an in-place
@@ -173,6 +182,63 @@ impl<S: System> QuerySlot for WalkSlot<'_, S> {
 
     fn is_done(&self) -> bool {
         self.walk.as_ref().map_or(true, Walk::is_done)
+    }
+}
+
+/// The instrumented counterpart of [`WalkSlot`]: each query runs with a
+/// [`SpanRecorder`], and the accumulated per-phase spans are exposed via
+/// [`QuerySlot::spans`] until the next [`QuerySlot::start`].
+pub struct ObservedWalkSlot<'a, S: System> {
+    system: &'a S,
+    walk: Option<Walk<'a, S::Payload, S::Machine, SpanRecorder>>,
+    errors: ErrorModel,
+    policy: RetryPolicy,
+}
+
+impl<'a, S: System> ObservedWalkSlot<'a, S> {
+    /// An empty instrumented slot; call [`QuerySlot::start`] to arm it.
+    pub fn with_faults(system: &'a S, errors: ErrorModel, policy: RetryPolicy) -> Self {
+        ObservedWalkSlot {
+            system,
+            walk: None,
+            errors,
+            policy,
+        }
+    }
+}
+
+impl<S: System> QuerySlot for ObservedWalkSlot<'_, S> {
+    fn start(&mut self, key: Key, tune_in: Ticks) {
+        self.walk = Some(Walk::with_recorder(
+            self.system.channel(),
+            self.system.query(key),
+            tune_in,
+            self.errors,
+            self.policy,
+            SpanRecorder::new(),
+        ));
+    }
+
+    fn step(&mut self) -> WalkStep {
+        self.walk
+            .as_mut()
+            .expect("QuerySlot::step before start")
+            .step()
+    }
+
+    fn now(&self) -> Ticks {
+        self.walk
+            .as_ref()
+            .expect("QuerySlot::now before start")
+            .now()
+    }
+
+    fn is_done(&self) -> bool {
+        self.walk.as_ref().map_or(true, Walk::is_done)
+    }
+
+    fn spans(&self) -> Option<&PhaseSpans> {
+        self.walk.as_ref().map(|w| &w.recorder().spans)
     }
 }
 
@@ -237,6 +303,39 @@ pub trait DynSystem: Send + Sync {
         errors: ErrorModel,
         policy: RetryPolicy,
     ) -> Box<dyn QuerySlot + '_>;
+
+    /// Run one complete query with span instrumentation, returning the
+    /// outcome together with its per-phase access/tuning decomposition
+    /// (whose totals equal the outcome's `access`/`tuning` exactly).
+    ///
+    /// The default runs the uninstrumented probe and returns empty spans —
+    /// honest (never fabricated attributions) but uninformative; the
+    /// blanket impl for real systems overrides it with true span recording.
+    fn probe_recorded(
+        &self,
+        key: Key,
+        tune_in: Ticks,
+        errors: ErrorModel,
+        policy: RetryPolicy,
+    ) -> (AccessOutcome, PhaseSpans) {
+        (
+            self.probe_with_policy(key, tune_in, errors, policy),
+            PhaseSpans::default(),
+        )
+    }
+
+    /// Allocate a reusable client slot whose queries record per-phase
+    /// spans, exposed via [`QuerySlot::spans`] after each completion.
+    ///
+    /// The default falls back to an uninstrumented slot (`spans()` stays
+    /// `None`); the blanket impl overrides it.
+    fn make_slot_observed(
+        &self,
+        errors: ErrorModel,
+        policy: RetryPolicy,
+    ) -> Box<dyn QuerySlot + '_> {
+        self.make_slot_with_faults(errors, policy)
+    }
 }
 
 impl<S: System> DynSystem for S
@@ -303,6 +402,24 @@ where
         policy: RetryPolicy,
     ) -> Box<dyn QuerySlot + '_> {
         Box::new(WalkSlot::with_faults(self, errors, policy))
+    }
+
+    fn probe_recorded(
+        &self,
+        key: Key,
+        tune_in: Ticks,
+        errors: ErrorModel,
+        policy: RetryPolicy,
+    ) -> (AccessOutcome, PhaseSpans) {
+        run_machine_observed(self.channel(), self.query(key), tune_in, errors, policy)
+    }
+
+    fn make_slot_observed(
+        &self,
+        errors: ErrorModel,
+        policy: RetryPolicy,
+    ) -> Box<dyn QuerySlot + '_> {
+        Box::new(ObservedWalkSlot::with_faults(self, errors, policy))
     }
 }
 
@@ -386,6 +503,36 @@ mod tests {
                 assert_eq!(stepped, dynsys.probe_with_policy(key, t, errors, policy));
                 let mut run = dynsys.begin_with_faults(key, t, errors, policy);
                 assert_eq!(drain(run.as_mut()), stepped);
+            }
+        }
+    }
+
+    #[test]
+    fn observed_slot_and_probe_agree_with_plain_ones() {
+        let ds = tiny_dataset();
+        let sys = FlatScheme.build(&ds, &Params::paper()).unwrap();
+        let dynsys: &dyn DynSystem = &sys;
+        let errors = ErrorModel::new(0.2, 11);
+        let policy = RetryPolicy::bounded(3);
+        let mut slot = dynsys.make_slot_observed(errors, policy);
+        assert!(slot.spans().is_none(), "unarmed slot has no spans");
+        for key in [Key(0), Key(50), Key(55), Key(20)] {
+            for t in [0u64, 123, 4096] {
+                let plain = dynsys.probe_with_policy(key, t, errors, policy);
+                let (recorded, spans) = dynsys.probe_recorded(key, t, errors, policy);
+                assert_eq!(plain, recorded);
+                assert_eq!(spans.total_access(), plain.access);
+                assert_eq!(spans.total_tuning(), plain.tuning);
+
+                slot.start(key, t);
+                let stepped = loop {
+                    if let WalkStep::Done(out) = slot.step() {
+                        break out;
+                    }
+                };
+                assert_eq!(stepped, plain);
+                let slot_spans = slot.spans().expect("observed slot exposes spans");
+                assert_eq!(*slot_spans, spans);
             }
         }
     }

@@ -279,6 +279,17 @@ impl ProtocolMachine<HashPayload> for HashMachine {
         Action::ReadNext
     }
 
+    /// Every hashing bucket carries both a control part and (maybe) a
+    /// record, so classification follows what the read *delivers*: the
+    /// client's own record makes it a data read, anything else is chain
+    /// navigation.
+    fn bucket_kind(&self, payload: &HashPayload) -> bda_core::BucketKind {
+        match payload.entry {
+            Some(e) if e.key == self.key => bda_core::BucketKind::Data,
+            _ => bda_core::BucketKind::Index,
+        }
+    }
+
     fn on_bucket(&mut self, p: &HashPayload, meta: BucketMeta) -> Action {
         let size = Ticks::from(meta.size);
         match self.state {

@@ -40,6 +40,16 @@ impl ProtocolMachine<HybridPayload> for HybridKeyMachine {
         StaleResponse::Respawn
     }
 
+    /// Index *and* signature buckets are navigation for a key client (it
+    /// never inspects signatures, only rides past them); data buckets are
+    /// data.
+    fn bucket_kind(&self, payload: &HybridPayload) -> bda_core::BucketKind {
+        match payload {
+            HybridPayload::Data { .. } => bda_core::BucketKind::Data,
+            _ => bda_core::BucketKind::Index,
+        }
+    }
+
     fn on_bucket(&mut self, payload: &HybridPayload, meta: BucketMeta) -> Action {
         match payload {
             HybridPayload::Index { node, .. } => self
@@ -122,6 +132,15 @@ impl ProtocolMachine<HybridPayload> for HybridAttrMachine {
     fn start(&mut self, _tune_in: Ticks) -> Action {
         self.reset();
         Action::ReadNext
+    }
+
+    /// Signatures and index segments are navigation; record downloads
+    /// (hits and false drops alike) are data reads.
+    fn bucket_kind(&self, payload: &HybridPayload) -> bda_core::BucketKind {
+        match payload {
+            HybridPayload::Data { .. } => bda_core::BucketKind::Data,
+            _ => bda_core::BucketKind::Index,
+        }
     }
 
     fn on_bucket(&mut self, payload: &HybridPayload, meta: BucketMeta) -> Action {

@@ -1,0 +1,195 @@
+//! Engine-level occupancy gauges, sampled at wakeup boundaries.
+//!
+//! The discrete-event engine advances in wake-up batches — one batch per
+//! distinct simulated instant — which makes batch boundaries the natural
+//! sampling grid for population-style metrics: they are exactly the
+//! moments the engine's state changes. Four gauges cover the slab
+//! engine's moving parts.
+
+/// The engine state variables sampled once per wake-up batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Gauge {
+    /// Clients tuned in but not yet finished.
+    InFlight,
+    /// Client slots admitted (in flight or awaiting their arrival).
+    SlabOccupancy,
+    /// Distinct pending wake-up instants in the scheduler.
+    WakeupQueueDepth,
+    /// Recycled slots awaiting reuse.
+    FreeListLen,
+}
+
+impl Gauge {
+    /// Number of gauges.
+    pub const COUNT: usize = 4;
+
+    /// All gauges, in canonical order.
+    pub const ALL: [Gauge; Gauge::COUNT] = [
+        Gauge::InFlight,
+        Gauge::SlabOccupancy,
+        Gauge::WakeupQueueDepth,
+        Gauge::FreeListLen,
+    ];
+
+    /// Dense index, `0..COUNT`, matching [`Gauge::ALL`] order.
+    pub fn index(self) -> usize {
+        match self {
+            Gauge::InFlight => 0,
+            Gauge::SlabOccupancy => 1,
+            Gauge::WakeupQueueDepth => 2,
+            Gauge::FreeListLen => 3,
+        }
+    }
+
+    /// Stable snake_case name used by every exporter.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::InFlight => "in_flight",
+            Gauge::SlabOccupancy => "slab_occupancy",
+            Gauge::WakeupQueueDepth => "wakeup_queue_depth",
+            Gauge::FreeListLen => "free_list_len",
+        }
+    }
+}
+
+/// Running summary of one gauge's samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeStat {
+    /// Most recent sample.
+    pub last: u64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Sum of all samples (for the mean).
+    pub sum: u128,
+    /// Number of samples.
+    pub samples: u64,
+}
+
+impl Default for GaugeStat {
+    fn default() -> Self {
+        GaugeStat {
+            last: 0,
+            min: u64::MAX,
+            max: 0,
+            sum: 0,
+            samples: 0,
+        }
+    }
+}
+
+impl GaugeStat {
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.last = v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.sum += u128::from(v);
+        self.samples += 1;
+    }
+
+    /// Smallest sample (0 when nothing was sampled).
+    pub fn min(&self) -> u64 {
+        if self.samples == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Mean of all samples (0 when nothing was sampled).
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.samples as f64
+        }
+    }
+
+    /// Fold another stat into this one. `last` keeps the *other* side's
+    /// value when it sampled anything (merge order is "then"), so folding
+    /// sequential segments preserves the final reading.
+    pub fn merge(&mut self, other: &GaugeStat) {
+        if other.samples > 0 {
+            self.last = other.last;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+        self.samples += other.samples;
+    }
+}
+
+/// All four gauges of one engine (or one merged fleet of engines).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GaugeSet {
+    stats: [GaugeStat; Gauge::COUNT],
+}
+
+impl GaugeSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        GaugeSet::default()
+    }
+
+    /// Record one sample of `gauge`.
+    pub fn record(&mut self, gauge: Gauge, v: u64) {
+        self.stats[gauge.index()].record(v);
+    }
+
+    /// The summary for `gauge`.
+    pub fn get(&self, gauge: Gauge) -> GaugeStat {
+        self.stats[gauge.index()]
+    }
+
+    /// Fold another set into this one (see [`GaugeStat::merge`]).
+    pub fn merge(&mut self, other: &GaugeSet) {
+        for (a, b) in self.stats.iter_mut().zip(&other.stats) {
+            a.merge(b);
+        }
+    }
+
+    /// `(gauge, stat)` pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (Gauge, GaugeStat)> + '_ {
+        Gauge::ALL.iter().map(|&g| (g, self.get(g)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stat_tracks_extrema_and_mean() {
+        let mut s = GaugeStat::default();
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.mean(), 0.0);
+        for v in [3u64, 9, 6] {
+            s.record(v);
+        }
+        assert_eq!(s.last, 6);
+        assert_eq!(s.min(), 3);
+        assert_eq!(s.max, 9);
+        assert!((s.mean() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_keeps_the_later_last() {
+        let mut first = GaugeSet::new();
+        first.record(Gauge::InFlight, 10);
+        let mut second = GaugeSet::new();
+        second.record(Gauge::InFlight, 2);
+        second.record(Gauge::InFlight, 4);
+        first.merge(&second);
+        let s = first.get(Gauge::InFlight);
+        assert_eq!(s.last, 4);
+        assert_eq!(s.min(), 2);
+        assert_eq!(s.max, 10);
+        assert_eq!(s.samples, 3);
+        // Merging an empty set changes nothing.
+        let snapshot = first;
+        first.merge(&GaugeSet::new());
+        assert_eq!(first, snapshot);
+    }
+}

@@ -1,0 +1,275 @@
+//! Streaming log-bucketed histograms for latency-style metrics.
+//!
+//! The paper reports only means; real deployments care about tails (a
+//! client stuck until the next broadcast cycle is a visible stall). This
+//! histogram records `u64` samples (byte-times, retry depths) in
+//! logarithmically spaced buckets — constant memory, bounded relative
+//! error — and reports arbitrary quantiles. Bins are **mergeable**: every
+//! histogram shares the one fixed bucket layout, so [`Histogram::merge`]
+//! is a plain element-wise sum and therefore associative and commutative —
+//! per-worker or per-round histograms fold into a global one without bias,
+//! a property the crate's property tests pin.
+//!
+//! This is the single histogram implementation of the workspace; `bda-sim`
+//! re-exports it (the former `bda_sim::histogram` duplicate is gone).
+
+/// Sub-buckets per power of two; 16 gives ≤ ~3 % relative quantile error.
+const SUBBUCKETS: u32 = 16;
+const SUB_SHIFT: u32 = 4; // log2(SUBBUCKETS)
+
+/// A fixed-memory histogram over `u64` samples with bounded relative
+/// error. Equality compares the full bin contents, so two histograms are
+/// equal iff they are observationally identical.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        // 64 powers of two × SUBBUCKETS linear sub-buckets each.
+        Histogram {
+            counts: vec![0u64; (64 * SUBBUCKETS) as usize],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        if v < SUBBUCKETS as u64 {
+            return v as usize;
+        }
+        let exp = 63 - v.leading_zeros(); // ≥ SUB_SHIFT
+        let sub = (v >> (exp - SUB_SHIFT)) - SUBBUCKETS as u64; // 0..SUBBUCKETS
+        ((exp - SUB_SHIFT + 1) as u64 * SUBBUCKETS as u64 + sub) as usize
+    }
+
+    /// Representative (lower-bound) value of bucket `i` — the inverse of
+    /// [`Histogram::bucket_of`] up to sub-bucket resolution.
+    fn bucket_floor(i: usize) -> u64 {
+        let i = i as u64;
+        let sb = SUBBUCKETS as u64;
+        if i < sb {
+            return i;
+        }
+        let exp = (i / sb - 1) as u32 + SUB_SHIFT;
+        let sub = i % sb;
+        (sb + sub) << (exp - SUB_SHIFT)
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        let b = Self::bucket_of(v);
+        self.counts[b] += 1;
+        self.total += 1;
+        self.sum += u128::from(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another histogram into this one. All histograms share one
+    /// fixed bin layout, so this is an exact element-wise sum: merging is
+    /// associative and commutative, and a merged histogram is
+    /// indistinguishable from one that recorded the concatenated samples.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Exact sum of all recorded samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Exact mean of all recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `q`-quantile (`0 ≤ q ≤ 1`) with ≲3 % relative error; 0 when
+    /// empty. `q = 0.5` is the median.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_floor(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The standard reporting quartet `(p50, p90, p99, p99.9)`.
+    pub fn percentiles(&self) -> (u64, u64, u64, u64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.90),
+            self.quantile(0.99),
+            self.quantile(0.999),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_roundtrip_bounds_error() {
+        for v in (0u64..100_000).step_by(7) {
+            let b = Histogram::bucket_of(v);
+            let floor = Histogram::bucket_floor(b);
+            assert!(floor <= v, "floor {floor} > v {v}");
+            // Next bucket's floor bounds the value from above with ≤ 1/16
+            // relative slack.
+            let ceil = Histogram::bucket_floor(b + 1);
+            assert!(ceil > v, "ceil {ceil} ≤ v {v}");
+            assert!(
+                (ceil - floor) as f64 <= (floor as f64 / SUBBUCKETS as f64).max(1.0),
+                "bucket width too wide at {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_on_uniform_data() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.len(), 10_000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 10_000);
+        assert_eq!(h.sum(), 10_000 * 10_001 / 2);
+        assert!((h.mean() - 5_000.5).abs() < 1e-9);
+        for (q, want) in [(0.5, 5_000.0), (0.95, 9_500.0), (0.99, 9_900.0)] {
+            let got = h.quantile(q) as f64;
+            assert!(
+                (got - want).abs() / want < 0.05,
+                "q={q}: got {got} want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.mean(), 0.0);
+        h.record(42);
+        assert_eq!(h.quantile(0.0), 42);
+        assert_eq!(h.quantile(1.0), 42);
+        assert_eq!(h.min(), 42);
+        assert_eq!(h.max(), 42);
+        assert_eq!(h.percentiles(), (42, 42, 42, 42));
+    }
+
+    #[test]
+    fn extreme_values_do_not_panic() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        assert_eq!(h.len(), 3);
+        assert!(h.quantile(0.9) > 1u64 << 60);
+    }
+
+    #[test]
+    fn skewed_distribution_tail() {
+        let mut h = Histogram::new();
+        for _ in 0..9_900 {
+            h.record(100);
+        }
+        for _ in 0..100 {
+            h.record(1_000_000);
+        }
+        let p50 = h.quantile(0.5);
+        let p999 = h.quantile(0.999);
+        assert!((90..=110).contains(&p50), "p50={p50}");
+        assert!(p999 >= 900_000, "p999={p999}");
+    }
+
+    #[test]
+    fn merge_equals_concatenated_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for v in 0..1000u64 {
+            let x = (v * 7919) % 50_000;
+            if v % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+            both.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_is_identity() {
+        let mut h = Histogram::new();
+        h.record(7);
+        h.record(1 << 40);
+        let snapshot = h.clone();
+        h.merge(&Histogram::new());
+        assert_eq!(h, snapshot);
+        let mut e = Histogram::new();
+        e.merge(&snapshot);
+        assert_eq!(e, snapshot);
+    }
+}

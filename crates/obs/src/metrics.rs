@@ -1,0 +1,125 @@
+//! The aggregate every execution layer drains into.
+//!
+//! A [`MetricsHub`] owns one of each metric kind — per-phase span totals,
+//! the three percentile histograms (access time, tuning time, retry
+//! depth), the engine gauges, and completion counters. Hubs merge
+//! associatively, so per-engine, per-round or per-worker hubs fold into a
+//! global one without bias.
+//!
+//! This crate knows nothing about `AccessOutcome` (it sits below
+//! `bda-core`), so completions arrive as scalars.
+
+use crate::gauges::GaugeSet;
+use crate::histogram::Histogram;
+use crate::recorder::PhaseSpans;
+
+/// Aggregated observability state for one scheme under one driver.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsHub {
+    /// Per-phase access/tuning byte totals summed over all completions.
+    pub spans: PhaseSpans,
+    /// Access-time distribution (bytes per query).
+    pub access: Histogram,
+    /// Tuning-time distribution (bytes listened per query).
+    pub tuning: Histogram,
+    /// Retry-depth distribution (corrupted reads ridden out per query).
+    pub retry_depth: Histogram,
+    /// Engine occupancy gauges (empty under the direct walker).
+    pub gauges: GaugeSet,
+    /// Queries completed.
+    pub completed: u64,
+    /// Queries that found their record.
+    pub found: u64,
+    /// Queries truthfully abandoned by the retry policy.
+    pub abandoned: u64,
+}
+
+impl MetricsHub {
+    /// Empty hub.
+    pub fn new() -> Self {
+        MetricsHub::default()
+    }
+
+    /// Record one completed query. `spans` is the walk's per-phase
+    /// decomposition when the driver collected one (`None` folds in
+    /// nothing, keeping counters and histograms exact regardless).
+    pub fn complete(
+        &mut self,
+        access: u64,
+        tuning: u64,
+        retries: u32,
+        found: bool,
+        abandoned: bool,
+        spans: Option<&PhaseSpans>,
+    ) {
+        self.completed += 1;
+        self.found += u64::from(found);
+        self.abandoned += u64::from(abandoned);
+        self.access.record(access);
+        self.tuning.record(tuning);
+        self.retry_depth.record(u64::from(retries));
+        if let Some(s) = spans {
+            self.spans.merge(s);
+        }
+    }
+
+    /// Fold another hub into this one. Associative: component merges are
+    /// element-wise sums (histograms, spans) or order-tagged summaries
+    /// (gauges).
+    pub fn merge(&mut self, other: &MetricsHub) {
+        self.spans.merge(&other.spans);
+        self.access.merge(&other.access);
+        self.tuning.merge(&other.tuning);
+        self.retry_depth.merge(&other.retry_depth);
+        self.gauges.merge(&other.gauges);
+        self.completed += other.completed;
+        self.found += other.found;
+        self.abandoned += other.abandoned;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::Phase;
+
+    fn sample_spans() -> PhaseSpans {
+        let mut s = PhaseSpans::new();
+        s.add(Phase::InitialProbe, 10, 10);
+        s.add(Phase::Doze, 40, 0);
+        s.add(Phase::DataRead, 50, 50);
+        s
+    }
+
+    #[test]
+    fn complete_updates_every_component() {
+        let mut hub = MetricsHub::new();
+        let spans = sample_spans();
+        hub.complete(100, 60, 2, true, false, Some(&spans));
+        hub.complete(300, 80, 0, false, true, None);
+        assert_eq!(hub.completed, 2);
+        assert_eq!(hub.found, 1);
+        assert_eq!(hub.abandoned, 1);
+        assert_eq!(hub.access.len(), 2);
+        assert_eq!(hub.access.max(), 300);
+        assert_eq!(hub.tuning.sum(), 140);
+        assert_eq!(hub.retry_depth.quantile(1.0), 2);
+        assert_eq!(hub.spans.total_access(), 100);
+    }
+
+    #[test]
+    fn merge_equals_sequential_completion() {
+        let spans = sample_spans();
+        let mut left = MetricsHub::new();
+        left.complete(100, 60, 0, true, false, Some(&spans));
+        let mut right = MetricsHub::new();
+        right.complete(200, 90, 1, true, false, Some(&spans));
+        let mut merged = left.clone();
+        merged.merge(&right);
+
+        let mut sequential = MetricsHub::new();
+        sequential.complete(100, 60, 0, true, false, Some(&spans));
+        sequential.complete(200, 90, 1, true, false, Some(&spans));
+        assert_eq!(merged, sequential);
+    }
+}

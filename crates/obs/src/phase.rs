@@ -1,0 +1,106 @@
+//! The phase taxonomy: where a walk's bytes go.
+//!
+//! Every externally visible step of a client query — one bucket read or
+//! one doze — is attributed to exactly one [`Phase`], so the paper's two
+//! metrics (access time and tuning time) decompose into a six-way
+//! breakdown per scheme. Attribution happens in the walkers at the moment
+//! the step's byte cost is known, which makes the decomposition *exact by
+//! construction*: per-phase access bytes sum to the walk's access time and
+//! per-phase tuning bytes to its tuning time, an invariant the span
+//! accounting test pins on all eight schemes.
+
+/// What one walk step was spent on.
+///
+/// Precedence when several labels could apply to a read: a corrupted
+/// transmission is always [`Phase::Retry`] (the payload never reached the
+/// machine); a version-skewed bucket is [`Phase::StaleRecovery`]; the
+/// first usable read of a walk is [`Phase::InitialProbe`] (the paper's
+/// initial wait `Ft` rides on it, since a freshly tuned-in client listens
+/// through the tail of a partial bucket); everything else is classified by
+/// the machine's own [`BucketKind`] judgement of the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// The first usable bucket read after tune-in, including the partial
+    /// bucket tail listened through to find the boundary.
+    InitialProbe,
+    /// Reads of index/control information (tree nodes, hash control
+    /// parts, signature buckets) used to navigate, not to answer.
+    IndexTraversal,
+    /// Radio-off time between probes — access time with no tuning cost.
+    Doze,
+    /// Reads of data buckets, including false drops (a wrong data bucket
+    /// downloaded on a spurious signature match is still a data read).
+    DataRead,
+    /// Reads lost to transmission corruption, plus nothing else — the
+    /// recovery doze a retry policy inserts is ordinary [`Phase::Doze`].
+    Retry,
+    /// Reads of buckets whose broadcast-program version differed from the
+    /// walk's anchor version (dynamic broadcast only).
+    StaleRecovery,
+}
+
+impl Phase {
+    /// Number of phases.
+    pub const COUNT: usize = 6;
+
+    /// All phases, in canonical (display and index) order.
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::InitialProbe,
+        Phase::IndexTraversal,
+        Phase::Doze,
+        Phase::DataRead,
+        Phase::Retry,
+        Phase::StaleRecovery,
+    ];
+
+    /// Dense index, `0..COUNT`, matching [`Phase::ALL`] order.
+    pub fn index(self) -> usize {
+        match self {
+            Phase::InitialProbe => 0,
+            Phase::IndexTraversal => 1,
+            Phase::Doze => 2,
+            Phase::DataRead => 3,
+            Phase::Retry => 4,
+            Phase::StaleRecovery => 5,
+        }
+    }
+
+    /// Stable snake_case name used by every exporter.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::InitialProbe => "initial_probe",
+            Phase::IndexTraversal => "index_traversal",
+            Phase::Doze => "doze",
+            Phase::DataRead => "data_read",
+            Phase::Retry => "retry",
+            Phase::StaleRecovery => "stale_recovery",
+        }
+    }
+}
+
+/// A protocol machine's own classification of a bucket payload, used to
+/// attribute clean, non-initial reads to [`Phase::IndexTraversal`] or
+/// [`Phase::DataRead`]. Only the machine knows whether a bucket steered
+/// the walk or carried (candidate) answer data, so the walker asks it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BucketKind {
+    /// Navigation: tree nodes, hash control chains, signatures.
+    Index,
+    /// Payload: a (candidate) record download.
+    Data,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_match_all_order() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        let mut names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
+        names.dedup();
+        assert_eq!(names.len(), Phase::COUNT, "names must be distinct");
+    }
+}

@@ -1,0 +1,91 @@
+//! Progress reporting for long sweeps, routed through a sink instead of
+//! ad-hoc `eprintln!`.
+//!
+//! The bench sweeps used to print progress straight to stderr, which made
+//! `--quiet` a lie: it silenced the tables but not the chatter. Progress
+//! now flows through a [`ProgressSink`], and quietness is a property of
+//! the sink, not of scattered call sites. Errors (aborted sweeps, poisoned
+//! cells) are [`Severity::Error`] and survive `--quiet`; routine progress
+//! is [`Severity::Progress`] and is dropped by the quiet sink.
+//!
+//! `emit` takes `&self` and the trait requires `Sync`, so one sink can be
+//! shared by the scoped worker threads of a parallel sweep.
+
+/// How important a progress event is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Routine progress; suppressed by quiet sinks.
+    Progress,
+    /// A failure the user must see even under `--quiet`.
+    Error,
+}
+
+/// A sink for progress events. Shared across sweep worker threads.
+pub trait ProgressSink: Sync {
+    /// Deliver one event.
+    fn emit(&self, severity: Severity, message: &str);
+}
+
+/// Prints every event to stderr (the default, chatty sink).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StderrProgress;
+
+impl ProgressSink for StderrProgress {
+    fn emit(&self, _severity: Severity, message: &str) {
+        eprintln!("{message}");
+    }
+}
+
+/// Prints only [`Severity::Error`] events — the `--quiet` sink.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QuietProgress;
+
+impl ProgressSink for QuietProgress {
+    fn emit(&self, severity: Severity, message: &str) {
+        if severity == Severity::Error {
+            eprintln!("{message}");
+        }
+    }
+}
+
+/// Drops everything. Useful in tests asserting that a path is silent.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullProgress;
+
+impl ProgressSink for NullProgress {
+    fn emit(&self, _severity: Severity, _message: &str) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// A capturing sink for tests.
+    struct Capture(Mutex<Vec<(Severity, String)>>);
+
+    impl ProgressSink for Capture {
+        fn emit(&self, severity: Severity, message: &str) {
+            self.0.lock().unwrap().push((severity, message.to_string()));
+        }
+    }
+
+    #[test]
+    fn sinks_are_shareable_across_threads() {
+        let sink = Capture(Mutex::new(Vec::new()));
+        std::thread::scope(|scope| {
+            let shared: &dyn ProgressSink = &sink;
+            for i in 0..4 {
+                scope.spawn(move || shared.emit(Severity::Progress, &format!("cell {i}")));
+            }
+        });
+        let events = sink.0.into_inner().unwrap();
+        assert_eq!(events.len(), 4);
+        assert!(events.iter().all(|(s, _)| *s == Severity::Progress));
+    }
+
+    #[test]
+    fn severity_orders_error_above_progress() {
+        assert!(Severity::Error > Severity::Progress);
+    }
+}

@@ -1,0 +1,195 @@
+//! Property tests for the observability primitives: merge associativity
+//! across all mergeable types, and histogram quantile bounds checked
+//! against exact sorted samples.
+
+use bda_obs::{Histogram, MetricsHub, Phase, PhaseSpans};
+use proptest::prelude::*;
+
+fn histogram_of(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+fn spans_of(steps: &[(u8, u64)]) -> PhaseSpans {
+    let mut s = PhaseSpans::new();
+    for &(p, access) in steps {
+        let phase = Phase::ALL[p as usize % Phase::COUNT];
+        let tuning = if phase == Phase::Doze { 0 } else { access };
+        s.add(phase, access, tuning);
+    }
+    s
+}
+
+fn hub_of(completions: &[(u64, u64, u8)]) -> MetricsHub {
+    let mut hub = MetricsHub::new();
+    for &(access, tuning, retries) in completions {
+        let tuning = tuning.min(access);
+        hub.complete(
+            access,
+            tuning,
+            u32::from(retries),
+            retries == 0,
+            false,
+            None,
+        );
+    }
+    hub
+}
+
+proptest! {
+    /// (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c), and merge equals concatenated
+    /// recording, for histograms.
+    #[test]
+    fn histogram_merge_is_associative(
+        a in prop::collection::vec(any::<u64>(), 0..60),
+        b in prop::collection::vec(any::<u64>(), 0..60),
+        c in prop::collection::vec(any::<u64>(), 0..60),
+    ) {
+        let (ha, hb, hc) = (histogram_of(&a), histogram_of(&b), histogram_of(&c));
+
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(&left, &right);
+
+        let concat: Vec<u64> =
+            a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(&left, &histogram_of(&concat));
+    }
+
+    /// Quantiles stay within [min, max], are monotone in q, and land
+    /// within the histogram's documented ~1/16 relative error of the
+    /// exact order statistic.
+    #[test]
+    fn quantiles_bound_exact_order_statistics(
+        mut samples in prop::collection::vec(0u64..1_000_000_000, 1..200),
+        q_millis in prop::collection::vec(0u32..=1000, 1..8),
+    ) {
+        let h = histogram_of(&samples);
+        samples.sort_unstable();
+        let n = samples.len();
+
+        let mut sorted_qs: Vec<f64> =
+            q_millis.iter().map(|&m| f64::from(m) / 1000.0).collect();
+        sorted_qs.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let mut prev = 0u64;
+        for &q in &sorted_qs {
+            let got = h.quantile(q);
+            prop_assert!(got >= *samples.first().unwrap());
+            prop_assert!(got <= *samples.last().unwrap());
+            prop_assert!(got >= prev, "quantile not monotone at q={}", q);
+            prev = got;
+
+            // Compare against the exact order statistic the histogram
+            // targets: rank ceil(q·n) (1-based), clamped to ≥ 1.
+            let rank = ((q * n as f64).ceil() as usize).max(1).min(n);
+            let exact = samples[rank - 1];
+            // Log-bucketed floors sit within one sub-bucket below the
+            // exact value: floor ≤ exact, and exact < floor·(1 + 1/16)
+            // + 1 (the +1 covers the linear sub-16 region).
+            prop_assert!(
+                got <= exact,
+                "quantile {} overshot exact rank value {}", got, exact
+            );
+            let ceiling = exact.max(1) as f64;
+            prop_assert!(
+                got as f64 >= ceiling / (1.0 + 1.0 / 16.0) - 1.0,
+                "quantile {} more than one sub-bucket below exact {}", got, exact
+            );
+        }
+    }
+
+    /// Histogram sum/min/max/len agree with the exact values.
+    #[test]
+    fn scalar_summaries_are_exact(
+        samples in prop::collection::vec(any::<u64>(), 1..200),
+    ) {
+        let h = histogram_of(&samples);
+        prop_assert_eq!(h.len(), samples.len() as u64);
+        prop_assert_eq!(h.sum(), samples.iter().map(|&v| u128::from(v)).sum::<u128>());
+        prop_assert_eq!(h.min(), *samples.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *samples.iter().max().unwrap());
+    }
+
+    /// Merge associativity for per-phase span totals, plus exactness of
+    /// the access/tuning roll-ups.
+    #[test]
+    fn span_merge_is_associative_and_totals_exact(
+        a in prop::collection::vec((any::<u8>(), 0u64..1_000_000), 0..40),
+        b in prop::collection::vec((any::<u8>(), 0u64..1_000_000), 0..40),
+        c in prop::collection::vec((any::<u8>(), 0u64..1_000_000), 0..40),
+    ) {
+        let (sa, sb, sc) = (spans_of(&a), spans_of(&b), spans_of(&c));
+
+        let mut left = sa;
+        left.merge(&sb);
+        left.merge(&sc);
+
+        let mut bc = sb;
+        bc.merge(&sc);
+        let mut right = sa;
+        right.merge(&bc);
+
+        prop_assert_eq!(left, right);
+
+        let all: Vec<(u8, u64)> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(left, spans_of(&all));
+        prop_assert_eq!(
+            left.total_access(),
+            all.iter().map(|&(_, v)| v).sum::<u64>()
+        );
+        prop_assert!(left.total_tuning() <= left.total_access());
+    }
+
+    /// Merge associativity for whole hubs: merging per-worker hubs in any
+    /// grouping equals recording every completion into one hub.
+    #[test]
+    fn hub_merge_is_associative(
+        a in prop::collection::vec((0u64..1_000_000, any::<u64>(), any::<u8>()), 0..30),
+        b in prop::collection::vec((0u64..1_000_000, any::<u64>(), any::<u8>()), 0..30),
+        c in prop::collection::vec((0u64..1_000_000, any::<u64>(), any::<u8>()), 0..30),
+    ) {
+        let (ha, hb, hc) = (hub_of(&a), hub_of(&b), hub_of(&c));
+
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(&left, &right);
+
+        let all: Vec<(u64, u64, u8)> =
+            a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(&left, &hub_of(&all));
+    }
+
+    /// The JSON exporter and validator agree on every randomly built hub.
+    #[test]
+    fn exported_json_always_validates(
+        completions in prop::collection::vec((0u64..1_000_000, any::<u64>(), any::<u8>()), 0..30),
+        scheme_pick in any::<proptest::sample::Index>(),
+    ) {
+        const SCHEMES: &[&str] = &[
+            "flat", "(1,m)", "distributed", "hashing \"B\"",
+            "simple_sig\\tail", "hybrid index+sig",
+        ];
+        let scheme = SCHEMES[scheme_pick.index(SCHEMES.len())];
+        let hub = hub_of(&completions);
+        let json = bda_obs::export::to_json(scheme, &hub);
+        let parsed = bda_obs::export::validate(&json);
+        prop_assert_eq!(parsed.as_deref(), Ok(scheme));
+    }
+}

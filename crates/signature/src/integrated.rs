@@ -156,6 +156,15 @@ impl ProtocolMachine<SigPayload> for IntegratedMachine {
         Action::ReadNext
     }
 
+    /// Frame and record signatures are index structure; only record
+    /// downloads count as data reads.
+    fn bucket_kind(&self, payload: &SigPayload) -> bda_core::BucketKind {
+        match payload {
+            SigPayload::Data { .. } => bda_core::BucketKind::Data,
+            _ => bda_core::BucketKind::Index,
+        }
+    }
+
     /// A corrupted bucket stays uncovered (it will be re-examined on a
     /// later cycle); realign on the next frame signature meanwhile.
     fn on_corrupt(&mut self, _meta: BucketMeta) -> Action {

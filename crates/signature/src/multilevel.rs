@@ -186,6 +186,15 @@ impl ProtocolMachine<SigPayload> for MultiLevelMachine {
         Action::ReadNext
     }
 
+    /// Every signature level is index structure; only record downloads
+    /// count as data reads.
+    fn bucket_kind(&self, payload: &SigPayload) -> bda_core::BucketKind {
+        match payload {
+            SigPayload::Data { .. } => bda_core::BucketKind::Data,
+            _ => bda_core::BucketKind::Index,
+        }
+    }
+
     /// A corrupted bucket stays uncovered (re-examined on a later cycle);
     /// realign on the next frame signature meanwhile.
     fn on_corrupt(&mut self, _meta: BucketMeta) -> Action {

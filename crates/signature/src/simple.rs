@@ -225,6 +225,15 @@ impl ProtocolMachine<SigPayload> for SimpleSigMachine {
         Action::ReadNext
     }
 
+    /// Signature buckets are the scheme's index structure; only record
+    /// downloads (true hits *and* false drops) count as data reads.
+    fn bucket_kind(&self, payload: &SigPayload) -> bda_core::BucketKind {
+        match payload {
+            SigPayload::Data { .. } => bda_core::BucketKind::Data,
+            _ => bda_core::BucketKind::Index,
+        }
+    }
+
     /// A corrupted bucket may have been the target's signature or data: it
     /// stays uncovered and will be re-examined on a later cycle; realign on
     /// the next signature meanwhile.

@@ -41,6 +41,7 @@ use std::collections::BTreeMap;
 use bda_core::{
     AccessOutcome, DynSystem, ErrorModel, Key, QuerySlot, RetryPolicy, Ticks, WalkStep,
 };
+use bda_obs::{Gauge, MetricsHub};
 
 /// One completed request with its timing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,6 +122,11 @@ impl WakeupScheduler {
     fn is_empty(&self) -> bool {
         self.waiters.is_empty()
     }
+
+    /// Distinct pending wake-up instants — the queue-depth gauge.
+    fn depth(&self) -> usize {
+        self.waiters.len()
+    }
 }
 
 /// Per-client request bookkeeping, parallel to the slot slab.
@@ -158,6 +164,11 @@ pub struct Engine<'a> {
     errors: ErrorModel,
     /// Client-side recovery policy for corrupt reads.
     policy: RetryPolicy,
+    /// Observability hub, when enabled: slots record per-walk phase spans,
+    /// completions feed the histograms, and every wake-up batch samples
+    /// the occupancy gauges. `None` (the default) costs one untaken branch
+    /// per completion and per batch — nothing on the per-step hot path.
+    obs: Option<Box<MetricsHub>>,
 }
 
 impl<'a> Engine<'a> {
@@ -187,7 +198,33 @@ impl<'a> Engine<'a> {
             stats: EngineStats::default(),
             errors,
             policy,
+            obs: None,
         }
+    }
+
+    /// Turn on metrics collection. Must be called while the arena is idle
+    /// (typically right after construction): existing slots are discarded
+    /// so every future slot is span-instrumented.
+    ///
+    /// # Panics
+    ///
+    /// Panics if clients are currently admitted.
+    pub fn enable_metrics(&mut self) {
+        assert_eq!(self.occupied(), 0, "enable_metrics requires an idle engine");
+        self.slots.clear();
+        self.meta.clear();
+        self.free.clear();
+        self.obs = Some(Box::default());
+    }
+
+    /// The metrics hub, when [`Engine::enable_metrics`] was called.
+    pub fn metrics(&self) -> Option<&MetricsHub> {
+        self.obs.as_deref()
+    }
+
+    /// Detach and return the metrics hub, disabling further collection.
+    pub fn take_metrics(&mut self) -> Option<MetricsHub> {
+        self.obs.take().map(|b| *b)
     }
 
     /// Counters accumulated over everything this engine has run.
@@ -229,8 +266,11 @@ impl<'a> Engine<'a> {
             }
             None => {
                 let id = u32::try_from(self.slots.len()).expect("client population fits in u32");
-                self.slots
-                    .push(self.system.make_slot_with_faults(self.errors, self.policy));
+                self.slots.push(if self.obs.is_some() {
+                    self.system.make_slot_observed(self.errors, self.policy)
+                } else {
+                    self.system.make_slot_with_faults(self.errors, self.policy)
+                });
                 self.meta.push(ClientMeta {
                     arrival,
                     key,
@@ -265,6 +305,16 @@ impl<'a> Engine<'a> {
                 self.stats.abandoned += u64::from(outcome.abandoned);
                 self.stats.stale_restarts += u64::from(outcome.stale_restarts);
                 self.stats.version_skews += u64::from(outcome.version_skews);
+                if let Some(hub) = self.obs.as_deref_mut() {
+                    hub.complete(
+                        outcome.access,
+                        outcome.tuning,
+                        outcome.retries,
+                        outcome.found,
+                        outcome.abandoned,
+                        self.slots[id as usize].spans(),
+                    );
+                }
                 self.free.push(id);
                 on_complete(
                     m.tag,
@@ -287,6 +337,19 @@ impl<'a> Engine<'a> {
             self.stats.wake_batches += 1;
             for &id in &batch {
                 self.step_client(id, on_complete);
+            }
+            if let Some(hub) = self.obs.as_deref_mut() {
+                // Wake-up boundaries are the engine's natural sampling
+                // grid: one sample per distinct simulated instant.
+                hub.gauges.record(Gauge::InFlight, self.in_flight as u64);
+                hub.gauges.record(
+                    Gauge::SlabOccupancy,
+                    (self.slots.len() - self.free.len()) as u64,
+                );
+                hub.gauges
+                    .record(Gauge::WakeupQueueDepth, self.sched.depth() as u64);
+                hub.gauges
+                    .record(Gauge::FreeListLen, self.free.len() as u64);
             }
         }
         self.batch = batch;
@@ -364,6 +427,22 @@ pub fn run_requests_with_faults(
     policy: RetryPolicy,
 ) -> Vec<CompletedRequest> {
     Engine::with_faults(system, errors, policy).run_batch(requests)
+}
+
+/// [`run_requests_with_faults`] with the observability layer switched on:
+/// returns the completed requests together with the run's [`MetricsHub`]
+/// (per-phase spans, access/tuning/retry histograms, engine gauges).
+pub fn run_requests_observed(
+    system: &dyn DynSystem,
+    requests: &[(Ticks, Key)],
+    errors: ErrorModel,
+    policy: RetryPolicy,
+) -> (Vec<CompletedRequest>, MetricsHub) {
+    let mut engine = Engine::with_faults(system, errors, policy);
+    engine.enable_metrics();
+    let completed = engine.run_batch(requests);
+    let hub = engine.take_metrics().expect("metrics were enabled");
+    (completed, hub)
 }
 
 pub mod reference {
@@ -589,6 +668,60 @@ mod tests {
             RetryPolicy::bounded(0).with_deadline(1),
         );
         assert_eq!(plain, strict, "policies are no-ops without corruption");
+    }
+
+    #[test]
+    fn observed_engine_matches_plain_and_accounts_every_tick() {
+        use bda_obs::Gauge;
+        let sys = system();
+        let errors = ErrorModel::new(0.10, 0x0B5);
+        let policy = RetryPolicy::bounded(3);
+        let requests: Vec<(Ticks, Key)> =
+            (0..300u64).map(|i| (i * 401, Key((i % 32) * 2))).collect();
+        let plain = run_requests_with_faults(&sys, &requests, errors, policy);
+        let (observed, hub) = run_requests_observed(&sys, &requests, errors, policy);
+        assert_eq!(plain, observed, "observation must not perturb outcomes");
+
+        assert_eq!(hub.completed, requests.len() as u64);
+        let (access, tuning, found, abandoned) =
+            plain.iter().fold((0u64, 0u64, 0u64, 0u64), |acc, r| {
+                (
+                    acc.0 + r.outcome.access,
+                    acc.1 + r.outcome.tuning,
+                    acc.2 + u64::from(r.outcome.found),
+                    acc.3 + u64::from(r.outcome.abandoned),
+                )
+            });
+        assert_eq!(hub.found, found);
+        assert_eq!(hub.abandoned, abandoned);
+        // Exact span accounting: per-phase ticks telescope to the metrics.
+        assert_eq!(hub.spans.total_access(), access);
+        assert_eq!(hub.spans.total_tuning(), tuning);
+        assert_eq!(hub.access.sum(), u128::from(access));
+        assert_eq!(hub.tuning.sum(), u128::from(tuning));
+        assert_eq!(hub.access.len(), requests.len() as u64);
+        // Gauges sampled once per wake batch, never exceeding the arena.
+        let occ = hub.gauges.get(Gauge::SlabOccupancy);
+        assert!(occ.samples > 0);
+        assert_eq!(occ.last, 0, "final batch drains the slab");
+        assert!(hub.gauges.get(Gauge::InFlight).max <= requests.len() as u64);
+    }
+
+    #[test]
+    fn enable_metrics_rejects_a_busy_engine_and_resets_the_arena() {
+        let sys = system();
+        let mut engine = Engine::new(&sys);
+        let requests: Vec<(Ticks, Key)> = (0..40u64).map(|i| (i * 97, Key((i % 32) * 2))).collect();
+        engine.run_batch(&requests);
+        assert!(engine.metrics().is_none());
+        // Idle after the batch: enabling swaps every pooled slot for an
+        // observed one, so spans are recorded from the next batch on.
+        engine.enable_metrics();
+        engine.run_batch(&requests);
+        let hub = engine.take_metrics().unwrap();
+        assert_eq!(hub.completed, 40);
+        assert!(!hub.spans.is_empty(), "observed slots must record spans");
+        assert!(engine.metrics().is_none(), "take_metrics clears the hub");
     }
 
     #[test]

@@ -37,7 +37,10 @@ pub mod stats;
 pub mod updates;
 
 pub use accuracy::AccuracyController;
-pub use engine::{run_requests, run_requests_with_faults, CompletedRequest, Engine, EngineStats};
+pub use engine::{
+    run_requests, run_requests_observed, run_requests_with_faults, CompletedRequest, Engine,
+    EngineStats,
+};
 pub use histogram::Histogram;
 pub use reqgen::RequestGenerator;
 pub use results::ResultHandler;

@@ -11,6 +11,7 @@ pub struct ResultHandler {
     access: Welford,
     tuning: Welford,
     access_hist: Histogram,
+    tuning_hist: Histogram,
     retry_hist: Histogram,
     found: u64,
     not_found: u64,
@@ -35,6 +36,7 @@ impl ResultHandler {
         self.access.push(o.access as f64);
         self.tuning.push(o.tuning as f64);
         self.access_hist.record(o.access);
+        self.tuning_hist.record(o.tuning);
         if o.found {
             self.found += 1;
         } else {
@@ -133,6 +135,11 @@ impl ResultHandler {
     /// Access-time distribution (log-bucketed; p50/p95/p99 etc.).
     pub fn access_histogram(&self) -> &Histogram {
         &self.access_hist
+    }
+
+    /// Tuning-time distribution (log-bucketed).
+    pub fn tuning_histogram(&self) -> &Histogram {
+        &self.tuning_hist
     }
 
     /// Retry-depth distribution: how many corrupted reads each request

@@ -2,9 +2,10 @@
 //! counterpart, [`VersionedServer`].
 
 use bda_core::{
-    run_versioned, run_versioned_with_policy, AccessOutcome, Dataset, DynSystem, Epoch, ErrorModel,
-    Key, Params, ProgramTimeline, QueryRun, QuerySlot, Record, Result, RetryPolicy, Scheme, System,
-    Ticks, VersionedSlot, VersionedWalk,
+    run_versioned, run_versioned_observed, run_versioned_with_policy, AccessOutcome, Dataset,
+    DynSystem, Epoch, ErrorModel, Key, ObservedVersionedSlot, Params, PhaseSpans, ProgramTimeline,
+    QueryRun, QuerySlot, Record, Result, RetryPolicy, Scheme, System, Ticks, VersionedSlot,
+    VersionedWalk,
 };
 
 use crate::updates::{UpdateSpec, UpdateStream};
@@ -254,6 +255,28 @@ where
         policy: RetryPolicy,
     ) -> Box<dyn QuerySlot + '_> {
         Box::new(VersionedSlot::with_faults(&self.timeline, errors, policy))
+    }
+
+    fn probe_recorded(
+        &self,
+        key: Key,
+        tune_in: Ticks,
+        errors: ErrorModel,
+        policy: RetryPolicy,
+    ) -> (AccessOutcome, PhaseSpans) {
+        run_versioned_observed(&self.timeline, key, tune_in, errors, policy)
+    }
+
+    fn make_slot_observed(
+        &self,
+        errors: ErrorModel,
+        policy: RetryPolicy,
+    ) -> Box<dyn QuerySlot + '_> {
+        Box::new(ObservedVersionedSlot::with_faults(
+            &self.timeline,
+            errors,
+            policy,
+        ))
     }
 }
 

@@ -8,6 +8,7 @@
 
 use bda_core::{DynSystem, ErrorModel, RetryPolicy, Ticks};
 use bda_datagen::{Arrivals, Popularity, QueryWorkload};
+use bda_obs::MetricsHub;
 
 use crate::accuracy::AccuracyController;
 use crate::engine::{Engine, EngineStats};
@@ -142,6 +143,8 @@ pub struct SimReport {
     pub cycle_len: Ticks,
     /// Access-time distribution (log-bucketed histogram).
     pub access_hist: Histogram,
+    /// Tuning-time distribution (log-bucketed histogram).
+    pub tuning_hist: Histogram,
     /// Retry-depth distribution: corrupted reads ridden out per request.
     pub retry_hist: Histogram,
     /// Engine counters (all zero when the direct-walker fast path ran).
@@ -162,6 +165,11 @@ impl SimReport {
     /// Access-time quantile (e.g. `0.95` for p95), in bytes.
     pub fn access_quantile(&self, q: f64) -> Ticks {
         self.access_hist.quantile(q)
+    }
+
+    /// Tuning-time quantile (e.g. `0.99` for p99), in bytes.
+    pub fn tuning_quantile(&self, q: f64) -> Ticks {
+        self.tuning_hist.quantile(q)
     }
 
     /// Mean corrupted reads per request (0 on a lossless channel).
@@ -246,14 +254,35 @@ impl<'a> Simulator<'a> {
 
     /// Run until the accuracy targets are met (or `max_rounds` elapse).
     pub fn run(&mut self) -> SimReport {
+        self.run_inner(false).0
+    }
+
+    /// [`run`](Simulator::run) with the observability layer switched on:
+    /// also returns the run's [`MetricsHub`] — per-phase walk spans,
+    /// access/tuning/retry-depth histograms, and (on the event-driven
+    /// paths) engine gauges. The direct-walker fast path records spans via
+    /// [`DynSystem::probe_recorded`], so phase attribution is identical
+    /// across all three execution drivers.
+    pub fn run_observed(&mut self) -> (SimReport, MetricsHub) {
+        let (report, hub) = self.run_inner(true);
+        (report, hub.expect("observed run always produces a hub"))
+    }
+
+    fn run_inner(&mut self, observe: bool) -> (SimReport, Option<MetricsHub>) {
         if self.config.event_driven {
             if let Some(cap) = self.config.max_in_flight {
-                return self.run_steady(cap);
+                return self.run_steady(cap, observe);
             }
         }
         let controller = self.config.controller();
         let mut handler = ResultHandler::new();
         let mut engine = Engine::with_faults(self.system, self.config.errors, self.config.retry);
+        if observe && self.config.event_driven {
+            engine.enable_metrics();
+        }
+        // Direct-walker observation accumulates into a local hub instead.
+        let mut walker_hub: Option<Box<MetricsHub>> =
+            (observe && !self.config.event_driven).then(Box::default);
         let mut rounds = 0;
         let mut converged = false;
         while rounds < self.config.max_rounds {
@@ -263,15 +292,36 @@ impl<'a> Simulator<'a> {
             } else {
                 batch
                     .iter()
-                    .map(|&(arrival, key)| crate::engine::CompletedRequest {
-                        arrival,
-                        key,
-                        outcome: self.system.probe_with_policy(
-                            key,
+                    .map(|&(arrival, key)| {
+                        let outcome = if let Some(hub) = walker_hub.as_deref_mut() {
+                            let (outcome, spans) = self.system.probe_recorded(
+                                key,
+                                arrival,
+                                self.config.errors,
+                                self.config.retry,
+                            );
+                            hub.complete(
+                                outcome.access,
+                                outcome.tuning,
+                                outcome.retries,
+                                outcome.found,
+                                outcome.abandoned,
+                                Some(&spans),
+                            );
+                            outcome
+                        } else {
+                            self.system.probe_with_policy(
+                                key,
+                                arrival,
+                                self.config.errors,
+                                self.config.retry,
+                            )
+                        };
+                        crate::engine::CompletedRequest {
                             arrival,
-                            self.config.errors,
-                            self.config.retry,
-                        ),
+                            key,
+                            outcome,
+                        }
                     })
                     .collect()
             };
@@ -284,16 +334,23 @@ impl<'a> Simulator<'a> {
                 break;
             }
         }
-        self.report(&handler, rounds, converged, engine.stats())
+        let hub = engine.take_metrics().or_else(|| walker_hub.map(|b| *b));
+        (
+            self.report(&handler, rounds, converged, engine.stats()),
+            hub,
+        )
     }
 
     /// Steady-state rounds: a bounded client population streams through a
     /// persistent engine; round boundaries are counted in *completions*
     /// rather than materialized request batches.
-    fn run_steady(&mut self, cap: usize) -> SimReport {
+    fn run_steady(&mut self, cap: usize, observe: bool) -> (SimReport, Option<MetricsHub>) {
         let controller = self.config.controller();
         let mut handler = ResultHandler::new();
         let mut engine = Engine::with_faults(self.system, self.config.errors, self.config.retry);
+        if observe {
+            engine.enable_metrics();
+        }
         let mut rounds = 0;
         let mut converged = false;
         let mut completed_in_round = 0usize;
@@ -317,7 +374,11 @@ impl<'a> Simulator<'a> {
                 }
             }
         }
-        self.report(&handler, rounds, converged, engine.stats())
+        let hub = engine.take_metrics();
+        (
+            self.report(&handler, rounds, converged, engine.stats()),
+            hub,
+        )
     }
 
     fn report(
@@ -344,6 +405,7 @@ impl<'a> Simulator<'a> {
             converged,
             cycle_len: self.system.cycle_len(),
             access_hist: handler.access_histogram().clone(),
+            tuning_hist: handler.tuning_histogram().clone(),
             retry_hist: handler.retry_histogram().clone(),
             engine,
         }
@@ -480,6 +542,35 @@ mod tests {
         // truthfully not-found, never wrongly answered.
         assert_eq!(report.not_found, report.abandoned);
         assert!(report.abandonment_rate() > 0.0);
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run_on_every_driver() {
+        let ds = DatasetBuilder::new(120, 41).build().unwrap();
+        let sys = FlatScheme.build(&ds, &Params::paper()).unwrap();
+        let mut cfg = SimConfig::quick();
+        cfg.min_rounds = 2;
+        cfg.max_rounds = 2;
+        cfg.errors = ErrorModel::new(0.05, 3);
+        for (event_driven, cap) in [(true, None), (true, Some(24)), (false, None)] {
+            cfg.event_driven = event_driven;
+            cfg.max_in_flight = cap;
+            let plain = Simulator::uniform(&sys, &ds, cfg).run();
+            let (obs, hub) = Simulator::uniform(&sys, &ds, cfg).run_observed();
+            assert_eq!(plain.requests, obs.requests);
+            assert_eq!(plain.access, obs.access, "observation must not perturb");
+            assert_eq!(plain.tuning, obs.tuning);
+            assert_eq!(plain.retries, obs.retries);
+            // Spans telescope: per-phase ticks sum to the measured totals.
+            assert_eq!(hub.completed, obs.requests);
+            assert_eq!(hub.access.sum(), obs.access_hist.sum());
+            assert_eq!(hub.tuning.sum(), obs.tuning_hist.sum());
+            assert_eq!(u128::from(hub.spans.total_access()), hub.access.sum());
+            assert_eq!(u128::from(hub.spans.total_tuning()), hub.tuning.sum());
+            // Engine gauges exist exactly on the event-driven drivers.
+            let sampled = hub.gauges.get(bda_obs::Gauge::InFlight).samples > 0;
+            assert_eq!(sampled, event_driven, "event_driven={event_driven}");
+        }
     }
 
     #[test]

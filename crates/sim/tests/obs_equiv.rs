@@ -1,0 +1,274 @@
+//! Observability differential suite.
+//!
+//! Two keystone properties of the zero-overhead observability layer:
+//!
+//! 1. **No-op equivalence**: switching observation on must not perturb a
+//!    single outcome — the observed engine, the plain engine, and the
+//!    recorded direct walker are *bit-identical*, request by request, on
+//!    every scheme, lossless and lossy, frozen and churning.
+//! 2. **Exact span accounting**: the per-phase walk spans telescope —
+//!    summed across phases they equal the measured access and tuning
+//!    times exactly (not approximately), and phase counters tie out to
+//!    the walker's own degradation counters (corrupt reads ↔ `Retry`
+//!    spans, version skews ↔ `StaleRecovery` spans).
+
+use bda_core::{Dataset, DynSystem, ErrorModel, Key, Params, Phase, RetryPolicy, Scheme, Ticks};
+use bda_datagen::DatasetBuilder;
+use bda_sim::{
+    run_requests_observed, run_requests_with_faults, SimConfig, Simulator, UpdateSpec,
+    VersionedServer,
+};
+
+/// Every scheme family in the repo, including the composite hybrid.
+fn all_systems(ds: &Dataset, p: &Params) -> Vec<Box<dyn DynSystem>> {
+    vec![
+        Box::new(bda_core::FlatScheme.build(ds, p).unwrap()),
+        Box::new(bda_btree::OneMScheme::new().build(ds, p).unwrap()),
+        Box::new(bda_btree::DistributedScheme::new().build(ds, p).unwrap()),
+        Box::new(bda_hash::HashScheme::new().build(ds, p).unwrap()),
+        Box::new(
+            bda_signature::SimpleSignatureScheme::new()
+                .build(ds, p)
+                .unwrap(),
+        ),
+        Box::new(
+            bda_signature::IntegratedSignatureScheme::new(8)
+                .build(ds, p)
+                .unwrap(),
+        ),
+        Box::new(
+            bda_signature::MultiLevelSignatureScheme::new(8)
+                .build(ds, p)
+                .unwrap(),
+        ),
+        Box::new(bda_hybrid::HybridScheme::new().build(ds, p).unwrap()),
+    ]
+}
+
+/// A deterministic request mix: unsorted arrivals with collisions, present
+/// and absent keys interleaved.
+fn request_mix(ds: &Dataset, pool: &[Key], n: usize, span: Ticks) -> Vec<(Ticks, Key)> {
+    let keys: Vec<Key> = ds.keys().collect();
+    (0..n)
+        .map(|i| {
+            let t = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 13;
+            let key = if i % 6 == 0 {
+                pool[i % pool.len()]
+            } else {
+                keys[(i * 37) % keys.len()]
+            };
+            (t % span.max(1), key)
+        })
+        .collect()
+}
+
+/// Observation never perturbs an outcome, and the spans account for every
+/// tick, on all eight schemes — lossless and at 15 % loss with a bounded
+/// (abandoning) policy.
+#[test]
+fn spans_account_every_tick_on_every_scheme() {
+    let (ds, pool) = DatasetBuilder::new(60, 0x0B5E)
+        .build_with_absent_pool(10)
+        .unwrap();
+    let params = Params::paper();
+    for (errors, policy) in [
+        (ErrorModel::NONE, RetryPolicy::UNBOUNDED),
+        (ErrorModel::new(0.15, 0xFA57), RetryPolicy::bounded(2)),
+    ] {
+        for sys in all_systems(&ds, &params) {
+            let requests = request_mix(&ds, &pool, 90, 8 * sys.cycle_len());
+            let plain = run_requests_with_faults(sys.as_ref(), &requests, errors, policy);
+            let (observed, hub) = run_requests_observed(sys.as_ref(), &requests, errors, policy);
+            assert_eq!(
+                plain,
+                observed,
+                "{}: observation perturbed outcomes",
+                sys.scheme_name()
+            );
+
+            let (access, tuning, retries) = plain.iter().fold((0u64, 0u64, 0u64), |acc, r| {
+                (
+                    acc.0 + r.outcome.access,
+                    acc.1 + r.outcome.tuning,
+                    acc.2 + u64::from(r.outcome.retries),
+                )
+            });
+            assert_eq!(hub.completed, requests.len() as u64);
+            // Exactness: the telescoping sums leave no tick unattributed.
+            assert_eq!(
+                hub.spans.total_access(),
+                access,
+                "{}: access ticks leaked from the spans",
+                sys.scheme_name()
+            );
+            assert_eq!(
+                hub.spans.total_tuning(),
+                tuning,
+                "{}: tuning ticks leaked from the spans",
+                sys.scheme_name()
+            );
+            // Counter tie-out: every corrupt read is exactly one Retry span,
+            // dozing costs access time but never tuning time, and a frozen
+            // channel never enters stale recovery.
+            assert_eq!(
+                hub.spans.get(Phase::Retry).count,
+                retries,
+                "{}: Retry spans ≠ corrupt reads",
+                sys.scheme_name()
+            );
+            assert_eq!(hub.spans.get(Phase::Doze).tuning, 0, "dozing is free air");
+            assert_eq!(hub.spans.get(Phase::StaleRecovery).count, 0);
+            // The walker reads exactly one bucket per tune-in — unless that
+            // very first read was corrupted, which takes Retry precedence.
+            let initial = hub.spans.get(Phase::InitialProbe).count;
+            if errors.loss_prob == 0.0 {
+                assert_eq!(
+                    initial,
+                    requests.len() as u64,
+                    "{}: one initial probe per request",
+                    sys.scheme_name()
+                );
+            } else {
+                assert!(initial <= requests.len() as u64);
+                assert!(initial > 0, "{}: no tune-in survived", sys.scheme_name());
+            }
+        }
+    }
+}
+
+/// Same properties under 20 % churn on a [`VersionedServer`]: version
+/// skews surface as `StaleRecovery` spans and the accounting stays exact
+/// across program switches and respawns.
+#[test]
+fn dynamic_spans_attribute_version_skew_to_stale_recovery() {
+    let (ds, pool) = DatasetBuilder::new(60, 0x5EED)
+        .build_with_absent_pool(10)
+        .unwrap();
+    let params = Params::paper();
+    let spec = UpdateSpec {
+        rate: 0.20,
+        seed: 0xABC7,
+        horizon_cycles: 16,
+    };
+    fn check<Sch: Scheme>(scheme: Sch, ds: &Dataset, pool: &[Key], p: &Params, spec: UpdateSpec)
+    where
+        <Sch::System as bda_core::System>::Machine: 'static,
+    {
+        let server = VersionedServer::build(&scheme, ds, p, spec).unwrap();
+        let span = server.timeline().epochs().last().map_or(0, |e| e.start)
+            + 4 * DynSystem::cycle_len(&server);
+        let requests = request_mix(ds, pool, 80, span);
+        for errors in [ErrorModel::NONE, ErrorModel::new(0.10, 0x717)] {
+            let policy = RetryPolicy::UNBOUNDED;
+            let plain = run_requests_with_faults(&server, &requests, errors, policy);
+            let (observed, hub) = run_requests_observed(&server, &requests, errors, policy);
+            let name = DynSystem::scheme_name(&server);
+            assert_eq!(plain, observed, "{name}: observation perturbed outcomes");
+            let (access, tuning, skews) = plain.iter().fold((0u64, 0u64, 0u64), |acc, r| {
+                (
+                    acc.0 + r.outcome.access,
+                    acc.1 + r.outcome.tuning,
+                    acc.2 + u64::from(r.outcome.version_skews),
+                )
+            });
+            assert_eq!(hub.spans.total_access(), access, "{name}: access leaked");
+            assert_eq!(hub.spans.total_tuning(), tuning, "{name}: tuning leaked");
+            assert_eq!(
+                hub.spans.get(Phase::StaleRecovery).count,
+                skews,
+                "{name}: StaleRecovery spans ≠ version skews"
+            );
+            assert!(
+                skews > 0,
+                "{name}: 20% churn must produce version skews to attribute"
+            );
+        }
+    }
+    check(bda_core::FlatScheme, &ds, &pool, &params, spec);
+    check(bda_btree::OneMScheme::new(), &ds, &pool, &params, spec);
+    check(
+        bda_btree::DistributedScheme::new(),
+        &ds,
+        &pool,
+        &params,
+        spec,
+    );
+    check(bda_hash::HashScheme::new(), &ds, &pool, &params, spec);
+    check(
+        bda_signature::SimpleSignatureScheme::new(),
+        &ds,
+        &pool,
+        &params,
+        spec,
+    );
+    check(
+        bda_signature::IntegratedSignatureScheme::new(8),
+        &ds,
+        &pool,
+        &params,
+        spec,
+    );
+    check(
+        bda_signature::MultiLevelSignatureScheme::new(8),
+        &ds,
+        &pool,
+        &params,
+        spec,
+    );
+    check(bda_hybrid::HybridScheme::new(), &ds, &pool, &params, spec);
+}
+
+/// Index-navigating schemes split their tuning time between the index
+/// traversal and data-read phases; the flat broadcast (no index) never
+/// reports an `IndexTraversal` span.
+#[test]
+fn phase_mix_reflects_each_schemes_structure() {
+    let ds = DatasetBuilder::new(200, 0x111).build().unwrap();
+    let params = Params::paper();
+    for sys in all_systems(&ds, &params) {
+        let requests = request_mix(&ds, &[Key(1)], 60, 8 * sys.cycle_len());
+        let (_, hub) = run_requests_observed(
+            sys.as_ref(),
+            &requests,
+            ErrorModel::NONE,
+            RetryPolicy::UNBOUNDED,
+        );
+        let idx = hub.spans.get(Phase::IndexTraversal);
+        let name = sys.scheme_name();
+        if name == "flat" {
+            assert_eq!(idx.count, 0, "flat broadcast has no index to traverse");
+        } else {
+            assert!(
+                idx.count > 0,
+                "{name}: indexed scheme never probed its index"
+            );
+            assert!(
+                hub.spans.get(Phase::Doze).access > 0,
+                "{name}: selective tuning must doze"
+            );
+        }
+    }
+}
+
+/// The simulator's observed run agrees with its plain run on a non-flat
+/// scheme driven through the full accuracy-controlled testbed.
+#[test]
+fn simulator_observed_run_is_equivalent_on_an_indexed_scheme() {
+    let ds = DatasetBuilder::new(150, 0x222).build().unwrap();
+    let sys = bda_btree::DistributedScheme::new()
+        .build(&ds, &Params::paper())
+        .unwrap();
+    let mut cfg = SimConfig::quick();
+    cfg.min_rounds = 2;
+    cfg.max_rounds = 2;
+    let plain = Simulator::uniform(&sys, &ds, cfg).run();
+    let (observed, hub) = Simulator::uniform(&sys, &ds, cfg).run_observed();
+    assert_eq!(plain.access, observed.access);
+    assert_eq!(plain.tuning, observed.tuning);
+    assert_eq!(hub.completed, observed.requests);
+    assert_eq!(u128::from(hub.spans.total_access()), hub.access.sum());
+    assert_eq!(u128::from(hub.spans.total_tuning()), hub.tuning.sum());
+    // The distributed index actually shows up in the phase mix.
+    assert!(hub.spans.get(Phase::IndexTraversal).tuning > 0);
+    assert!(hub.spans.get(Phase::DataRead).tuning > 0);
+}
