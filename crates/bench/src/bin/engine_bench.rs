@@ -13,9 +13,16 @@
 //! next to the default (no-op recorder) one — the measured cost of
 //! turning observation on.
 //!
+//! With `--shards N` every scheme is additionally run through the
+//! sharded engine (`N` per-core slab engines over the shared program,
+//! deterministic merge); the harness asserts the merged outcomes are
+//! bit-identical to the single-engine batch, and the JSON gains the
+//! aggregate sharded throughput, the speedup over one shard, the scaling
+//! efficiency (speedup / shards) and a per-shard breakdown.
+//!
 //! ```text
-//! engine_bench [--clients N] [--records N] [--out PATH] [--no-reference]
-//!              [--metrics-out DIR]
+//! engine_bench [--clients N] [--records N] [--shards N] [--out PATH]
+//!              [--no-reference] [--metrics-out DIR]
 //! ```
 
 use std::fmt::Write as _;
@@ -25,11 +32,16 @@ use bda_bench::SchemeKind;
 use bda_core::{Key, Params, Ticks};
 use bda_datagen::{DatasetBuilder, Prng};
 use bda_obs::{export, MetricsHub};
-use bda_sim::{engine::reference::run_requests_reference, Engine, EngineStats};
+use bda_sim::{
+    engine::reference::run_requests_reference, Engine, EngineStats, ShardRun, ShardedEngine,
+};
 
 struct Cli {
     clients: usize,
     records: usize,
+    /// `None`: single-engine benchmark only. `Some(n)`: additionally
+    /// measure the sharded engine at `n` worker shards.
+    shards: Option<usize>,
     out: String,
     reference: bool,
     metrics_out: Option<String>,
@@ -39,6 +51,7 @@ fn parse_cli() -> Cli {
     let mut cli = Cli {
         clients: 100_000,
         records: 1_000,
+        shards: None,
         out: "BENCH_engine.json".into(),
         reference: true,
         metrics_out: None,
@@ -54,6 +67,14 @@ fn parse_cli() -> Cli {
         match a.as_str() {
             "--clients" => cli.clients = num("--clients"),
             "--records" => cli.records = num("--records"),
+            "--shards" => {
+                let n = num("--shards");
+                if n == 0 {
+                    eprintln!("--shards requires at least 1");
+                    std::process::exit(2);
+                }
+                cli.shards = Some(n);
+            }
             "--out" => {
                 cli.out = args.next().unwrap_or_else(|| {
                     eprintln!("--out requires a path");
@@ -69,7 +90,7 @@ fn parse_cli() -> Cli {
             "--no-reference" => cli.reference = false,
             "--help" | "-h" => {
                 eprintln!(
-                    "engine_bench [--clients N] [--records N] [--out PATH] [--no-reference] [--metrics-out DIR]"
+                    "engine_bench [--clients N] [--records N] [--shards N] [--out PATH] [--no-reference] [--metrics-out DIR]"
                 );
                 std::process::exit(0);
             }
@@ -103,6 +124,16 @@ fn burst(ds: &bda_core::Dataset, n: usize, seed: u64) -> Vec<(Ticks, Key)> {
         .collect()
 }
 
+/// Sharded-engine figures for one scheme (only measured under `--shards`).
+struct ShardedFigures {
+    requests_per_sec: f64,
+    /// Aggregate sharded throughput over the single-engine throughput.
+    speedup: f64,
+    /// `speedup / shards` — 1.0 is perfect linear scaling.
+    efficiency: f64,
+    per_shard: Vec<ShardRun>,
+}
+
 struct Row {
     scheme: &'static str,
     elapsed_sec: f64,
@@ -112,6 +143,7 @@ struct Row {
     /// Throughput of the same batch with the observability layer on
     /// (only measured under `--metrics-out`).
     observed_requests_per_sec: Option<f64>,
+    sharded: Option<ShardedFigures>,
 }
 
 fn json_escape(s: &str) -> String {
@@ -189,13 +221,37 @@ fn main() {
             requests.len() as f64 / obs_elapsed.max(1e-12)
         });
 
+        let single_rps = requests.len() as f64 / elapsed.max(1e-12);
+        let sharded = cli.shards.map(|n| {
+            let mut engine = ShardedEngine::new(system.as_ref(), n);
+            // Same warm-up discipline as the single-engine run.
+            engine.run_batch(&requests);
+            let start = Instant::now();
+            let done = engine.run_batch(&requests);
+            let sharded_elapsed = start.elapsed().as_secs_f64();
+            assert_eq!(
+                done,
+                completed,
+                "sharded merge must be bit-identical to the single engine ({})",
+                kind.name()
+            );
+            let rps = requests.len() as f64 / sharded_elapsed.max(1e-12);
+            ShardedFigures {
+                requests_per_sec: rps,
+                speedup: rps / single_rps.max(1e-12),
+                efficiency: rps / single_rps.max(1e-12) / n as f64,
+                per_shard: engine.last_runs().to_vec(),
+            }
+        });
+
         let row = Row {
             scheme: kind.name(),
             elapsed_sec: elapsed,
-            requests_per_sec: requests.len() as f64 / elapsed.max(1e-12),
+            requests_per_sec: single_rps,
             stats,
             reference_speedup,
             observed_requests_per_sec,
+            sharded,
         };
         println!(
             "{:<22} {:>12.0} {:>14} {:>14} {:>12} {:>10} {:>12}",
@@ -209,6 +265,14 @@ fn main() {
             row.observed_requests_per_sec
                 .map_or("-".into(), |s| format!("{s:.0}")),
         );
+        if let (Some(f), Some(n)) = (&row.sharded, cli.shards) {
+            println!(
+                "  └ {n} shards: {:>12.0} req/s  ({:.2}x over 1 engine, {:.0}% efficiency)",
+                f.requests_per_sec,
+                f.speedup,
+                f.efficiency * 100.0,
+            );
+        }
         rows.push(row);
     }
 
@@ -243,6 +307,11 @@ fn main() {
     let _ = writeln!(json, "  \"bench\": \"engine\",");
     let _ = writeln!(json, "  \"clients\": {},", cli.clients);
     let _ = writeln!(json, "  \"records\": {},", cli.records);
+    let _ = writeln!(
+        json,
+        "  \"shards\": {},",
+        cli.shards.map_or("null".into(), |n| n.to_string())
+    );
     json.push_str("  \"schemes\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
@@ -268,6 +337,29 @@ fn main() {
             r.observed_requests_per_sec
                 .map_or("null".into(), |s| format!("{s:.1}")),
         );
+        if let Some(f) = &r.sharded {
+            // Reopen the object to append the sharded block.
+            json.pop();
+            let _ = write!(
+                json,
+                ", \"sharded_requests_per_sec\": {:.1}, \"shard_speedup\": {:.3}, \
+                 \"scaling_efficiency\": {:.3}, \"per_shard\": [",
+                f.requests_per_sec, f.speedup, f.efficiency
+            );
+            for (j, s) in f.per_shard.iter().enumerate() {
+                let _ = write!(
+                    json,
+                    "{}{{\"shard\": {}, \"requests\": {}, \"events\": {}, \
+                     \"requests_per_sec\": {:.1}}}",
+                    if j == 0 { "" } else { ", " },
+                    s.shard,
+                    s.requests,
+                    s.events,
+                    s.requests_per_sec(),
+                );
+            }
+            json.push_str("]}");
+        }
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ]\n}\n");

@@ -1,0 +1,77 @@
+//! Regenerate the golden conformance corpus in `tests/golden/`.
+//!
+//! ```text
+//! cargo run -p bda-bench --bin gen_golden [--out DIR] [--check]
+//! ```
+//!
+//! `--check` writes nothing and exits non-zero if the checked-in files
+//! differ from a fresh generation (what CI runs); the default overwrites
+//! the corpus in place. Regenerated numbers are a **protocol change** —
+//! review the diff before committing.
+
+use bda_bench::golden;
+
+fn main() {
+    let mut out = golden::golden_dir();
+    let mut check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => {
+                out = args.next().map(Into::into).unwrap_or_else(|| {
+                    eprintln!("--out requires a directory");
+                    std::process::exit(2);
+                })
+            }
+            "--check" => check = true,
+            "--help" | "-h" => {
+                eprintln!("gen_golden [--out DIR] [--check]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let files = golden::corpus();
+    if check {
+        let mut dirty = 0usize;
+        for (name, expected) in &files {
+            let path = out.join(name);
+            match std::fs::read_to_string(&path) {
+                Ok(actual) if &actual == expected => {}
+                Ok(_) => {
+                    eprintln!("STALE  {}", path.display());
+                    dirty += 1;
+                }
+                Err(e) => {
+                    eprintln!("MISSING {} ({e})", path.display());
+                    dirty += 1;
+                }
+            }
+        }
+        if dirty > 0 {
+            eprintln!(
+                "{dirty} corpus file(s) out of date — run `cargo run -p bda-bench --bin gen_golden` and review the diff"
+            );
+            std::process::exit(1);
+        }
+        println!("golden corpus up to date ({} files)", files.len());
+        return;
+    }
+
+    std::fs::create_dir_all(&out).unwrap_or_else(|e| {
+        eprintln!("cannot create {}: {e}", out.display());
+        std::process::exit(1);
+    });
+    for (name, tsv) in &files {
+        let path = out.join(name);
+        std::fs::write(&path, tsv).unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        });
+    }
+    println!("wrote {} corpus files to {}", files.len(), out.display());
+}

@@ -1,0 +1,161 @@
+//! The golden conformance corpus.
+//!
+//! Driver-vs-driver equivalence (slab ≡ reference ≡ walker ≡ sharded)
+//! proves the execution engines agree with *each other* — but a refactor
+//! that changed every driver identically would still pass. The golden
+//! corpus closes that hole: for one fixed dataset, workload and seed, the
+//! exact per-request `(access, tuning, outcome)` triple of every scheme
+//! is frozen into `tests/golden/*.tsv`, and the conformance test diffs
+//! live runs against the checked-in bytes.
+//!
+//! The corpus is produced by `cargo run -p bda-bench --bin gen_golden`,
+//! which overwrites `tests/golden/` from the same [`corpus`] function the
+//! test replays — regenerate (and review the diff!) only when an
+//! intentional protocol change moves the numbers.
+
+use std::fmt::Write as _;
+
+use bda_core::{ErrorModel, Key, Params, RetryPolicy, Ticks};
+use bda_datagen::DatasetBuilder;
+use bda_sim::run_requests_with_faults;
+
+use crate::SchemeKind;
+
+/// Dataset size of the pinned corpus (small enough that the files stay
+/// reviewable, large enough that every scheme's index has real depth).
+const RECORDS: usize = 64;
+/// Dataset/workload seed of the pinned corpus.
+const SEED: u64 = 0x601D;
+/// Requests per scheme per variant.
+const REQUESTS: usize = 64;
+/// Loss probability of the corpus's error-prone variant.
+const LOSS: f64 = 0.15;
+
+/// The two channel variants every scheme is pinned under.
+fn variants() -> [(&'static str, ErrorModel, RetryPolicy); 2] {
+    [
+        ("lossless", ErrorModel::NONE, RetryPolicy::UNBOUNDED),
+        (
+            "lossy15",
+            ErrorModel::new(LOSS, SEED ^ 0xFA57),
+            RetryPolicy::bounded(2),
+        ),
+    ]
+}
+
+/// Scheme name → filesystem-safe stem (`(1,m)` → `_1_m_`).
+fn file_stem(scheme: &str) -> String {
+    scheme
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// The corpus's fixed request mix: arrivals scattered over 16 cycles by a
+/// Weyl sequence, every sixth key drawn from the absent pool.
+fn requests(ds: &bda_core::Dataset, pool: &[Key], span: Ticks) -> Vec<(Ticks, Key)> {
+    let keys: Vec<Key> = ds.keys().collect();
+    (0..REQUESTS)
+        .map(|i| {
+            let t = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 13;
+            let key = if i % 6 == 0 {
+                pool[i % pool.len()]
+            } else {
+                keys[(i * 37) % keys.len()]
+            };
+            (t % span.max(1), key)
+        })
+        .collect()
+}
+
+/// Generate the whole corpus: one `(file name, TSV contents)` pair per
+/// scheme per channel variant, deterministically.
+pub fn corpus() -> Vec<(String, String)> {
+    let (ds, pool) = DatasetBuilder::new(RECORDS, SEED)
+        .build_with_absent_pool(8)
+        .expect("corpus dataset");
+    let params = Params::paper();
+    let mut files = Vec::new();
+    for kind in SchemeKind::ALL {
+        let system = kind.build(&ds, &params).expect("corpus scheme build");
+        let reqs = requests(&ds, &pool, 16 * system.cycle_len());
+        for (variant, errors, policy) in variants() {
+            let completed = run_requests_with_faults(system.as_ref(), &reqs, errors, policy);
+            let mut tsv = String::new();
+            let _ = writeln!(
+                tsv,
+                "# golden conformance corpus — scheme={} variant={variant} records={RECORDS} seed={SEED:#x}",
+                kind.name()
+            );
+            let _ = writeln!(
+                tsv,
+                "# regenerate: cargo run -p bda-bench --bin gen_golden (review the diff!)"
+            );
+            tsv.push_str(
+                "idx\tarrival\tkey\tfound\taccess\ttuning\tprobes\tfalse_drops\tretries\tabandoned\taborted\tstale_restarts\tversion_skews\n",
+            );
+            for (i, r) in completed.iter().enumerate() {
+                let o = &r.outcome;
+                let _ = writeln!(
+                    tsv,
+                    "{i}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                    r.arrival,
+                    r.key,
+                    u8::from(o.found),
+                    o.access,
+                    o.tuning,
+                    o.probes,
+                    o.false_drops,
+                    o.retries,
+                    u8::from(o.abandoned),
+                    u8::from(o.aborted),
+                    o.stale_restarts,
+                    o.version_skews,
+                );
+            }
+            files.push((format!("{}_{variant}.tsv", file_stem(kind.name())), tsv));
+        }
+    }
+    files
+}
+
+/// The checked-in corpus directory, resolved from this crate's manifest
+/// (`tests/golden/` at the repo root).
+pub fn golden_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("tests/golden")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic_and_complete() {
+        let a = corpus();
+        let b = corpus();
+        assert_eq!(a, b, "two generations must be byte-identical");
+        // 8 schemes × 2 variants.
+        assert_eq!(a.len(), SchemeKind::ALL.len() * 2);
+        for (name, tsv) in &a {
+            assert!(name.ends_with(".tsv"));
+            // Header comments + column line + one row per request.
+            assert_eq!(tsv.lines().count(), 3 + REQUESTS, "{name}");
+            assert!(!tsv.contains("\taborted=1"), "{name}");
+        }
+    }
+
+    #[test]
+    fn lossy_variant_actually_differs() {
+        let files = corpus();
+        for pair in files.chunks(2) {
+            let (clean, lossy) = (&pair[0], &pair[1]);
+            assert_ne!(
+                clean.1, lossy.1,
+                "15% loss must perturb at least one request ({} vs {})",
+                clean.0, lossy.0
+            );
+        }
+    }
+}

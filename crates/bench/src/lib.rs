@@ -26,6 +26,7 @@
 //! narration on stderr; errors still print, tables still go to stdout).
 
 pub mod experiments;
+pub mod golden;
 pub mod schemes;
 pub mod sweep;
 pub mod table;

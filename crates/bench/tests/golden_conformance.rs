@@ -1,0 +1,50 @@
+//! Conformance against the frozen golden corpus.
+//!
+//! Replays the corpus generation (`bda_bench::golden::corpus`) and diffs
+//! every scheme × channel-variant file against the bytes checked into
+//! `tests/golden/`. Driver-equivalence suites prove the engines agree
+//! with each other; this suite proves they agree with *history* — an
+//! engine refactor that shifted any per-request access time, tuning
+//! time, retry count or verdict fails here even if every driver shifted
+//! identically.
+//!
+//! If a failure is an **intentional** protocol change, regenerate with
+//! `cargo run -p bda-bench --bin gen_golden` and review the diff like any
+//! other code change.
+
+use bda_bench::golden;
+
+#[test]
+fn live_runs_match_checked_in_corpus() {
+    let dir = golden::golden_dir();
+    let files = golden::corpus();
+    assert!(!files.is_empty());
+    for (name, expected) in &files {
+        let path = dir.join(name);
+        let actual = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing corpus file {} ({e}) — run `cargo run -p bda-bench --bin gen_golden`",
+                path.display()
+            )
+        });
+        assert_eq!(
+            &actual, expected,
+            "{name}: live run diverged from the frozen corpus — if intentional, \
+             regenerate with `cargo run -p bda-bench --bin gen_golden` and review the diff"
+        );
+    }
+}
+
+#[test]
+fn corpus_directory_has_no_orphans() {
+    let dir = golden::golden_dir();
+    let known: std::collections::BTreeSet<String> =
+        golden::corpus().into_iter().map(|(n, _)| n).collect();
+    for entry in std::fs::read_dir(&dir).expect("tests/golden must exist") {
+        let name = entry.unwrap().file_name().to_string_lossy().into_owned();
+        assert!(
+            known.contains(&name),
+            "orphan file tests/golden/{name} — not produced by gen_golden"
+        );
+    }
+}

@@ -33,6 +33,10 @@ FLAGS:
                          versioned cycles (compare/simulate; default 0 =
                          frozen program)
     --accuracy A         confidence accuracy target (simulate; default 0.02)
+    --shards N           worker shards for the event-driven testbed: each
+                         round is partitioned across N per-core engines
+                         and merged deterministically — reports are
+                         bit-identical for every N (simulate; default 1)
     --json               machine-readable output: one bda-trace/v1 JSON
                          document instead of the human timeline (trace)
     --metrics-out PATH   run with the observability layer on and write the
@@ -69,6 +73,8 @@ pub struct Options {
     pub update_rate: f64,
     /// Accuracy target.
     pub accuracy: f64,
+    /// Worker shards for the event-driven testbed (simulate).
+    pub shards: usize,
     /// Emit machine-readable JSON instead of the human rendering (trace).
     pub json: bool,
     /// Where to write run metrics (compare/simulate; None = don't observe).
@@ -90,6 +96,7 @@ impl Default for Options {
             retry: None,
             update_rate: 0.0,
             accuracy: 0.02,
+            shards: 1,
             json: false,
             metrics_out: None,
         }
@@ -118,6 +125,7 @@ impl Options {
                 "--retry" => o.retry = Some(parse_num(flag, val()?)?),
                 "--update-rate" => o.update_rate = parse_num(flag, val()?)?,
                 "--accuracy" => o.accuracy = parse_num(flag, val()?)?,
+                "--shards" => o.shards = parse_num(flag, val()?)?,
                 "--json" => o.json = true,
                 "--metrics-out" => o.metrics_out = Some(val()?.clone()),
                 other => return Err(format!("unknown flag {other:?}")),
@@ -134,6 +142,9 @@ impl Options {
         }
         if !(0.0..=100.0).contains(&o.update_rate) {
             return Err("--update-rate must be 0..=100".into());
+        }
+        if o.shards == 0 {
+            return Err("--shards must be at least 1".into());
         }
         Ok(o)
     }
@@ -210,6 +221,7 @@ mod tests {
         assert!(parse(&["--loss", "120"]).is_err());
         assert!(parse(&["--update-rate", "101"]).is_err());
         assert!(parse(&["--update-rate", "-1"]).is_err());
+        assert!(parse(&["--shards", "0"]).is_err());
         assert!(parse(&["--bogus", "1"]).is_err());
     }
 
@@ -222,6 +234,13 @@ mod tests {
         assert!(!d.json);
         assert!(d.metrics_out.is_none());
         assert!(parse(&["--metrics-out"]).is_err());
+    }
+
+    #[test]
+    fn shards_flag_parses() {
+        assert_eq!(parse(&[]).unwrap().shards, 1);
+        assert_eq!(parse(&["--shards", "8"]).unwrap().shards, 8);
+        assert!(parse(&["--shards"]).is_err());
     }
 
     #[test]

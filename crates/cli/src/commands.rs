@@ -395,6 +395,7 @@ pub fn simulate(o: &Options) -> Result<(), String> {
     cfg.errors = o.error_model();
     cfg.retry = o.retry_policy();
     cfg.updates = o.update_spec();
+    cfg.shards = o.shards;
     let mut sim = Simulator::new(sys.as_ref(), workload, cfg);
     let (r, hub) = if o.metrics_out.is_some() {
         let (r, hub) = sim.run_observed();
@@ -440,6 +441,12 @@ pub fn simulate(o: &Options) -> Result<(), String> {
         println!("stale restarts: {}", r.stale_restarts);
     }
     println!("cycle length  : {} bytes", r.cycle_len);
+    if o.shards > 1 {
+        println!(
+            "shards        : {} (deterministic merge — identical to 1)",
+            o.shards
+        );
+    }
     if let (Some(path), Some(hub)) = (&o.metrics_out, &hub) {
         let doc = if path.ends_with(".prom") {
             export::to_prometheus(&[(r.scheme, hub)])

@@ -99,7 +99,13 @@ impl<P, M: ProtocolMachine<P>, R: Recorder> QueryRun for Walk<'_, P, M, R> {
 /// simulation with a bounded client population performs no per-request heap
 /// allocation at all. The discrete-event engine in `bda-sim` keeps a slab
 /// of these.
-pub trait QuerySlot {
+///
+/// `Send` is a supertrait so a slab of slots can be owned by a worker
+/// thread: the sharded engine partitions clients across cores, and each
+/// shard's arena (slots included) lives on that shard's thread. Every
+/// slot implementation is plain data plus `&`-references into a
+/// [`System`] (which is `Sync`), so the bound is free.
+pub trait QuerySlot: Send {
     /// (Re)arm the slot for a new query on `key` tuning in at `tune_in`.
     /// Any previous query's state is discarded; internal storage is reused.
     fn start(&mut self, key: Key, tune_in: Ticks);

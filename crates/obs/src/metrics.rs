@@ -63,6 +63,23 @@ impl MetricsHub {
         }
     }
 
+    /// Fold an iterator of hubs into one, in iteration order — the shape
+    /// a sharded driver produces (one hub per worker shard). Returns
+    /// `None` for an empty iterator so callers can distinguish "metrics
+    /// never enabled" from "enabled but nothing completed". Because
+    /// [`MetricsHub::merge`] is associative and histogram/span merges are
+    /// element-wise sums, the fold order only affects the order-tagged
+    /// gauge summaries; every other component equals single-hub
+    /// recording of the concatenated completions.
+    pub fn merged<I: IntoIterator<Item = MetricsHub>>(hubs: I) -> Option<MetricsHub> {
+        let mut iter = hubs.into_iter();
+        let mut merged = iter.next()?;
+        for hub in iter {
+            merged.merge(&hub);
+        }
+        Some(merged)
+    }
+
     /// Fold another hub into this one. Associative: component merges are
     /// element-wise sums (histograms, spans) or order-tagged summaries
     /// (gauges).

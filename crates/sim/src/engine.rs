@@ -84,6 +84,54 @@ pub struct EngineStats {
     pub version_skews: u64,
 }
 
+impl EngineStats {
+    /// Fold another engine's counters into this one — how the sharded
+    /// engine aggregates per-shard stats.
+    ///
+    /// All counters sum. For the per-request counters (see
+    /// [`EngineStats::outcome_counters`]) the sum is exact and invariant
+    /// under sharding. `wake_batches` sums to the total number of distinct
+    /// wake instants drained *somewhere* (shards keep independent
+    /// schedulers, so this exceeds the single-engine figure when
+    /// simultaneous instants land on different shards), and
+    /// `peak_in_flight` sums because shard populations coexist in
+    /// simulated time — the merged value is the exact aggregate peak when
+    /// every shard peaks at the same simulated instant and an upper bound
+    /// otherwise.
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.events += other.events;
+        self.wake_batches += other.wake_batches;
+        self.peak_in_flight += other.peak_in_flight;
+        self.completed += other.completed;
+        self.corrupt_reads += other.corrupt_reads;
+        self.abandoned += other.abandoned;
+        self.stale_restarts += other.stale_restarts;
+        self.version_skews += other.version_skews;
+    }
+
+    /// The projection of these counters that is **invariant under
+    /// sharding**: `[events, completed, corrupt_reads, abandoned,
+    /// stale_restarts, version_skews]`.
+    ///
+    /// Each is a sum of per-request quantities, and on a broadcast channel
+    /// every request's walk is independent of scheduling — so for any
+    /// partition of a batch, the per-shard values sum to exactly the
+    /// single-engine values. `wake_batches` and `peak_in_flight` describe
+    /// scheduler *shape* (how clients happened to batch and overlap) and
+    /// are deliberately excluded; the `engine_sharded_equiv` suite pins
+    /// this projection bit-for-bit across shard counts.
+    pub fn outcome_counters(&self) -> [u64; 6] {
+        [
+            self.events,
+            self.completed,
+            self.corrupt_reads,
+            self.abandoned,
+            self.stale_restarts,
+            self.version_skews,
+        ]
+    }
+}
+
 /// Batching wake-up scheduler.
 ///
 /// All post-arrival wake times are bucket boundaries of the shared cycle,
@@ -380,6 +428,12 @@ impl<'a> Engine<'a> {
     /// Because clients on a broadcast channel are independent, each
     /// request's outcome is identical to batch mode; only the reporting
     /// order differs.
+    ///
+    /// `max_in_flight == 0` means **unbounded**: every request is admitted
+    /// immediately (memory grows with the whole stream, exactly like
+    /// [`Engine::run_batch`]). It is *not* a zero-capacity stall — the
+    /// previous behaviour silently clamped 0 to 1, which this replaces
+    /// with a documented, tested semantics.
     pub fn run_stream<I>(
         &mut self,
         requests: I,
@@ -388,7 +442,11 @@ impl<'a> Engine<'a> {
     ) where
         I: IntoIterator<Item = (Ticks, Key)>,
     {
-        let cap = max_in_flight.max(1);
+        let cap = if max_in_flight == 0 {
+            usize::MAX
+        } else {
+            max_in_flight
+        };
         let mut pending = requests.into_iter();
         let mut exhausted = false;
         loop {
@@ -623,6 +681,59 @@ mod tests {
         for (s, b) in results.iter().zip(&batch) {
             assert_eq!(s, b);
         }
+    }
+
+    #[test]
+    fn stream_cap_edge_cases_recycle_and_match_batch() {
+        let sys = system();
+        let requests: Vec<(Ticks, Key)> =
+            (0..200u64).map(|i| (i * 17, Key((i % 32) * 2))).collect();
+        let batch = run_requests(&sys, &requests);
+        // cap = 1 (fully serialized), cap = population (never blocks),
+        // cap > population (slack never used).
+        for cap in [1, requests.len(), requests.len() * 2] {
+            let mut engine = Engine::new(&sys);
+            let mut results = Vec::new();
+            engine.run_stream(requests.iter().copied(), cap, |r| results.push(r));
+            assert_eq!(results.len(), requests.len(), "cap={cap}");
+            assert!(engine.slots.len() <= cap, "cap={cap}: arena exceeded cap");
+            assert!(
+                engine.stats().peak_in_flight <= cap,
+                "cap={cap}: population exceeded cap"
+            );
+            results.sort_by_key(|r| r.arrival);
+            assert_eq!(results, batch, "cap={cap}: outcomes drifted from batch");
+            // Recycling: a second identical stream must not grow the arena.
+            let arena = engine.slots.len();
+            let mut again = Vec::new();
+            engine.run_stream(requests.iter().copied(), cap, |r| again.push(r));
+            assert_eq!(engine.slots.len(), arena, "cap={cap}: arena grew on reuse");
+            again.sort_by_key(|r| r.arrival);
+            assert_eq!(again, batch, "cap={cap}: reused engine drifted");
+        }
+    }
+
+    #[test]
+    fn zero_stream_cap_means_unbounded_not_a_stall() {
+        let sys = system();
+        let requests: Vec<(Ticks, Key)> =
+            (0..150u64).map(|i| (i * 31, Key((i % 32) * 2))).collect();
+        let mut engine = Engine::new(&sys);
+        let mut results = Vec::new();
+        // Regression: 0 used to be silently clamped to 1; a literal
+        // zero-capacity reading would never admit anything and hang.
+        engine.run_stream(requests.iter().copied(), 0, |r| results.push(r));
+        assert_eq!(results.len(), requests.len());
+        // Unbounded admission behaves exactly like batch mode, peak
+        // population included.
+        let mut batch_engine = Engine::new(&sys);
+        let batch = batch_engine.run_batch(&requests);
+        results.sort_by_key(|r| r.arrival);
+        assert_eq!(results, batch);
+        assert_eq!(
+            engine.stats().peak_in_flight,
+            batch_engine.stats().peak_in_flight
+        );
     }
 
     #[test]

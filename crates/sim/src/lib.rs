@@ -32,6 +32,7 @@ pub mod histogram;
 pub mod reqgen;
 pub mod results;
 pub mod server;
+pub mod sharded;
 pub mod simulator;
 pub mod stats;
 pub mod updates;
@@ -45,6 +46,10 @@ pub use histogram::Histogram;
 pub use reqgen::RequestGenerator;
 pub use results::ResultHandler;
 pub use server::{BroadcastServer, VersionedServer};
+pub use sharded::{
+    run_requests_partitioned, run_requests_sharded, run_requests_sharded_observed,
+    run_requests_sharded_with_faults, ShardRun, ShardedEngine,
+};
 pub use simulator::{SimConfig, SimReport, Simulator};
 pub use stats::{student_t_quantile, Summary, Welford};
 pub use updates::{UpdateOp, UpdateSpec, UpdateStream};

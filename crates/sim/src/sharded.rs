@@ -1,0 +1,406 @@
+//! Sharded multi-core execution of the slab engine.
+//!
+//! A single [`Engine`] run is inherently sequential: one wakeup scheduler,
+//! one slab arena, one thread. But clients of a broadcast channel never
+//! interact — the broadcast program is immutable within a run
+//! ([`bda_core::DynSystem`] is `Sync`; a
+//! [`crate::server::VersionedServer`]'s epoch timeline is built once and
+//! only read afterwards), every request's fault RNG is seeded from the
+//! request itself, and each walk touches nothing but its own slot. So a
+//! request batch can be **partitioned by request index across `N` worker
+//! shards**, each shard owning a private slab arena, free list and
+//! bucket-aligned wakeup scheduler over the *shared read-only program*,
+//! and the per-request outcomes are exactly what the single engine would
+//! have produced.
+//!
+//! # Deterministic merge
+//!
+//! Each shard returns its completions in submission order; the merge
+//! scatters shard `s`'s `j`-th completion back to request index
+//! `s + j·N` (round-robin partition), so the merged vector is in request
+//! order — **bit-identical to [`crate::run_requests`] for every shard
+//! count**, including under fault injection, bounded retries and
+//! broadcast churn. Aggregated statistics merge exactly too:
+//!
+//! * [`EngineStats`] counters sum ([`EngineStats::merge`]); the
+//!   per-request projection ([`EngineStats::outcome_counters`]) is
+//!   invariant under sharding.
+//! * [`MetricsHub`]s fold via the mergeable-histogram API: histogram bins
+//!   share one fixed layout, so the merged access/tuning/retry-depth
+//!   distributions (and their percentiles) equal the single-engine ones
+//!   bin for bin. Only the engine occupancy *gauges* are scheduler-shaped
+//!   and keep per-shard sampling grids.
+//!
+//! The `engine_sharded_equiv` suite pins all of this across shard counts
+//! {1, 2, 3, 7, #cores} × all eight schemes × {lossless, lossy, churn},
+//! plus arbitrary (non-round-robin) partitions by property test.
+
+use std::time::Instant;
+
+use bda_core::{DynSystem, ErrorModel, Key, RetryPolicy, Ticks};
+use bda_obs::MetricsHub;
+
+use crate::engine::{CompletedRequest, Engine, EngineStats};
+
+/// Wall-clock accounting for one shard's share of the most recent batch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardRun {
+    /// Shard index (0-based).
+    pub shard: usize,
+    /// Requests this shard executed in the batch.
+    pub requests: u64,
+    /// Walker steps this shard processed in the batch.
+    pub events: u64,
+    /// Wall-clock seconds the shard's worker spent in `run_batch`.
+    pub elapsed_sec: f64,
+}
+
+impl ShardRun {
+    /// This shard's throughput over the batch (requests per wall-clock
+    /// second; 0 when nothing ran).
+    pub fn requests_per_sec(&self) -> f64 {
+        if self.elapsed_sec > 0.0 {
+            self.requests as f64 / self.elapsed_sec
+        } else {
+            0.0
+        }
+    }
+}
+
+/// `N` independent slab engines over one shared broadcast program.
+///
+/// Construction is cheap (arenas fill lazily); like [`Engine`], a
+/// `ShardedEngine` is reusable across batches and its arenas persist, so
+/// repeated rounds run allocation-free after warm-up. With `shards == 1`
+/// everything runs inline on the caller's thread — no threads are
+/// spawned, making the 1-shard configuration literally the single
+/// engine.
+pub struct ShardedEngine<'a> {
+    shards: Vec<Engine<'a>>,
+    last_runs: Vec<ShardRun>,
+}
+
+impl<'a> ShardedEngine<'a> {
+    /// A sharded engine over a lossless channel.
+    pub fn new(system: &'a dyn DynSystem, shards: usize) -> Self {
+        ShardedEngine::with_faults(system, shards, ErrorModel::NONE, RetryPolicy::UNBOUNDED)
+    }
+
+    /// A sharded engine whose clients all experience the error-prone
+    /// channel `errors` and recover per `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn with_faults(
+        system: &'a dyn DynSystem,
+        shards: usize,
+        errors: ErrorModel,
+        policy: RetryPolicy,
+    ) -> Self {
+        assert!(shards >= 1, "a sharded engine needs at least one shard");
+        ShardedEngine {
+            shards: (0..shards)
+                .map(|_| Engine::with_faults(system, errors, policy))
+                .collect(),
+            last_runs: Vec::new(),
+        }
+    }
+
+    /// Number of worker shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Turn on metrics collection on every shard. Same idle-arena
+    /// requirement as [`Engine::enable_metrics`].
+    pub fn enable_metrics(&mut self) {
+        for e in &mut self.shards {
+            e.enable_metrics();
+        }
+    }
+
+    /// Detach and deterministically merge the per-shard metrics hubs (in
+    /// shard order), disabling further collection. The merged histograms,
+    /// spans and counters are bit-identical to a single-engine observed
+    /// run of the same batches; the occupancy gauges keep per-shard
+    /// sampling grids (merged via the order-tagged gauge merge).
+    pub fn take_metrics(&mut self) -> Option<MetricsHub> {
+        MetricsHub::merged(self.shards.iter_mut().filter_map(Engine::take_metrics))
+    }
+
+    /// Counters accumulated over everything this engine has run, merged
+    /// across shards (see [`EngineStats::merge`] for the semantics of
+    /// each field under merging).
+    pub fn stats(&self) -> EngineStats {
+        let mut merged = EngineStats::default();
+        for e in &self.shards {
+            merged.merge(&e.stats());
+        }
+        merged
+    }
+
+    /// Per-shard cumulative counters, in shard order.
+    pub fn shard_stats(&self) -> Vec<EngineStats> {
+        self.shards.iter().map(Engine::stats).collect()
+    }
+
+    /// Wall-clock accounting of the most recent [`ShardedEngine::run_batch`],
+    /// one entry per shard — the per-shard throughput the bench harness
+    /// exports.
+    pub fn last_runs(&self) -> &[ShardRun] {
+        &self.last_runs
+    }
+
+    /// Run a batch of `(arrival, key)` requests to completion, returning
+    /// outcomes **in request order** — bit-identical to
+    /// [`Engine::run_batch`] on a single engine, for every shard count.
+    ///
+    /// Requests are partitioned round-robin by index (shard `s` owns
+    /// indices `i ≡ s mod N`), each shard runs its share on its own
+    /// thread (`std::thread::scope`), and completions scatter back to
+    /// their original indices.
+    pub fn run_batch(&mut self, requests: &[(Ticks, Key)]) -> Vec<CompletedRequest> {
+        let n = self.shards.len();
+        if n == 1 {
+            let engine = &mut self.shards[0];
+            let events_before = engine.stats().events;
+            let start = Instant::now();
+            let done = engine.run_batch(requests);
+            self.last_runs = vec![ShardRun {
+                shard: 0,
+                requests: requests.len() as u64,
+                events: engine.stats().events - events_before,
+                elapsed_sec: start.elapsed().as_secs_f64(),
+            }];
+            return done;
+        }
+
+        // Round-robin partition: balanced within ±1 request and, because
+        // request streams are typically time-ordered, each shard sees the
+        // same arrival-time profile.
+        let mut parts: Vec<Vec<(Ticks, Key)>> = (0..n)
+            .map(|_| Vec::with_capacity(requests.len() / n + 1))
+            .collect();
+        for (i, &r) in requests.iter().enumerate() {
+            parts[i % n].push(r);
+        }
+
+        let mut results: Vec<Option<CompletedRequest>> = vec![None; requests.len()];
+        let mut runs = vec![ShardRun::default(); n];
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = self
+                .shards
+                .iter_mut()
+                .zip(&parts)
+                .enumerate()
+                .map(|(s, (engine, part))| {
+                    scope.spawn(move || {
+                        let events_before = engine.stats().events;
+                        let start = Instant::now();
+                        let done = engine.run_batch(part);
+                        let elapsed = start.elapsed().as_secs_f64();
+                        (s, done, engine.stats().events - events_before, elapsed)
+                    })
+                })
+                .collect();
+            for worker in workers {
+                let (s, done, events, elapsed) = worker.join().expect("shard worker panicked");
+                runs[s] = ShardRun {
+                    shard: s,
+                    requests: done.len() as u64,
+                    events,
+                    elapsed_sec: elapsed,
+                };
+                for (j, r) in done.into_iter().enumerate() {
+                    results[s + j * n] = Some(r);
+                }
+            }
+        });
+        self.last_runs = runs;
+        results
+            .into_iter()
+            .map(|r| r.expect("engine invariant: every admitted request completes"))
+            .collect()
+    }
+}
+
+/// Run a batch through `shards` parallel slab engines and return outcomes
+/// in request order — bit-identical to [`crate::run_requests`].
+pub fn run_requests_sharded(
+    system: &dyn DynSystem,
+    requests: &[(Ticks, Key)],
+    shards: usize,
+) -> Vec<CompletedRequest> {
+    ShardedEngine::new(system, shards).run_batch(requests)
+}
+
+/// [`run_requests_sharded`] over an error-prone channel with a client
+/// retry policy — bit-identical to [`crate::run_requests_with_faults`]:
+/// corruption is a pure function of each bucket occurrence's broadcast
+/// instant and the model seed, so shard placement cannot change what any
+/// client sees.
+pub fn run_requests_sharded_with_faults(
+    system: &dyn DynSystem,
+    requests: &[(Ticks, Key)],
+    shards: usize,
+    errors: ErrorModel,
+    policy: RetryPolicy,
+) -> Vec<CompletedRequest> {
+    ShardedEngine::with_faults(system, shards, errors, policy).run_batch(requests)
+}
+
+/// [`run_requests_sharded_with_faults`] with the observability layer on:
+/// per-shard hubs are merged deterministically (shard order). The merged
+/// histograms, spans and completion counters are bit-identical to
+/// [`crate::run_requests_observed`]; only the occupancy gauges are
+/// per-shard.
+pub fn run_requests_sharded_observed(
+    system: &dyn DynSystem,
+    requests: &[(Ticks, Key)],
+    shards: usize,
+    errors: ErrorModel,
+    policy: RetryPolicy,
+) -> (Vec<CompletedRequest>, MetricsHub) {
+    let mut engine = ShardedEngine::with_faults(system, shards, errors, policy);
+    engine.enable_metrics();
+    let completed = engine.run_batch(requests);
+    let hub = engine.take_metrics().expect("metrics were enabled");
+    (completed, hub)
+}
+
+/// Run a batch under an **arbitrary** request→shard assignment
+/// (`assignment[i]` names the shard executing request `i`; ids need not
+/// be contiguous or dense) and merge back to request order.
+///
+/// This is the generality proof behind the round-robin fast path: merge
+/// correctness depends only on per-request independence, not on how the
+/// batch was cut. Shards here execute sequentially — the property suite
+/// uses this to check that *any* partition reproduces the unsharded
+/// outcomes, independent of thread interleaving.
+pub fn run_requests_partitioned(
+    system: &dyn DynSystem,
+    requests: &[(Ticks, Key)],
+    assignment: &[usize],
+    errors: ErrorModel,
+    policy: RetryPolicy,
+) -> Vec<CompletedRequest> {
+    assert_eq!(requests.len(), assignment.len(), "one shard id per request");
+    let mut groups: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for (i, &s) in assignment.iter().enumerate() {
+        groups.entry(s).or_default().push(i);
+    }
+    let mut results: Vec<Option<CompletedRequest>> = vec![None; requests.len()];
+    for indices in groups.values() {
+        let part: Vec<(Ticks, Key)> = indices.iter().map(|&i| requests[i]).collect();
+        let done = Engine::with_faults(system, errors, policy).run_batch(&part);
+        for (&i, r) in indices.iter().zip(done) {
+            results[i] = Some(r);
+        }
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("engine invariant: every admitted request completes"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_requests;
+    use bda_core::{Dataset, FlatScheme, Params, Record, Scheme};
+
+    fn system() -> impl DynSystem {
+        let ds = Dataset::new((0..32).map(|i| Record::keyed(i * 2)).collect()).unwrap();
+        FlatScheme.build(&ds, &Params::paper()).unwrap()
+    }
+
+    fn requests(n: u64) -> Vec<(Ticks, Key)> {
+        (0..n)
+            .map(|i| ((i * 613) % 9999, Key((i % 32) * 2)))
+            .collect()
+    }
+
+    #[test]
+    fn sharded_matches_single_for_every_count() {
+        let sys = system();
+        let reqs = requests(200);
+        let single = run_requests(&sys, &reqs);
+        for shards in [1, 2, 3, 5, 8] {
+            let sharded = run_requests_sharded(&sys, &reqs, shards);
+            assert_eq!(single, sharded, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn merged_stats_project_to_single_engine_counters() {
+        let sys = system();
+        let reqs = requests(150);
+        let mut single = Engine::new(&sys);
+        single.run_batch(&reqs);
+        for shards in [1, 2, 4] {
+            let mut engine = ShardedEngine::new(&sys, shards);
+            engine.run_batch(&reqs);
+            assert_eq!(
+                engine.stats().outcome_counters(),
+                single.stats().outcome_counters(),
+                "shards={shards}"
+            );
+            let runs = engine.last_runs();
+            assert_eq!(runs.len(), shards);
+            let total: u64 = runs.iter().map(|r| r.requests).sum();
+            assert_eq!(total, reqs.len() as u64);
+            let events: u64 = runs.iter().map(|r| r.events).sum();
+            assert_eq!(events, single.stats().events);
+        }
+    }
+
+    #[test]
+    fn arenas_recycle_across_batches_per_shard() {
+        let sys = system();
+        let reqs = requests(120);
+        let mut engine = ShardedEngine::new(&sys, 3);
+        engine.run_batch(&reqs);
+        let occupied: Vec<usize> = engine.shards.iter().map(Engine::arena_len).collect();
+        engine.run_batch(&reqs);
+        let again: Vec<usize> = engine.shards.iter().map(Engine::arena_len).collect();
+        assert_eq!(
+            occupied, again,
+            "second identical batch must not grow arenas"
+        );
+        assert_eq!(engine.stats().completed, 240);
+    }
+
+    #[test]
+    fn empty_batch_and_fewer_requests_than_shards() {
+        let sys = system();
+        assert!(run_requests_sharded(&sys, &[], 4).is_empty());
+        let reqs = requests(3);
+        let single = run_requests(&sys, &reqs);
+        assert_eq!(run_requests_sharded(&sys, &reqs, 8), single);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_is_rejected() {
+        let sys = system();
+        let _ = ShardedEngine::new(&sys, 0);
+    }
+
+    #[test]
+    fn partitioned_with_sparse_ids_matches_unsharded() {
+        let sys = system();
+        let reqs = requests(90);
+        let single = run_requests(&sys, &reqs);
+        // Sparse, non-contiguous shard ids.
+        let assignment: Vec<usize> = (0..reqs.len()).map(|i| (i * i + 7) % 11 * 3).collect();
+        let merged = run_requests_partitioned(
+            &sys,
+            &reqs,
+            &assignment,
+            ErrorModel::NONE,
+            RetryPolicy::UNBOUNDED,
+        );
+        assert_eq!(single, merged);
+    }
+}

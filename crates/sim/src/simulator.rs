@@ -15,6 +15,7 @@ use crate::engine::{Engine, EngineStats};
 use crate::histogram::Histogram;
 use crate::reqgen::RequestGenerator;
 use crate::results::ResultHandler;
+use crate::sharded::ShardedEngine;
 use crate::stats::Summary;
 use crate::updates::UpdateSpec;
 
@@ -43,10 +44,20 @@ pub struct SimConfig {
     /// Steady-state mode: keep at most this many clients admitted at
     /// once, streaming requests through the engine instead of
     /// materializing whole request batches. `None` (the default) runs the
-    /// classic round-batch testbed. Only meaningful with `event_driven`;
-    /// memory becomes `O(max_in_flight)` regardless of how many requests
-    /// the accuracy controller ends up demanding.
+    /// classic round-batch testbed; `Some(0)` — a cap that could admit
+    /// nothing and therefore never complete a round — is treated as
+    /// `None`. Only meaningful with `event_driven`; memory becomes
+    /// `O(max_in_flight)` regardless of how many requests the accuracy
+    /// controller ends up demanding.
     pub max_in_flight: Option<usize>,
+    /// Worker shards for the event-driven batch path: each round's batch
+    /// is partitioned round-robin across this many per-core slab engines
+    /// over the shared broadcast program and merged deterministically
+    /// (see [`crate::sharded`]), so reports are bit-identical for every
+    /// shard count. `1` (the default, also the meaning of `0`) runs the
+    /// classic single engine inline. Steady-state and direct-walker modes
+    /// ignore it.
+    pub shards: usize,
     /// Fault injection: per-transmission bucket corruption every client
     /// sees ([`ErrorModel::NONE`], the default, is a perfect channel).
     /// Honored identically by the event engine and the direct walker.
@@ -77,6 +88,7 @@ impl SimConfig {
             seed: 0x0EDB_2002,
             event_driven: true,
             max_in_flight: None,
+            shards: 1,
             errors: ErrorModel::NONE,
             retry: RetryPolicy::UNBOUNDED,
             updates: None,
@@ -270,13 +282,21 @@ impl<'a> Simulator<'a> {
 
     fn run_inner(&mut self, observe: bool) -> (SimReport, Option<MetricsHub>) {
         if self.config.event_driven {
-            if let Some(cap) = self.config.max_in_flight {
+            // `Some(0)` used to hang the steady loop (a zero-capacity cap
+            // admits nothing, so rounds never complete); it now means "no
+            // cap" and falls through to the batch testbed.
+            if let Some(cap) = self.config.max_in_flight.filter(|&cap| cap > 0) {
                 return self.run_steady(cap, observe);
             }
         }
         let controller = self.config.controller();
         let mut handler = ResultHandler::new();
-        let mut engine = Engine::with_faults(self.system, self.config.errors, self.config.retry);
+        let mut engine = ShardedEngine::with_faults(
+            self.system,
+            self.config.shards.max(1),
+            self.config.errors,
+            self.config.retry,
+        );
         if observe && self.config.event_driven {
             engine.enable_metrics();
         }
@@ -571,6 +591,48 @@ mod tests {
             let sampled = hub.gauges.get(bda_obs::Gauge::InFlight).samples > 0;
             assert_eq!(sampled, event_driven, "event_driven={event_driven}");
         }
+    }
+
+    #[test]
+    fn sharded_testbed_reports_are_bit_identical() {
+        let ds = DatasetBuilder::new(140, 43).build().unwrap();
+        let sys = FlatScheme.build(&ds, &Params::paper()).unwrap();
+        let mut cfg = SimConfig::quick();
+        cfg.min_rounds = 2;
+        cfg.max_rounds = 2;
+        cfg.errors = ErrorModel::new(0.10, 5);
+        let single = Simulator::uniform(&sys, &ds, cfg).run();
+        for shards in [0, 1, 3, 4] {
+            cfg.shards = shards;
+            let sharded = Simulator::uniform(&sys, &ds, cfg).run();
+            assert_eq!(single.requests, sharded.requests, "shards={shards}");
+            assert_eq!(single.access, sharded.access, "shards={shards}");
+            assert_eq!(single.tuning, sharded.tuning, "shards={shards}");
+            assert_eq!(single.retries, sharded.retries, "shards={shards}");
+            assert_eq!(single.access_hist, sharded.access_hist, "shards={shards}");
+            assert_eq!(single.retry_hist, sharded.retry_hist, "shards={shards}");
+            assert_eq!(
+                single.engine.outcome_counters(),
+                sharded.engine.outcome_counters(),
+                "shards={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_in_flight_cap_means_uncapped_batch_mode() {
+        let ds = DatasetBuilder::new(80, 47).build().unwrap();
+        let sys = FlatScheme.build(&ds, &Params::paper()).unwrap();
+        let mut cfg = SimConfig::quick();
+        cfg.min_rounds = 2;
+        cfg.max_rounds = 2;
+        let batch = Simulator::uniform(&sys, &ds, cfg).run();
+        // Regression: `Some(0)` used to spin forever in the steady loop.
+        cfg.max_in_flight = Some(0);
+        let zero = Simulator::uniform(&sys, &ds, cfg).run();
+        assert_eq!(batch.requests, zero.requests);
+        assert_eq!(batch.access, zero.access);
+        assert_eq!(batch.tuning, zero.tuning);
     }
 
     #[test]
