@@ -58,6 +58,37 @@ impl Coverage {
         }
     }
 
+    /// Whether record `i` has already been ruled out. Out-of-range indices
+    /// read as ruled out, mirroring [`Coverage::mark`] ignoring them.
+    pub fn is_marked(&self, i: u32) -> bool {
+        if i >= self.total {
+            return true;
+        }
+        self.bits[(i / 64) as usize] >> (i % 64) & 1 == 1
+    }
+
+    /// Whether ruling out record `i` would complete coverage — the
+    /// fast-forward planner's "is this the terminating bucket?" test,
+    /// asked *before* the bucket is consumed.
+    pub fn would_fill(&self, i: u32) -> bool {
+        let gain = u32::from(!self.is_marked(i));
+        self.covered + gain >= self.total
+    }
+
+    /// Number of records in `[start, start + len)` not yet ruled out.
+    pub fn unmarked_in_range(&self, start: u32, len: u32) -> u32 {
+        (start..start.saturating_add(len).min(self.total))
+            .filter(|&i| !self.is_marked(i))
+            .count() as u32
+    }
+
+    /// Whether ruling out the whole range `[start, start + len)` would
+    /// complete coverage (the frame-granular variant of
+    /// [`Coverage::would_fill`]).
+    pub fn would_fill_range(&self, start: u32, len: u32) -> bool {
+        self.covered + self.unmarked_in_range(start, len) >= self.total
+    }
+
     /// Forget everything (fresh protocol start).
     pub fn clear(&mut self) {
         self.bits.fill(0);
@@ -103,6 +134,28 @@ mod tests {
         c.clear();
         assert_eq!(c.covered(), 0);
         assert!(!c.is_full());
+    }
+
+    #[test]
+    fn would_fill_predicts_completion_without_mutating() {
+        let mut c = Coverage::new(4);
+        c.mark_range(0, 3);
+        assert!(!c.is_marked(3));
+        assert!(c.would_fill(3));
+        assert!(
+            !c.would_fill(0),
+            "re-marking a covered record gains nothing"
+        );
+        assert_eq!(c.covered(), 3, "the predicate must not mutate");
+        let mut d = Coverage::new(4);
+        d.mark(0);
+        assert!(!d.would_fill(3));
+        assert_eq!(d.unmarked_in_range(0, 4), 3);
+        assert!(d.would_fill_range(1, 3));
+        assert!(!d.would_fill_range(1, 2));
+        // Out-of-range indices read as already ruled out.
+        assert!(c.is_marked(9));
+        assert_eq!(d.unmarked_in_range(2, 99), 2);
     }
 
     #[test]

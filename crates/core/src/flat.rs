@@ -12,7 +12,7 @@ use crate::channel::Channel;
 use crate::coverage::Coverage;
 use crate::error::Result;
 use crate::key::Key;
-use crate::machine::{Action, ProtocolMachine, StaleResponse, Verdict};
+use crate::machine::{Action, FastForward, ProtocolMachine, StaleResponse, Verdict};
 use crate::params::Params;
 use crate::record::Dataset;
 use crate::scheme::{Scheme, System};
@@ -134,6 +134,21 @@ impl ProtocolMachine<FlatPayload> for FlatMachine {
             Action::Finish(Verdict::not_found())
         } else {
             Action::ReadNext
+        }
+    }
+
+    /// Bulk-consume the run of non-matching buckets ahead: each is a plain
+    /// read-and-mark with no decision in it. Stop on the key's bucket, on
+    /// the read that would complete coverage, on a corrupted transmission,
+    /// or at the probe budget — the landing bucket is read slow-path.
+    fn fast_forward(&mut self, ctx: &mut FastForward<'_, FlatPayload>) {
+        while ctx.can_read() && !ctx.next_corrupt() {
+            let p = *ctx.peek();
+            if p.key == self.key || self.coverage.would_fill(p.record_index) {
+                return;
+            }
+            self.coverage.mark(p.record_index);
+            ctx.read(crate::BucketKind::Data);
         }
     }
 }

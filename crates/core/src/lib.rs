@@ -54,7 +54,7 @@ pub use flat::{FlatPayload, FlatScheme, FlatSystem};
 pub use key::Key;
 pub use machine::{
     run_machine_observed, run_machine_with_errors, run_machine_with_policy, AccessOutcome, Action,
-    ProtocolMachine, StaleResponse, Verdict, Walk, WalkStep,
+    FastForward, ProtocolMachine, StaleResponse, Verdict, Walk, WalkStep,
 };
 pub use params::Params;
 pub use record::{Dataset, Record};

@@ -144,6 +144,147 @@ pub trait ProtocolMachine<P> {
         let _ = payload;
         BucketKind::Data
     }
+
+    /// Analytically advance past a run of *uninteresting* buckets in one
+    /// step — the fast-forward capability scan-heavy schemes use to
+    /// collapse O(cycle) per-bucket wake-ups into O(1) per interesting
+    /// bucket (key match, signature hit, coverage completion, corruption,
+    /// probe-budget edge).
+    ///
+    /// Called by an opted-in [`Walk`] while a `ReadNext` is pending,
+    /// *before* the next bucket is read. The machine may consume any
+    /// prefix of upcoming buckets whose slow-path handling it can
+    /// reproduce exactly: for each consumed bucket it must apply the same
+    /// internal state transitions `on_bucket` would have, and account the
+    /// read/doze through `ctx` so access time, tuning time, probe counts
+    /// and per-phase spans stay tick-identical to the bucket-by-bucket
+    /// walk. It must stop *before* — never on — any bucket where the slow
+    /// path does something non-mechanical: a (possible) match, a read
+    /// that would complete coverage, a corrupted transmission
+    /// ([`FastForward::next_corrupt`] consults the same fault oracle the
+    /// walker uses), or probe-budget exhaustion
+    /// ([`FastForward::can_read`]). The walker then reads that landing
+    /// bucket through the ordinary slow path, so match/finish/corruption/
+    /// abandon logic is never duplicated.
+    ///
+    /// The default consumes nothing — the conservative "one bucket at a
+    /// time" behaviour every machine starts with.
+    fn fast_forward(&mut self, ctx: &mut FastForward<'_, P>) {
+        let _ = ctx;
+    }
+}
+
+/// Bulk-accounting context for [`ProtocolMachine::fast_forward`].
+///
+/// Maintains a cursor over the upcoming buckets of the cycle plus the
+/// aggregate accounting (clock, tuning, probes, per-phase spans) of
+/// everything consumed so far. The cursor starts at the first complete
+/// bucket after the walk's current instant — exactly the bucket the slow
+/// path would read next — and every [`FastForward::read`] /
+/// [`FastForward::doze_buckets`] replays the slow path's arithmetic on it.
+#[derive(Debug)]
+pub struct FastForward<'a, P> {
+    ch: &'a Channel<P>,
+    errors: ErrorModel,
+    /// Cursor: index of the next unconsumed bucket.
+    idx: usize,
+    /// Absolute start instant of the cursor bucket.
+    start: Ticks,
+    /// Clock reached so far (== the walk's `now` plus consumed spans).
+    now: Ticks,
+    /// Tuning accumulated by consumed reads.
+    tuning: Ticks,
+    /// Reads consumed.
+    probes: u32,
+    /// Remaining probe budget (reads the walk may still take).
+    left: u32,
+    /// Buckets consumed (reads + dozed-over); caps runaway planners.
+    consumed: usize,
+    /// Whether to accumulate per-phase spans (the walk's `R::ENABLED`).
+    record: bool,
+    spans: PhaseSpans,
+}
+
+impl<'a, P> FastForward<'a, P> {
+    /// Payload of the bucket the cursor is on — the one the slow path
+    /// would read next.
+    pub fn peek(&self) -> &'a P {
+        &self.ch.bucket(self.idx).payload
+    }
+
+    /// Cycle index of the cursor bucket.
+    pub fn index(&self) -> usize {
+        self.idx
+    }
+
+    /// Whether the probe budget allows consuming one more read. When this
+    /// is false the machine must stop: the slow path owns the budget
+    /// abort. Also bounds total consumption at two cycles per engagement —
+    /// a correct scan never needs more before an interesting bucket, and
+    /// the cap keeps a buggy planner from spinning.
+    pub fn can_read(&self) -> bool {
+        self.left > 0 && self.consumed < 2 * self.ch.num_buckets() + 2
+    }
+
+    /// Whether the cursor bucket's transmission is corrupted — the same
+    /// pure fault oracle (bucket start instant + seed) the walker
+    /// consults. Machines must stop *before* a corrupt bucket so the slow
+    /// path performs the retry accounting. Skipped (dozed-over) buckets
+    /// are never consulted, exactly like the slow path.
+    pub fn next_corrupt(&self) -> bool {
+        self.errors.corrupted(self.start)
+    }
+
+    /// Consume the cursor bucket as a read of the given kind: tuning and
+    /// clock advance over it, one probe is spent, and (when observed) one
+    /// span of the matching phase is attributed.
+    pub fn read(&mut self, kind: BucketKind) {
+        debug_assert!(self.can_read(), "fast-forward read past the budget");
+        let size = Ticks::from(self.ch.bucket(self.idx).size);
+        let end = self.start + size;
+        // Identical to the slow path: listen from `now` through the
+        // bucket's end (any partial tail counts as tuning).
+        let span = end - self.now;
+        self.tuning += span;
+        self.now = end;
+        self.probes += 1;
+        self.left -= 1;
+        if self.record {
+            let phase = match kind {
+                BucketKind::Index => Phase::IndexTraversal,
+                BucketKind::Data => Phase::DataRead,
+            };
+            self.spans.add(phase, span, span);
+        }
+        self.advance();
+    }
+
+    /// Consume the next `n` buckets as a single doze (radio off): the
+    /// clock advances over them with no tuning cost, and (when observed)
+    /// exactly one `Doze` span is attributed — matching the one
+    /// `DozeTo` action the slow path would have taken. Only valid
+    /// directly after a [`FastForward::read`] (the clock sits on the
+    /// cursor's start), which is the only place the protocols doze.
+    pub fn doze_buckets(&mut self, n: usize) {
+        debug_assert_eq!(self.now, self.start, "doze must follow a read");
+        let from = self.now;
+        for _ in 0..n {
+            self.advance();
+        }
+        self.now = self.start;
+        if self.record && self.now > from {
+            self.spans.add(Phase::Doze, self.now - from, 0);
+        }
+    }
+
+    fn advance(&mut self) {
+        self.start += Ticks::from(self.ch.bucket(self.idx).size);
+        self.idx += 1;
+        if self.idx == self.ch.num_buckets() {
+            self.idx = 0;
+        }
+        self.consumed += 1;
+    }
 }
 
 /// The result of one client query.
@@ -232,6 +373,7 @@ pub struct Walk<'a, P, M, R = NoopRecorder> {
     max_probes: u32,
     errors: ErrorModel,
     policy: RetryPolicy,
+    ff: bool,
     recorder: R,
 }
 
@@ -302,8 +444,26 @@ impl<'a, P, M: ProtocolMachine<P>, R: Recorder> Walk<'a, P, M, R> {
             max_probes,
             errors,
             policy,
+            ff: false,
             recorder,
         }
+    }
+
+    /// Opt into analytical fast-forward: while a `ReadNext` is pending the
+    /// walk lets the machine bulk-consume uninteresting buckets (see
+    /// [`ProtocolMachine::fast_forward`]) before the next real read, so a
+    /// linear scan takes O(1) steps per *interesting* bucket instead of
+    /// one per bucket. Outcomes, access/tuning accounting, probe counts
+    /// and per-phase spans are tick-identical to the slow path; only the
+    /// [`WalkStep`] granularity (and hence the event count of an engine
+    /// driving the walk) changes. Off by default.
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.ff = enabled;
+    }
+
+    /// Whether analytical fast-forward is enabled for this walk.
+    pub fn fast_forward_enabled(&self) -> bool {
+        self.ff
     }
 
     /// The walk's recorder (e.g. to read accumulated spans).
@@ -358,6 +518,51 @@ impl<'a, P, M: ProtocolMachine<P>, R: Recorder> Walk<'a, P, M, R> {
         step
     }
 
+    /// Let the machine bulk-consume uninteresting buckets, then fold its
+    /// aggregate accounting into the walk as if each had been stepped.
+    fn run_fast_forward(&mut self) {
+        // Disengage within four cycles of the clock's end: the slow path's
+        // saturating arithmetic must stay observable, and a fast-forward
+        // engagement never advances further than two cycles.
+        if self
+            .ch
+            .cycle_len()
+            .checked_mul(4)
+            .and_then(|w| self.now.checked_add(w))
+            .is_none()
+        {
+            return;
+        }
+        let (idx, start) = self.ch.first_complete_at(self.now);
+        let mut ctx = FastForward {
+            ch: self.ch,
+            errors: self.errors,
+            idx,
+            start,
+            now: self.now,
+            tuning: 0,
+            probes: 0,
+            left: self.max_probes - self.probes,
+            consumed: 0,
+            record: R::ENABLED,
+            spans: PhaseSpans::new(),
+        };
+        self.machine.fast_forward(&mut ctx);
+        if ctx.probes == 0 {
+            return;
+        }
+        self.tuning += ctx.tuning;
+        self.now = ctx.now;
+        self.probes += ctx.probes;
+        if R::ENABLED {
+            for (phase, t) in ctx.spans.iter() {
+                if t.count > 0 {
+                    self.recorder.span_n(phase, t.count, t.access, t.tuning);
+                }
+            }
+        }
+    }
+
     /// Apply the policy's next-cycle back-off to a post-corruption action:
     /// the resume point shifts by whole cycles, which preserves the bucket
     /// the machine expects to see next (the cycle is periodic).
@@ -386,6 +591,15 @@ impl<'a, P, M: ProtocolMachine<P>, R: Recorder> Walk<'a, P, M, R> {
             Action::ReadNext => {
                 if self.probes >= self.max_probes {
                     return self.finish(false, self.false_drops_hint, true);
+                }
+                if self.ff && self.probes > 0 {
+                    self.run_fast_forward();
+                    if self.probes >= self.max_probes {
+                        // The scan burned the whole budget on uninteresting
+                        // buckets; the next read aborts, as it would have
+                        // bucket-by-bucket.
+                        return self.finish(false, self.false_drops_hint, true);
+                    }
                 }
                 let (idx, start) = self.ch.first_complete_at(self.now);
                 let bucket = self.ch.bucket(idx);
@@ -844,6 +1058,127 @@ mod tests {
                 RetryPolicy::bounded(5),
             );
             assert_eq!(plain, observed);
+        }
+    }
+
+    /// Scans for the bucket whose payload equals `target`, with a
+    /// fast-forward planner that bulk-skips non-matching buckets.
+    struct SkipTo {
+        target: usize,
+        seen: u32,
+    }
+
+    impl ProtocolMachine<usize> for SkipTo {
+        fn start(&mut self, _t: Ticks) -> Action {
+            Action::ReadNext
+        }
+        fn on_bucket(&mut self, p: &usize, _m: BucketMeta) -> Action {
+            self.seen += 1;
+            if *p == self.target {
+                Action::Finish(Verdict::found())
+            } else {
+                Action::ReadNext
+            }
+        }
+        fn on_corrupt(&mut self, _m: BucketMeta) -> Action {
+            Action::ReadNext
+        }
+        fn fast_forward(&mut self, ctx: &mut FastForward<'_, usize>) {
+            while ctx.can_read() && !ctx.next_corrupt() && *ctx.peek() != self.target {
+                self.seen += 1;
+                ctx.read(BucketKind::Data);
+            }
+        }
+    }
+
+    fn run_ff<P, M: ProtocolMachine<P>>(
+        ch: &Channel<P>,
+        machine: M,
+        tune_in: Ticks,
+        errors: ErrorModel,
+        policy: RetryPolicy,
+    ) -> (AccessOutcome, PhaseSpans, u64) {
+        let mut walk =
+            Walk::with_recorder(ch, machine, tune_in, errors, policy, SpanRecorder::new());
+        walk.set_fast_forward(true);
+        let mut steps = 0u64;
+        loop {
+            steps += 1;
+            if let WalkStep::Done(out) = walk.step() {
+                return (out, walk.recorder().spans, steps);
+            }
+        }
+    }
+
+    #[test]
+    fn fast_forward_is_tick_identical_and_collapses_steps() {
+        let c = ch(&[10, 20, 30, 40, 50, 60, 70, 80]);
+        for target in [0usize, 3, 7] {
+            for tune_in in [0u64, 5, 33, 359] {
+                for errors in [ErrorModel::NONE, ErrorModel::new(0.4, 0xC0FF)] {
+                    let policy = RetryPolicy::UNBOUNDED;
+                    let (slow, slow_spans) = run_machine_observed(
+                        &c,
+                        SkipTo { target, seen: 0 },
+                        tune_in,
+                        errors,
+                        policy,
+                    );
+                    let (fast, fast_spans, steps) =
+                        run_ff(&c, SkipTo { target, seen: 0 }, tune_in, errors, policy);
+                    assert_eq!(slow, fast, "target={target} t={tune_in}");
+                    assert_eq!(slow_spans, fast_spans, "span totals and counts match");
+                    if errors.loss_prob == 0.0 {
+                        // One initial probe, at most one fast-forwarded
+                        // landing read, one Done: O(1) steps regardless of
+                        // how far away the target is.
+                        assert!(steps <= 3, "steps={steps}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_forward_aborts_on_the_same_probe_as_the_slow_path() {
+        struct NeverMatch;
+        impl ProtocolMachine<usize> for NeverMatch {
+            fn start(&mut self, _t: Ticks) -> Action {
+                Action::ReadNext
+            }
+            fn on_bucket(&mut self, _p: &usize, _m: BucketMeta) -> Action {
+                Action::ReadNext
+            }
+            fn fast_forward(&mut self, ctx: &mut FastForward<'_, usize>) {
+                while ctx.can_read() && !ctx.next_corrupt() {
+                    ctx.read(BucketKind::Data);
+                }
+            }
+        }
+        let c = ch(&[10, 20]);
+        let slow = run_machine(&c, NeverMatch, 7);
+        let (fast, _, _) = run_ff(&c, NeverMatch, 7, ErrorModel::NONE, RetryPolicy::UNBOUNDED);
+        assert!(slow.aborted && fast.aborted);
+        assert_eq!(slow, fast, "budget abort is tick-identical");
+    }
+
+    #[test]
+    fn fast_forward_disengages_near_ticks_max() {
+        // Within four cycles of the clock's end fast-forward must hand the
+        // walk back to the (saturating) slow path untouched.
+        let c = ch(&[10, 20, 30, 40]);
+        let cycle = c.cycle_len();
+        for t in [Ticks::MAX - 3 * cycle, Ticks::MAX - 4 * cycle + 1] {
+            let slow = run_machine(&c, SkipTo { target: 2, seen: 0 }, t);
+            let (fast, _, _) = run_ff(
+                &c,
+                SkipTo { target: 2, seen: 0 },
+                t,
+                ErrorModel::NONE,
+                RetryPolicy::UNBOUNDED,
+            );
+            assert!(slow.found);
+            assert_eq!(slow, fast, "saturating clock behaviour is preserved");
         }
     }
 

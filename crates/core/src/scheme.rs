@@ -130,6 +130,16 @@ pub trait QuerySlot: Send {
     fn spans(&self) -> Option<&PhaseSpans> {
         None
     }
+
+    /// Ask the slot's subsequent queries to use analytical fast-forward
+    /// (see [`Walk::set_fast_forward`]): bit-identical outcomes and
+    /// accounting, O(1) walk steps per interesting bucket. The default is
+    /// a no-op — slots that cannot fast-forward (e.g. walks over a
+    /// *dynamic* broadcast program, whose cycle may change under the
+    /// scan) simply keep stepping bucket by bucket.
+    fn set_fast_forward(&mut self, enabled: bool) {
+        let _ = enabled;
+    }
 }
 
 /// The canonical [`QuerySlot`] for any [`System`]: an in-place
@@ -139,6 +149,7 @@ pub struct WalkSlot<'a, S: System> {
     walk: Option<Walk<'a, S::Payload, S::Machine>>,
     errors: ErrorModel,
     policy: RetryPolicy,
+    ff: bool,
 }
 
 impl<'a, S: System> WalkSlot<'a, S> {
@@ -157,19 +168,29 @@ impl<'a, S: System> WalkSlot<'a, S> {
             walk: None,
             errors,
             policy,
+            ff: false,
         }
     }
 }
 
 impl<S: System> QuerySlot for WalkSlot<'_, S> {
     fn start(&mut self, key: Key, tune_in: Ticks) {
-        self.walk = Some(Walk::with_policy(
+        let mut walk = Walk::with_policy(
             self.system.channel(),
             self.system.query(key),
             tune_in,
             self.errors,
             self.policy,
-        ));
+        );
+        walk.set_fast_forward(self.ff);
+        self.walk = Some(walk);
+    }
+
+    fn set_fast_forward(&mut self, enabled: bool) {
+        self.ff = enabled;
+        if let Some(walk) = self.walk.as_mut() {
+            walk.set_fast_forward(enabled);
+        }
     }
 
     fn step(&mut self) -> WalkStep {
@@ -199,6 +220,7 @@ pub struct ObservedWalkSlot<'a, S: System> {
     walk: Option<Walk<'a, S::Payload, S::Machine, SpanRecorder>>,
     errors: ErrorModel,
     policy: RetryPolicy,
+    ff: bool,
 }
 
 impl<'a, S: System> ObservedWalkSlot<'a, S> {
@@ -209,20 +231,30 @@ impl<'a, S: System> ObservedWalkSlot<'a, S> {
             walk: None,
             errors,
             policy,
+            ff: false,
         }
     }
 }
 
 impl<S: System> QuerySlot for ObservedWalkSlot<'_, S> {
     fn start(&mut self, key: Key, tune_in: Ticks) {
-        self.walk = Some(Walk::with_recorder(
+        let mut walk = Walk::with_recorder(
             self.system.channel(),
             self.system.query(key),
             tune_in,
             self.errors,
             self.policy,
             SpanRecorder::new(),
-        ));
+        );
+        walk.set_fast_forward(self.ff);
+        self.walk = Some(walk);
+    }
+
+    fn set_fast_forward(&mut self, enabled: bool) {
+        self.ff = enabled;
+        if let Some(walk) = self.walk.as_mut() {
+            walk.set_fast_forward(enabled);
+        }
     }
 
     fn step(&mut self) -> WalkStep {

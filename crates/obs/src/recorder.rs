@@ -26,6 +26,14 @@ pub trait Recorder {
     /// which `tuning` bytes were listened to (`tuning == access` for
     /// reads, `tuning == 0` for dozes).
     fn span(&mut self, phase: Phase, access: u64, tuning: u64);
+
+    /// `n` walk steps of the same phase, recorded in bulk: together they
+    /// consumed `access` bytes of access time and `tuning` bytes of
+    /// tuning time. Used by the analytical fast-forward path, which
+    /// accounts a whole run of skipped buckets in one call; recording
+    /// `span_n` must be indistinguishable from recording the `n`
+    /// constituent spans one by one (same totals, count advanced by `n`).
+    fn span_n(&mut self, phase: Phase, n: u64, access: u64, tuning: u64);
 }
 
 /// The default recorder: observes nothing, costs nothing.
@@ -37,6 +45,9 @@ impl Recorder for NoopRecorder {
 
     #[inline(always)]
     fn span(&mut self, _phase: Phase, _access: u64, _tuning: u64) {}
+
+    #[inline(always)]
+    fn span_n(&mut self, _phase: Phase, _n: u64, _access: u64, _tuning: u64) {}
 }
 
 /// A mutable borrow records into the referent, so callers can keep
@@ -47,6 +58,11 @@ impl<R: Recorder> Recorder for &mut R {
     #[inline(always)]
     fn span(&mut self, phase: Phase, access: u64, tuning: u64) {
         (**self).span(phase, access, tuning);
+    }
+
+    #[inline(always)]
+    fn span_n(&mut self, phase: Phase, n: u64, access: u64, tuning: u64) {
+        (**self).span_n(phase, n, access, tuning);
     }
 }
 
@@ -66,6 +82,12 @@ impl PhaseTotal {
         self.access += access;
         self.tuning += tuning;
         self.count += 1;
+    }
+
+    fn add_n(&mut self, n: u64, access: u64, tuning: u64) {
+        self.access += access;
+        self.tuning += tuning;
+        self.count += n;
     }
 
     fn merge(&mut self, other: &PhaseTotal) {
@@ -98,6 +120,13 @@ impl PhaseSpans {
     /// Attribute one step to `phase`.
     pub fn add(&mut self, phase: Phase, access: u64, tuning: u64) {
         self.totals[phase.index()].add(access, tuning);
+    }
+
+    /// Attribute `n` steps to `phase` in bulk — exactly equivalent to `n`
+    /// [`PhaseSpans::add`] calls whose access/tuning deltas sum to
+    /// `access`/`tuning` (the fast-forward path's aggregate accounting).
+    pub fn add_n(&mut self, phase: Phase, n: u64, access: u64, tuning: u64) {
+        self.totals[phase.index()].add_n(n, access, tuning);
     }
 
     /// Fold another walk's (or another worker's) spans into this one.
@@ -150,6 +179,11 @@ impl Recorder for SpanRecorder {
     fn span(&mut self, phase: Phase, access: u64, tuning: u64) {
         self.spans.add(phase, access, tuning);
     }
+
+    #[inline]
+    fn span_n(&mut self, phase: Phase, n: u64, access: u64, tuning: u64) {
+        self.spans.add_n(phase, n, access, tuning);
+    }
 }
 
 #[cfg(test)]
@@ -180,6 +214,23 @@ mod tests {
         // Enablement propagates through the borrow; the no-op stays off.
         const _: () = assert!(<&mut SpanRecorder as Recorder>::ENABLED);
         const _: () = assert!(!NoopRecorder::ENABLED);
+    }
+
+    #[test]
+    fn bulk_spans_equal_their_constituents() {
+        // span_n(phase, n, Σaccess, Σtuning) ≡ the n individual spans.
+        let mut one_by_one = SpanRecorder::new();
+        for _ in 0..5 {
+            one_by_one.span(Phase::IndexTraversal, 24, 24);
+            one_by_one.span(Phase::Doze, 533, 0);
+        }
+        let mut bulk = SpanRecorder::new();
+        bulk.span_n(Phase::IndexTraversal, 5, 5 * 24, 5 * 24);
+        bulk.span_n(Phase::Doze, 5, 5 * 533, 0);
+        assert_eq!(one_by_one.spans, bulk.spans);
+        // Zero-count bulk spans are no-ops in every field.
+        bulk.span_n(Phase::Retry, 0, 0, 0);
+        assert_eq!(one_by_one.spans, bulk.spans);
     }
 
     #[test]

@@ -6,12 +6,14 @@
 //! trading per-record filtering precision (the integrated code is denser,
 //! so frames false-drop more) for far fewer signature probes.
 
+use std::sync::Arc;
+
 use bda_core::{
-    Action, Bucket, BucketMeta, Channel, Coverage, Dataset, Key, Params, ProtocolMachine, Result,
-    Scheme, StaleResponse, System, Ticks, Verdict,
+    Action, Bucket, BucketMeta, Channel, Coverage, Dataset, FastForward, Key, Params,
+    ProtocolMachine, Result, Scheme, StaleResponse, System, Ticks, Verdict,
 };
 
-use crate::sig::{SigParams, Signature};
+use crate::sig::{SigParams, SigTable, Signature};
 use crate::simple::SigPayload;
 
 /// The integrated signature scheme.
@@ -53,6 +55,10 @@ pub struct IntegratedSystem {
     sig: SigParams,
     num_records: u32,
     data_size: Ticks,
+    /// Nominal frame width (every frame but the last).
+    group_len: u32,
+    /// Frame signatures in frame order, packed for fast-forward matching.
+    table: Arc<SigTable>,
 }
 
 impl Scheme for IntegratedSignatureScheme {
@@ -63,6 +69,7 @@ impl Scheme for IntegratedSignatureScheme {
         let sig_size = params.header_size + self.sig.sig_bytes;
         let data_size = params.data_bucket_size();
         let mut buckets = Vec::new();
+        let mut group_sigs = Vec::new();
         for (g, frame) in dataset
             .records()
             .chunks(self.group_len as usize)
@@ -72,6 +79,7 @@ impl Scheme for IntegratedSignatureScheme {
             for r in frame {
                 sig.superimpose(&self.sig.record_signature(r.key, &r.attrs));
             }
+            group_sigs.push(sig.clone());
             buckets.push(Bucket::new(
                 sig_size,
                 SigPayload::GroupSig {
@@ -96,6 +104,8 @@ impl Scheme for IntegratedSignatureScheme {
             sig: self.sig,
             num_records: dataset.len() as u32,
             data_size: Ticks::from(data_size),
+            group_len: self.group_len,
+            table: Arc::new(SigTable::build(&group_sigs)),
         })
     }
 }
@@ -125,6 +135,8 @@ impl System for IntegratedSystem {
             in_group: 0,
             group_matched: false,
             coverage: Coverage::new(self.num_records),
+            frame_len: self.group_len,
+            table: Arc::clone(&self.table),
         }
     }
 }
@@ -145,6 +157,11 @@ pub struct IntegratedMachine {
     group_matched: bool,
     /// Records ruled out so far; absence is concluded at full coverage.
     coverage: Coverage,
+    /// Nominal frame width: frame `g` starts at record `g * frame_len`, so
+    /// a `GroupSig`'s table row is `first_record / frame_len`.
+    frame_len: u32,
+    /// The broadcast's frame signatures, shared with the system.
+    table: Arc<SigTable>,
 }
 
 impl ProtocolMachine<SigPayload> for IntegratedMachine {
@@ -231,6 +248,59 @@ impl ProtocolMachine<SigPayload> for IntegratedMachine {
                     "record signatures do not appear in integrated layout"
                 );
                 Action::ReadNext
+            }
+        }
+    }
+
+    /// Bulk-consume the frame sift: a non-matching frame signature is a
+    /// mark-range and frame-length doze, and even a false-dropping frame —
+    /// its signature matched, so every data bucket gets downloaded — is a
+    /// mechanical run of count-and-mark reads. Stop only on a genuine
+    /// decision point — the target's data bucket, the read that would
+    /// complete coverage, a corrupted transmission, or the probe budget —
+    /// and leave that bucket to the slow path.
+    fn fast_forward(&mut self, ctx: &mut FastForward<'_, SigPayload>) {
+        while ctx.can_read() && !ctx.next_corrupt() {
+            match ctx.peek() {
+                SigPayload::GroupSig {
+                    first_record,
+                    group_len,
+                    ..
+                } => {
+                    let (first, len) = (*first_record, *group_len);
+                    let g = (first / self.frame_len) as usize;
+                    let hit = self.table.matches(g, &self.query);
+                    if !hit && self.coverage.would_fill_range(first, len) {
+                        return;
+                    }
+                    if hit {
+                        self.in_group = len;
+                        self.group_matched = true;
+                        ctx.read(bda_core::BucketKind::Index);
+                    } else {
+                        self.coverage.mark_range(first, len);
+                        ctx.read(bda_core::BucketKind::Index);
+                        ctx.doze_buckets(len as usize);
+                    }
+                }
+                SigPayload::Data {
+                    key, record_index, ..
+                } => {
+                    let r = *record_index;
+                    if *key == self.key || self.coverage.would_fill(r) {
+                        return;
+                    }
+                    if self.group_matched {
+                        self.in_group -= 1;
+                        self.false_drops += 1;
+                        if self.in_group == 0 {
+                            self.group_matched = false;
+                        }
+                    }
+                    self.coverage.mark(r);
+                    ctx.read(bda_core::BucketKind::Data);
+                }
+                _ => return,
             }
         }
     }

@@ -32,5 +32,5 @@ pub mod simple;
 
 pub use integrated::{IntegratedSignatureScheme, IntegratedSystem};
 pub use multilevel::{MultiLevelSignatureScheme, MultiLevelSystem};
-pub use sig::{SigParams, Signature};
+pub use sig::{SigParams, SigTable, Signature};
 pub use simple::{QueryTarget, SigPayload, SimpleSignatureScheme, SimpleSignatureSystem};

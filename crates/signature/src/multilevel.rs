@@ -6,12 +6,14 @@
 //! signatures filter individual data buckets (simple behaviour), so false
 //! drops cost a record signature rather than a whole data bucket.
 
+use std::sync::Arc;
+
 use bda_core::{
-    Action, Bucket, BucketMeta, Channel, Coverage, Dataset, Key, Params, ProtocolMachine, Result,
-    Scheme, StaleResponse, System, Ticks, Verdict,
+    Action, Bucket, BucketMeta, Channel, Coverage, Dataset, FastForward, Key, Params,
+    ProtocolMachine, Result, Scheme, StaleResponse, System, Ticks, Verdict,
 };
 
-use crate::sig::{SigParams, Signature};
+use crate::sig::{SigParams, SigTable, Signature};
 use crate::simple::SigPayload;
 
 /// The multi-level signature scheme.
@@ -54,6 +56,12 @@ pub struct MultiLevelSystem {
     num_records: u32,
     data_size: Ticks,
     sig_size: Ticks,
+    /// Nominal frame width (every frame but the last).
+    group_len: u32,
+    /// Frame signatures in frame order, packed for fast-forward matching.
+    groups: Arc<SigTable>,
+    /// Record signatures in record order, likewise packed.
+    records: Arc<SigTable>,
 }
 
 impl Scheme for MultiLevelSignatureScheme {
@@ -64,6 +72,8 @@ impl Scheme for MultiLevelSignatureScheme {
         let sig_size = params.header_size + self.sig.sig_bytes;
         let data_size = params.data_bucket_size();
         let mut buckets = Vec::new();
+        let mut group_sigs = Vec::new();
+        let mut all_record_sigs = Vec::with_capacity(dataset.len());
         for (g, frame) in dataset
             .records()
             .chunks(self.group_len as usize)
@@ -77,6 +87,8 @@ impl Scheme for MultiLevelSignatureScheme {
             for s in &record_sigs {
                 group_sig.superimpose(s);
             }
+            group_sigs.push(group_sig.clone());
+            all_record_sigs.extend(record_sigs.iter().cloned());
             buckets.push(Bucket::new(
                 sig_size,
                 SigPayload::GroupSig {
@@ -110,6 +122,9 @@ impl Scheme for MultiLevelSignatureScheme {
             num_records: dataset.len() as u32,
             data_size: Ticks::from(data_size),
             sig_size: Ticks::from(sig_size),
+            group_len: self.group_len,
+            groups: Arc::new(SigTable::build(&group_sigs)),
+            records: Arc::new(SigTable::build(&all_record_sigs)),
         })
     }
 }
@@ -141,6 +156,9 @@ impl System for MultiLevelSystem {
             scanning: false,
             checking_data: false,
             coverage: Coverage::new(self.num_records),
+            frame_len: self.group_len,
+            groups: Arc::clone(&self.groups),
+            records: Arc::clone(&self.records),
         }
     }
 }
@@ -161,6 +179,13 @@ pub struct MultiLevelMachine {
     checking_data: bool,
     /// Records ruled out so far; absence is concluded at full coverage.
     coverage: Coverage,
+    /// Nominal frame width: frame `g` starts at record `g * frame_len`, so
+    /// a `GroupSig`'s table row is `first_record / frame_len`.
+    frame_len: u32,
+    /// The broadcast's frame signatures, shared with the system.
+    groups: Arc<SigTable>,
+    /// The broadcast's record signatures, shared with the system.
+    records: Arc<SigTable>,
 }
 
 impl MultiLevelMachine {
@@ -269,6 +294,84 @@ impl ProtocolMachine<SigPayload> for MultiLevelMachine {
                 }
                 self.coverage.mark(*record_index);
                 self.finish_or_continue()
+            }
+        }
+    }
+
+    /// Bulk-consume both granularities of the sift: non-matching frame
+    /// signatures are skipped whole (frame-length doze over `group_len`
+    /// record-signature/data pairs); inside a matched frame, non-matching
+    /// record signatures are skipped record by record, and even a false
+    /// drop — record signature matched, data bucket downloaded — is a
+    /// mechanical count-and-mark sequence. Stop only on a genuine decision
+    /// point — the target's data bucket, the read that would complete
+    /// coverage, a corrupted transmission, or the probe budget — and leave
+    /// that bucket to the slow path.
+    fn fast_forward(&mut self, ctx: &mut FastForward<'_, SigPayload>) {
+        while ctx.can_read() && !ctx.next_corrupt() {
+            match ctx.peek() {
+                SigPayload::GroupSig {
+                    first_record,
+                    group_len,
+                    ..
+                } => {
+                    let (first, len) = (*first_record, *group_len);
+                    let g = (first / self.frame_len) as usize;
+                    let hit = self.groups.matches(g, &self.query);
+                    if !hit && self.coverage.would_fill_range(first, len) {
+                        return;
+                    }
+                    if hit {
+                        self.in_group = len;
+                        self.scanning = true;
+                        ctx.read(bda_core::BucketKind::Index);
+                    } else {
+                        self.coverage.mark_range(first, len);
+                        ctx.read(bda_core::BucketKind::Index);
+                        ctx.doze_buckets(2 * len as usize);
+                    }
+                }
+                SigPayload::RecordSig { record_index, .. } if !self.checking_data => {
+                    if !self.scanning {
+                        // Alignment read after tune-in mid-frame.
+                        ctx.read(bda_core::BucketKind::Index);
+                        continue;
+                    }
+                    let r = *record_index;
+                    let hit = self.records.matches(r as usize, &self.query);
+                    if !hit && self.coverage.would_fill(r) {
+                        return;
+                    }
+                    self.in_group -= 1;
+                    if hit {
+                        self.checking_data = true;
+                        ctx.read(bda_core::BucketKind::Index);
+                    } else {
+                        self.coverage.mark(r);
+                        if self.in_group == 0 {
+                            self.scanning = false;
+                        }
+                        ctx.read(bda_core::BucketKind::Index);
+                        ctx.doze_buckets(1);
+                    }
+                }
+                SigPayload::Data {
+                    key, record_index, ..
+                } => {
+                    let r = *record_index;
+                    if *key == self.key || self.coverage.would_fill(r) {
+                        return;
+                    }
+                    if std::mem::take(&mut self.checking_data) {
+                        self.false_drops += 1;
+                    }
+                    self.coverage.mark(r);
+                    if self.in_group == 0 {
+                        self.scanning = false;
+                    }
+                    ctx.read(bda_core::BucketKind::Data);
+                }
+                _ => return,
             }
         }
     }

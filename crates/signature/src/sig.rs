@@ -60,6 +60,69 @@ impl Signature {
     pub fn weight(&self) -> u32 {
         self.words.iter().map(|w| w.count_ones()).sum()
     }
+
+    /// The raw 64-bit words backing the bit string (little-endian bit
+    /// order: bit `i` lives in word `i / 64`).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+/// A flat, contiguous table of signatures for bulk matching.
+///
+/// The fast-forward planner tests one signature per skipped bucket; chasing
+/// a `Box<[u64]>` per bucket payload would make that walk pointer-bound.
+/// `SigTable` lays every signature out back to back in one `Vec<u64>` with
+/// a fixed stride, so the per-row test is a short run of `(w & q) == q`
+/// compares over adjacent words — the layout autovectorizes and stays in
+/// cache across the thousands of rows a cycle-length scan touches.
+#[derive(Debug, Clone)]
+pub struct SigTable {
+    words_per_sig: usize,
+    words: Vec<u64>,
+}
+
+impl SigTable {
+    /// Build a table from signatures of uniform width, in row order.
+    pub fn build<'a, I>(sigs: I) -> Self
+    where
+        I: IntoIterator<Item = &'a Signature>,
+    {
+        let mut words_per_sig = 0;
+        let mut words = Vec::new();
+        for s in sigs {
+            if words_per_sig == 0 {
+                words_per_sig = s.words.len();
+            }
+            debug_assert_eq!(s.words.len(), words_per_sig, "mixed signature widths");
+            words.extend_from_slice(&s.words);
+        }
+        SigTable {
+            words_per_sig,
+            words,
+        }
+    }
+
+    /// Number of signatures in the table.
+    pub fn len(&self) -> usize {
+        self.words
+            .len()
+            .checked_div(self.words_per_sig)
+            .unwrap_or(0)
+    }
+
+    /// Whether the table holds no signatures.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Whether row `i` contains every bit of `query` — identical to
+    /// [`Signature::matches`] on the signature the row was built from.
+    #[inline]
+    pub fn matches(&self, i: usize, query: &Signature) -> bool {
+        let row = &self.words[i * self.words_per_sig..(i + 1) * self.words_per_sig];
+        row.iter().zip(query.words.iter()).all(|(w, q)| w & q == *q)
+    }
 }
 
 /// Signature-generation parameters.

@@ -6,12 +6,14 @@
 //! signature bucket, dozing over data buckets whose signature does not
 //! match.
 
+use std::sync::Arc;
+
 use bda_core::{
-    Action, Bucket, BucketMeta, Channel, Coverage, Dataset, Key, Params, ProtocolMachine, Result,
-    Scheme, StaleResponse, System, Ticks, Verdict,
+    Action, Bucket, BucketMeta, Channel, Coverage, Dataset, FastForward, Key, Params,
+    ProtocolMachine, Result, Scheme, StaleResponse, System, Ticks, Verdict,
 };
 
-use crate::sig::{SigParams, Signature};
+use crate::sig::{SigParams, SigTable, Signature};
 
 /// Bucket payload shared by all signature-based schemes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -111,6 +113,8 @@ pub struct SimpleSignatureSystem {
     sig: SigParams,
     num_records: u32,
     data_size: Ticks,
+    /// Record signatures in record order, packed for fast-forward matching.
+    table: Arc<SigTable>,
 }
 
 impl SimpleSignatureSystem {
@@ -133,11 +137,13 @@ impl Scheme for SimpleSignatureScheme {
         let sig_size = params.header_size + self.sig.sig_bytes;
         let data_size = params.data_bucket_size();
         let mut buckets = Vec::with_capacity(2 * dataset.len());
+        let mut sigs = Vec::with_capacity(dataset.len());
         for (i, r) in dataset.records().iter().enumerate() {
+            let sig = self.sig.record_signature(r.key, &r.attrs);
             buckets.push(Bucket::new(
                 sig_size,
                 SigPayload::RecordSig {
-                    sig: self.sig.record_signature(r.key, &r.attrs),
+                    sig: sig.clone(),
                     record_index: i as u32,
                 },
             ));
@@ -149,12 +155,14 @@ impl Scheme for SimpleSignatureScheme {
                     attrs: r.attrs.clone(),
                 },
             ));
+            sigs.push(sig);
         }
         Ok(SimpleSignatureSystem {
             channel: Channel::new(buckets)?,
             sig: self.sig,
             num_records: dataset.len() as u32,
             data_size: Ticks::from(data_size),
+            table: Arc::new(SigTable::build(&sigs)),
         })
     }
 }
@@ -199,6 +207,7 @@ impl SimpleSignatureSystem {
             false_drops: 0,
             checking_data: false,
             coverage: Coverage::new(self.num_records),
+            table: Arc::clone(&self.table),
         }
     }
 }
@@ -215,6 +224,9 @@ pub struct SimpleSigMachine {
     /// (sound even when corrupted reads leave holes — see
     /// [`bda_core::Coverage`]).
     coverage: Coverage,
+    /// The broadcast's record signatures, shared with the system; row `r`
+    /// equals the signature in record `r`'s `RecordSig` bucket.
+    table: Arc<SigTable>,
 }
 
 impl ProtocolMachine<SigPayload> for SimpleSigMachine {
@@ -292,6 +304,50 @@ impl ProtocolMachine<SigPayload> for SimpleSigMachine {
             SigPayload::GroupSig { .. } => {
                 debug_assert!(false, "group signatures do not appear in simple layout");
                 Action::ReadNext
+            }
+        }
+    }
+
+    /// Bulk-consume the sift loop: non-matching record signatures are
+    /// mark-and-doze pairs, and even a false drop (matching signature,
+    /// wrong record) is a mechanical read-count-mark sequence. Stop only
+    /// on a genuine decision point — the bucket that satisfies the query,
+    /// the read that would complete coverage, a corrupted transmission, or
+    /// the probe budget — and leave that bucket to the slow path.
+    fn fast_forward(&mut self, ctx: &mut FastForward<'_, SigPayload>) {
+        while ctx.can_read() && !ctx.next_corrupt() {
+            match ctx.peek() {
+                SigPayload::RecordSig { record_index, .. } if !self.checking_data => {
+                    let r = *record_index;
+                    let hit = self.table.matches(r as usize, &self.query);
+                    if !hit && self.coverage.would_fill(r) {
+                        return;
+                    }
+                    if hit {
+                        self.checking_data = true;
+                        ctx.read(bda_core::BucketKind::Index);
+                    } else {
+                        self.coverage.mark(r);
+                        ctx.read(bda_core::BucketKind::Index);
+                        ctx.doze_buckets(1);
+                    }
+                }
+                SigPayload::Data {
+                    key,
+                    record_index,
+                    attrs,
+                } => {
+                    let r = *record_index;
+                    if self.target.satisfied_by(*key, attrs) || self.coverage.would_fill(r) {
+                        return;
+                    }
+                    if std::mem::take(&mut self.checking_data) {
+                        self.false_drops += 1;
+                    }
+                    self.coverage.mark(r);
+                    ctx.read(bda_core::BucketKind::Data);
+                }
+                _ => return,
             }
         }
     }

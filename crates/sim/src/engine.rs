@@ -217,6 +217,12 @@ pub struct Engine<'a> {
     /// the occupancy gauges. `None` (the default) costs one untaken branch
     /// per completion and per batch — nothing on the per-step hot path.
     obs: Option<Box<MetricsHub>>,
+    /// Whether admitted clients use analytical fast-forward (on by
+    /// default): scan-heavy schemes collapse runs of mechanical bucket
+    /// transitions into one wake-up with bit-identical outcomes and
+    /// accounting. Turn off via [`Engine::set_fast_forward`] to force
+    /// bucket-by-bucket stepping (the differential baseline).
+    fast_forward: bool,
 }
 
 impl<'a> Engine<'a> {
@@ -247,7 +253,18 @@ impl<'a> Engine<'a> {
             errors,
             policy,
             obs: None,
+            fast_forward: true,
         }
+    }
+
+    /// Enable or disable analytical fast-forward for clients admitted from
+    /// now on (it is **on** by default). Fast-forward never changes an
+    /// outcome, a tick of accounting, or a recorded span — only the number
+    /// of engine events a walk costs — so the only reason to disable it is
+    /// to measure the bucket-by-bucket baseline or to drive differential
+    /// tests.
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.fast_forward = enabled;
     }
 
     /// Turn on metrics collection. Must be called while the arena is idle
@@ -328,6 +345,7 @@ impl<'a> Engine<'a> {
                 id
             }
         };
+        self.slots[id as usize].set_fast_forward(self.fast_forward);
         self.sched.schedule(arrival, id);
     }
 

@@ -112,6 +112,16 @@ impl<'a> ShardedEngine<'a> {
         self.shards.len()
     }
 
+    /// Enable or disable analytical fast-forward on every shard (on by
+    /// default; see [`Engine::set_fast_forward`]). Outcomes, accounting
+    /// and merged metrics are identical either way — only event counts
+    /// change.
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        for e in &mut self.shards {
+            e.set_fast_forward(enabled);
+        }
+    }
+
     /// Turn on metrics collection on every shard. Same idle-arena
     /// requirement as [`Engine::enable_metrics`].
     pub fn enable_metrics(&mut self) {

@@ -250,6 +250,99 @@ fn phase_mix_reflects_each_schemes_structure() {
     }
 }
 
+/// Analytical fast-forward is invisible to the observability layer: on
+/// every scheme — lossless, 15 % loss with an abandoning policy, and 20 %
+/// churn on a versioned server — the fast-forwarded engine, the
+/// bucket-by-bucket engine and the plain (unobserved) engine agree on
+/// every outcome, and the per-phase span sums (including `Doze` tick
+/// totals for the skipped buckets) are bit-identical.
+#[test]
+fn fast_forwarded_spans_match_bucket_by_bucket_on_every_scheme() {
+    use bda_sim::Engine;
+    let (ds, pool) = DatasetBuilder::new(60, 0x0FF0)
+        .build_with_absent_pool(10)
+        .unwrap();
+    let params = Params::paper();
+
+    fn observed_with_ff(
+        sys: &dyn DynSystem,
+        requests: &[(Ticks, Key)],
+        errors: ErrorModel,
+        policy: RetryPolicy,
+        ff: bool,
+    ) -> (
+        Vec<bda_sim::CompletedRequest>,
+        bda_obs::MetricsHub,
+        bda_sim::EngineStats,
+    ) {
+        let mut engine = Engine::with_faults(sys, errors, policy);
+        engine.set_fast_forward(ff);
+        engine.enable_metrics();
+        let done = engine.run_batch(requests);
+        let hub = engine.take_metrics().expect("metrics were enabled");
+        (done, hub, engine.stats())
+    }
+
+    fn check(sys: &dyn DynSystem, requests: &[(Ticks, Key)], errors: ErrorModel, what: &str) {
+        let policy = RetryPolicy::bounded(2);
+        let plain = run_requests_with_faults(sys, requests, errors, policy);
+        let (fast, fast_hub, fast_stats) = observed_with_ff(sys, requests, errors, policy, true);
+        let (slow, slow_hub, slow_stats) = observed_with_ff(sys, requests, errors, policy, false);
+        let name = sys.scheme_name();
+        assert_eq!(
+            plain, fast,
+            "{name} [{what}]: fast-forward changed outcomes"
+        );
+        assert_eq!(fast, slow, "{name} [{what}]: ff-on ≠ ff-off");
+        assert_eq!(
+            fast_hub.spans, slow_hub.spans,
+            "{name} [{what}]: span sums diverged"
+        );
+        assert_eq!(
+            fast_hub.spans.get(Phase::Doze),
+            slow_hub.spans.get(Phase::Doze),
+            "{name} [{what}]: Doze tick totals must attribute skipped buckets"
+        );
+        assert_eq!(fast_hub.completed, slow_hub.completed);
+        assert!(
+            fast_stats.events <= slow_stats.events,
+            "{name} [{what}]: fast-forward must never add events"
+        );
+    }
+
+    for sys in all_systems(&ds, &params) {
+        let requests = request_mix(&ds, &pool, 80, 8 * sys.cycle_len());
+        check(sys.as_ref(), &requests, ErrorModel::NONE, "lossless");
+        check(
+            sys.as_ref(),
+            &requests,
+            ErrorModel::new(0.15, 0xFA57),
+            "15% loss",
+        );
+    }
+
+    // 20 % churn: versioned walks rebuild their machine against the live
+    // program and stay on the bucket-by-bucket path (fast-forward is only
+    // valid over an immutable program) — the setting must still be safe to
+    // apply and change nothing.
+    let spec = UpdateSpec {
+        rate: 0.20,
+        seed: 0xABC7,
+        horizon_cycles: 16,
+    };
+    let server = VersionedServer::build(&bda_core::FlatScheme, &ds, &params, spec).unwrap();
+    let span = server.timeline().epochs().last().map_or(0, |e| e.start)
+        + 4 * DynSystem::cycle_len(&server);
+    let requests = request_mix(&ds, &pool, 80, span);
+    check(&server, &requests, ErrorModel::NONE, "20% churn");
+    check(
+        &server,
+        &requests,
+        ErrorModel::new(0.10, 0x717),
+        "20% churn + loss",
+    );
+}
+
 /// The simulator's observed run agrees with its plain run on a non-flat
 /// scheme driven through the full accuracy-controlled testbed.
 #[test]
