@@ -1,0 +1,185 @@
+//! Closed-form expected access time for broadcast-disk repetition
+//! schedules (see `bda_core::disks`).
+//!
+//! For a scan layout the retrieval moment is exact: a client downloads
+//! record `r` at the end of `r`'s next complete occurrence. If `r`'s
+//! occurrences start at cycle positions `x_0 < x_1 < … < x_{k-1}` within a
+//! major cycle of length `L`, a client tuning in uniformly at random waits
+//!
+//! ```text
+//! E[wait-to-start] = Σ_i g_i² / (2L),   g_i = wrapping gaps between the x_i
+//! ```
+//!
+//! (integrate the sawtooth "distance to next occurrence" over one cycle),
+//! and then listens through the occurrence itself. The scheme's expected
+//! access time is the **popularity-weighted mean of per-record
+//! inter-arrival gap costs**:
+//!
+//! ```text
+//! At = Σ_r w_r · (Dt + Σ_i g_{r,i}² / (2L))
+//! ```
+//!
+//! With `k` evenly spaced occurrences the gap term collapses to `L/(2k)` —
+//! repetition divides a record's expected wait by its occurrence count,
+//! which is exactly what spinning its disk faster buys. At `D = 1` every
+//! record occurs once, every gap is `L`, and the formula reduces to the
+//! flat-cycle model `At = Dt + L/2` (the paper's "half the broadcast
+//! cycle").
+
+use bda_core::{Params, RepetitionSchedule};
+
+use crate::Model;
+
+/// Popularity-weighted expected wait (in slots) until the *start* of the
+/// next occurrence, for a schedule whose occurrences occupy uniform
+/// consecutive slots. Returns the weighted mean of `Σ g_i²/(2T)` per
+/// record, in slot units. `weights` is indexed by record and must sum
+/// to 1 (see `bda_datagen::zipf_weights`).
+fn weighted_wait_slots(schedule: &RepetitionSchedule, weights: &[f64]) -> f64 {
+    let total_slots = schedule.num_occurrences() as f64;
+    // Slot positions per record, in broadcast order.
+    let mut slots: Vec<Vec<f64>> = vec![Vec::new(); weights.len()];
+    for (p, r) in schedule.sequence().enumerate() {
+        slots[r as usize].push(p as f64);
+    }
+    let mut at = 0.0;
+    for (r, pos) in slots.iter().enumerate() {
+        assert!(!pos.is_empty(), "record {r} never scheduled");
+        let k = pos.len();
+        let mut sum_sq = 0.0;
+        for i in 0..k {
+            let gap = if i + 1 < k {
+                pos[i + 1] - pos[i]
+            } else {
+                total_slots - pos[k - 1] + pos[0]
+            };
+            sum_sq += gap * gap;
+        }
+        at += weights[r] * sum_sq / (2.0 * total_slots);
+    }
+    at
+}
+
+/// Expected metrics for **flat broadcast disks** (`FlatDisksScheme`): one
+/// data bucket per occurrence. Exact for found queries under uniform
+/// tune-in; the client never dozes, so `Tt = At`.
+pub fn flat_disks(params: &Params, schedule: &RepetitionSchedule, weights: &[f64]) -> Model {
+    let dt = f64::from(params.data_bucket_size());
+    let at = dt + dt * weighted_wait_slots(schedule, weights);
+    Model {
+        access: at,
+        tuning: at,
+    }
+}
+
+/// Expected metrics for **signature broadcast disks**
+/// (`SimpleSignatureDisksScheme`): one `(signature, data)` pair per
+/// occurrence. The access time is exact — the wait to the next pair is
+/// shift-invariant in the data bucket's offset within the pair — while the
+/// tuning time is the usual sifting approximation (one signature read per
+/// pair passed over, plus the final download), ignoring false drops.
+pub fn signature_disks(
+    params: &Params,
+    sig_bytes: u32,
+    schedule: &RepetitionSchedule,
+    weights: &[f64],
+) -> Model {
+    let it = f64::from(params.header_size + sig_bytes);
+    let dt = f64::from(params.data_bucket_size());
+    let pair = it + dt;
+    let wait_pairs = weighted_wait_slots(schedule, weights);
+    Model {
+        access: dt + pair * wait_pairs,
+        tuning: dt + it * (wait_pairs + 0.5),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bda_core::{
+        Dataset, DiskConfig, DiskLayout, DynSystem, FlatDisksScheme, Key, Params, Record, Scheme,
+    };
+
+    fn uniform_weights(n: usize) -> Vec<f64> {
+        vec![1.0 / n as f64; n]
+    }
+
+    #[test]
+    fn d1_reduces_to_the_flat_cycle_model() {
+        let n = 100;
+        let p = Params::paper();
+        let layout = DiskLayout::new(n, &DiskConfig::new(1));
+        let m = flat_disks(&p, layout.schedule(), &uniform_weights(n));
+        let baseline = crate::flat(&p, n);
+        assert!(
+            (m.access - baseline.access).abs() < 1e-9 + f64::from(p.data_bucket_size()) / 2.0,
+            "disks D=1 {} vs flat model {}",
+            m.access,
+            baseline.access
+        );
+        // Exact correspondence: Dt + L/2 = Dt·(1 + N/2); the classic model
+        // adds the half-bucket initial alignment inside its (N+1)/2 term.
+        let dt = f64::from(p.data_bucket_size());
+        assert!((m.access - dt * (1.0 + n as f64 / 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn model_matches_exhaustive_flat_disks_average() {
+        let n = 70usize;
+        let p = Params::paper();
+        let ds = Dataset::new((0..n as u64).map(|i| Record::keyed(i * 2)).collect()).unwrap();
+        let sys = FlatDisksScheme::new(DiskConfig::new(3))
+            .build(&ds, &p)
+            .unwrap();
+        let layout = DiskLayout::new(n, &DiskConfig::new(3));
+        let cycle = sys.cycle_len();
+
+        // Uniform weights, exhaustive tune-in grid per key.
+        let mut total = 0f64;
+        let mut count = 0f64;
+        for k in 0..n as u64 {
+            for t in (0..cycle).step_by(101) {
+                total += sys.probe(Key(k * 2), t).access as f64;
+                count += 1.0;
+            }
+        }
+        let measured = total / count;
+        let model = flat_disks(&p, layout.schedule(), &uniform_weights(n)).access;
+        let err = (measured - model).abs() / model;
+        assert!(
+            err < 0.01,
+            "measured {measured:.1} vs model {model:.1} ({:.2}% off)",
+            err * 100.0
+        );
+    }
+
+    #[test]
+    fn skewed_weights_reward_repetition() {
+        // Under hot-head weights the stratified schedule must beat the
+        // flat cycle; under uniform weights it must lose (repetition
+        // lengthens the cycle without favoring anyone).
+        let n = 70;
+        let p = Params::paper();
+        let d1 = DiskLayout::new(n, &DiskConfig::new(1));
+        let d3 = DiskLayout::new(n, &DiskConfig::new(3));
+        let mut hot = vec![0.002; n];
+        let head_mass = 1.0 - 0.002 * (n as f64 - 10.0);
+        for w in hot.iter_mut().take(10) {
+            *w = head_mass / 10.0;
+        }
+        let uniform = uniform_weights(n);
+        let flat1_hot = flat_disks(&p, d1.schedule(), &hot).access;
+        let flat3_hot = flat_disks(&p, d3.schedule(), &hot).access;
+        assert!(
+            flat3_hot < flat1_hot,
+            "hot: D3 {flat3_hot} vs D1 {flat1_hot}"
+        );
+        let flat1_uni = flat_disks(&p, d1.schedule(), &uniform).access;
+        let flat3_uni = flat_disks(&p, d3.schedule(), &uniform).access;
+        assert!(
+            flat3_uni > flat1_uni,
+            "uniform: D3 {flat3_uni} vs D1 {flat1_uni}"
+        );
+    }
+}

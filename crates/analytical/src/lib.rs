@@ -34,11 +34,13 @@
 
 pub mod availability;
 pub mod btree;
+pub mod disks;
 pub mod flat;
 pub mod hash;
 pub mod signature;
 
 pub use btree::{distributed, distributed_paper, one_m, tree_shape};
+pub use disks::{flat_disks, signature_disks};
 pub use flat::flat;
 pub use hash::{hash, hash_poisson};
 pub use signature::{false_drop_probability, signature};

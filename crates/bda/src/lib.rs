@@ -57,14 +57,17 @@ pub use bda_sim as sim;
 pub mod prelude {
     pub use bda_btree::{DistributedScheme, OneMScheme};
     pub use bda_core::{
-        AccessOutcome, Channel, Dataset, DynSystem, FlatScheme, Key, Params, Record, Scheme,
-        System, Ticks,
+        AccessOutcome, Channel, Dataset, DiskConfig, DiskLayout, DiskScheme, DynSystem,
+        FlatDisksScheme, FlatScheme, Key, Params, Record, Scheme, System, Ticks,
     };
-    pub use bda_datagen::{Arrivals, DatasetBuilder, Popularity, Prng, QueryWorkload};
+    pub use bda_datagen::{
+        zipf_ranking, zipf_weights, Arrivals, DatasetBuilder, Popularity, Prng, QueryWorkload,
+    };
     pub use bda_hash::{HashFn, HashScheme};
     pub use bda_hybrid::HybridScheme;
     pub use bda_signature::{
-        IntegratedSignatureScheme, MultiLevelSignatureScheme, SigParams, SimpleSignatureScheme,
+        IntegratedSignatureScheme, MultiLevelSignatureScheme, SigParams,
+        SimpleSignatureDisksScheme, SimpleSignatureScheme,
     };
     pub use bda_sim::{SimConfig, SimReport, Simulator};
 }

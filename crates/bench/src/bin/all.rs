@@ -20,6 +20,8 @@ fn main() {
     println!();
     ext_errors::run(&cli);
     println!();
+    ext_disks::run(&cli);
+    println!();
     ext_hybrid::run(&cli);
     println!();
     ext_tails::run(&cli);

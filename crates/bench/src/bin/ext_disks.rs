@@ -1,0 +1,4 @@
+//! Extension: broadcast-disk stratification under skewed demand.
+fn main() {
+    bda_bench::experiments::ext_disks::run(&bda_bench::Cli::parse());
+}

@@ -2,6 +2,7 @@
 //! `run(&Cli)`; the `src/bin/*` wrappers and the `all` binary call these.
 
 pub mod ablations;
+pub mod ext_disks;
 pub mod ext_errors;
 pub mod ext_hybrid;
 pub mod ext_phases;

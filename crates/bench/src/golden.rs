@@ -16,8 +16,8 @@
 use std::fmt::Write as _;
 
 use bda_core::{ErrorModel, Key, Params, RetryPolicy, Ticks};
-use bda_datagen::DatasetBuilder;
-use bda_sim::run_requests_with_faults;
+use bda_datagen::{DatasetBuilder, Popularity, QueryWorkload};
+use bda_sim::{run_requests_with_faults, CompletedRequest};
 
 use crate::SchemeKind;
 
@@ -30,6 +30,13 @@ const SEED: u64 = 0x601D;
 const REQUESTS: usize = 64;
 /// Loss probability of the corpus's error-prone variant.
 const LOSS: f64 = 0.15;
+/// Stratification depth of the broadcast-disk corpus files.
+const DISK_DISKS: usize = 3;
+/// Zipf skew of the broadcast-disk corpus workload.
+const DISK_THETA: f64 = 0.8;
+/// The two schemes pinned in their stratified form: one interleaved scan
+/// layout and one chunked-navigation wrapper.
+const DISK_KINDS: [SchemeKind; 2] = [SchemeKind::Flat, SchemeKind::Hashing];
 
 /// The two channel variants every scheme is pinned under.
 fn variants() -> [(&'static str, ErrorModel, RetryPolicy); 2] {
@@ -68,6 +75,59 @@ fn requests(ds: &bda_core::Dataset, pool: &[Key], span: Ticks) -> Vec<(Ticks, Ke
         .collect()
 }
 
+/// The broadcast-disk corpus's request mix: the same Weyl-sequence
+/// arrivals, keys drawn from a Zipf(`DISK_THETA`) workload at 90 % data
+/// availability so absent keys exercise the disk routing too.
+fn disk_requests(ds: &bda_core::Dataset, pool: &[Key], span: Ticks) -> Vec<(Ticks, Key)> {
+    let mut w = QueryWorkload::new(
+        ds,
+        pool.to_vec(),
+        0.9,
+        Popularity::Zipf(DISK_THETA),
+        SEED ^ 0xD15C,
+    );
+    (0..REQUESTS)
+        .map(|i| {
+            let t = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 13;
+            (t % span.max(1), w.next_key())
+        })
+        .collect()
+}
+
+/// Render one corpus file: header comments, column line, one row per
+/// completed request.
+fn render(scheme_line: &str, completed: &[CompletedRequest]) -> String {
+    let mut tsv = String::new();
+    let _ = writeln!(tsv, "# golden conformance corpus — {scheme_line}");
+    let _ = writeln!(
+        tsv,
+        "# regenerate: cargo run -p bda-bench --bin gen_golden (review the diff!)"
+    );
+    tsv.push_str(
+        "idx\tarrival\tkey\tfound\taccess\ttuning\tprobes\tfalse_drops\tretries\tabandoned\taborted\tstale_restarts\tversion_skews\n",
+    );
+    for (i, r) in completed.iter().enumerate() {
+        let o = &r.outcome;
+        let _ = writeln!(
+            tsv,
+            "{i}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            r.arrival,
+            r.key,
+            u8::from(o.found),
+            o.access,
+            o.tuning,
+            o.probes,
+            o.false_drops,
+            o.retries,
+            u8::from(o.abandoned),
+            u8::from(o.aborted),
+            o.stale_restarts,
+            o.version_skews,
+        );
+    }
+    tsv
+}
+
 /// Generate the whole corpus: one `(file name, TSV contents)` pair per
 /// scheme per channel variant, deterministically.
 pub fn corpus() -> Vec<(String, String)> {
@@ -81,39 +141,39 @@ pub fn corpus() -> Vec<(String, String)> {
         let reqs = requests(&ds, &pool, 16 * system.cycle_len());
         for (variant, errors, policy) in variants() {
             let completed = run_requests_with_faults(system.as_ref(), &reqs, errors, policy);
-            let mut tsv = String::new();
-            let _ = writeln!(
-                tsv,
-                "# golden conformance corpus — scheme={} variant={variant} records={RECORDS} seed={SEED:#x}",
+            let header = format!(
+                "scheme={} variant={variant} records={RECORDS} seed={SEED:#x}",
                 kind.name()
             );
-            let _ = writeln!(
-                tsv,
-                "# regenerate: cargo run -p bda-bench --bin gen_golden (review the diff!)"
+            files.push((
+                format!("{}_{variant}.tsv", file_stem(kind.name())),
+                render(&header, &completed),
+            ));
+        }
+    }
+    // Broadcast-disk extension: two schemes pinned in their stratified form
+    // under a skewed workload, so the disk constructor's occurrence
+    // interleaving, index routing and repetition accounting are frozen
+    // alongside the flat-cycle programs.
+    for kind in DISK_KINDS {
+        let system = kind
+            .build_disks(&ds, &params, DISK_DISKS)
+            .expect("disk-capable corpus kind")
+            .expect("corpus disk build");
+        let reqs = disk_requests(&ds, &pool, 8 * system.cycle_len());
+        for (variant, errors, policy) in variants() {
+            let completed = run_requests_with_faults(system.as_ref(), &reqs, errors, policy);
+            let header = format!(
+                "scheme={} disks={DISK_DISKS} theta={DISK_THETA} variant={variant} records={RECORDS} seed={SEED:#x}",
+                kind.name()
             );
-            tsv.push_str(
-                "idx\tarrival\tkey\tfound\taccess\ttuning\tprobes\tfalse_drops\tretries\tabandoned\taborted\tstale_restarts\tversion_skews\n",
-            );
-            for (i, r) in completed.iter().enumerate() {
-                let o = &r.outcome;
-                let _ = writeln!(
-                    tsv,
-                    "{i}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
-                    r.arrival,
-                    r.key,
-                    u8::from(o.found),
-                    o.access,
-                    o.tuning,
-                    o.probes,
-                    o.false_drops,
-                    o.retries,
-                    u8::from(o.abandoned),
-                    u8::from(o.aborted),
-                    o.stale_restarts,
-                    o.version_skews,
-                );
-            }
-            files.push((format!("{}_{variant}.tsv", file_stem(kind.name())), tsv));
+            files.push((
+                format!(
+                    "{}_disks{DISK_DISKS}_zipf08_{variant}.tsv",
+                    file_stem(kind.name())
+                ),
+                render(&header, &completed),
+            ));
         }
     }
     files
@@ -136,8 +196,8 @@ mod tests {
         let a = corpus();
         let b = corpus();
         assert_eq!(a, b, "two generations must be byte-identical");
-        // 8 schemes × 2 variants.
-        assert_eq!(a.len(), SchemeKind::ALL.len() * 2);
+        // 8 schemes × 2 variants, plus 2 broadcast-disk schemes × 2.
+        assert_eq!(a.len(), (SchemeKind::ALL.len() + DISK_KINDS.len()) * 2);
         for (name, tsv) in &a {
             assert!(name.ends_with(".tsv"));
             // Header comments + column line + one row per request.

@@ -16,6 +16,7 @@
 //! | `ablation_siglen` | signature length vs access/tuning tradeoff |
 //! | `ablation_hash` | hash-function quality and load factor |
 //! | `ext_errors` | extension: error-prone channel degradation |
+//! | `ext_disks` | extension: broadcast-disk stratification vs workload skew |
 //! | `ext_hybrid` | extension: hybrid tree+signature vs its parents |
 //! | `ext_tails` | extension: p50/p95/p99 access-time tails |
 //! | `ext_phases` | extension: tuning time attributed to walk phases |

@@ -1,10 +1,15 @@
 //! Uniform construction of every access method under test.
 
 use bda_btree::{DistributedScheme, OneMScheme};
-use bda_core::{Dataset, DynSystem, Params, Result, Scheme, System};
+use bda_core::{
+    Dataset, DiskConfig, DiskScheme, DynSystem, FlatDisksScheme, Params, Result, Scheme, System,
+};
 use bda_hash::HashScheme;
 use bda_hybrid::HybridScheme;
-use bda_signature::{IntegratedSignatureScheme, MultiLevelSignatureScheme, SimpleSignatureScheme};
+use bda_signature::{
+    IntegratedSignatureScheme, MultiLevelSignatureScheme, SimpleSignatureDisksScheme,
+    SimpleSignatureScheme,
+};
 use bda_sim::{UpdateSpec, VersionedServer};
 
 /// The access methods the paper evaluates, plus the two signature
@@ -84,6 +89,48 @@ impl SchemeKind {
         })
     }
 
+    /// The kinds with a broadcast-disk (stratified) construction: the two
+    /// interleaved scan layouts plus the chunked-navigation wrapper around
+    /// hashing and distributed indexing.
+    pub const DISK_CAPABLE: [SchemeKind; 4] = [
+        SchemeKind::Flat,
+        SchemeKind::Signature,
+        SchemeKind::Hashing,
+        SchemeKind::Distributed,
+    ];
+
+    /// Build the stratified broadcast-disk variant of this scheme at
+    /// `disks` relative-speed disks. `D = 1` is bit-identical to the flat
+    /// cycle [`SchemeKind::build`] produces. Returns `None` for kinds
+    /// without a disk construction.
+    pub fn build_disks(
+        &self,
+        dataset: &Dataset,
+        params: &Params,
+        disks: usize,
+    ) -> Option<Result<Box<dyn DynSystem>>> {
+        fn boxed<S: System + 'static>(r: Result<S>) -> Result<Box<dyn DynSystem>>
+        where
+            S::Machine: 'static,
+        {
+            r.map(|s| Box::new(s) as Box<dyn DynSystem>)
+        }
+        let d = DiskConfig::new(disks);
+        Some(match self {
+            SchemeKind::Flat => boxed(FlatDisksScheme::new(d).build(dataset, params)),
+            SchemeKind::Signature => {
+                boxed(SimpleSignatureDisksScheme::new(d).build(dataset, params))
+            }
+            SchemeKind::Hashing => {
+                boxed(DiskScheme::new(HashScheme::new(), d).build(dataset, params))
+            }
+            SchemeKind::Distributed => {
+                boxed(DiskScheme::new(DistributedScheme::new(), d).build(dataset, params))
+            }
+            _ => return None,
+        })
+    }
+
     /// Build a **dynamic** broadcast server for this scheme: the program
     /// is rebuilt (with a bumped cycle version) after every cycle the
     /// update stream mutates the dataset. With `spec.rate == 0` the result
@@ -137,6 +184,24 @@ mod tests {
             assert_eq!(sys.scheme_name(), kind.name());
             let key = ds.record(17).key;
             let out = sys.probe(key, 999);
+            assert!(out.found, "{}", kind.name());
+            assert!(!out.aborted);
+        }
+    }
+
+    #[test]
+    fn disk_capable_kinds_build_stratified_and_answer() {
+        let ds = DatasetBuilder::new(120, 3).build().unwrap();
+        let params = Params::paper();
+        for kind in SchemeKind::ALL {
+            let built = kind.build_disks(&ds, &params, 3);
+            if !SchemeKind::DISK_CAPABLE.contains(&kind) {
+                assert!(built.is_none(), "{}", kind.name());
+                continue;
+            }
+            let sys = built.expect("disk-capable").unwrap();
+            assert_eq!(sys.scheme_name(), kind.name());
+            let out = sys.probe(ds.record(17).key, 999);
             assert!(out.found, "{}", kind.name());
             assert!(!out.aborted);
         }

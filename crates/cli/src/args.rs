@@ -32,6 +32,11 @@ FLAGS:
                          broadcast cycle — dynamic broadcast program with
                          versioned cycles (compare/simulate; default 0 =
                          frozen program)
+    --disks D            broadcast disks: stratify the program over D
+                         popularity-ranked disks with relative spin speeds;
+                         hot records repeat every minor cycle (flat |
+                         signature | hashing | distributed; default 1 =
+                         unstratified, bit-identical to the flat cycle)
     --accuracy A         confidence accuracy target (simulate; default 0.02)
     --shards N           worker shards for the event-driven testbed: each
                          round is partitioned across N per-core engines
@@ -71,6 +76,8 @@ pub struct Options {
     pub retry: Option<u32>,
     /// Percent of records updated per broadcast cycle (0 = frozen).
     pub update_rate: f64,
+    /// Broadcast-disk stratification depth (1 = unstratified).
+    pub disks: usize,
     /// Accuracy target.
     pub accuracy: f64,
     /// Worker shards for the event-driven testbed (simulate).
@@ -95,6 +102,7 @@ impl Default for Options {
             loss: 0.0,
             retry: None,
             update_rate: 0.0,
+            disks: 1,
             accuracy: 0.02,
             shards: 1,
             json: false,
@@ -124,6 +132,7 @@ impl Options {
                 "--loss" => o.loss = parse_num(flag, val()?)?,
                 "--retry" => o.retry = Some(parse_num(flag, val()?)?),
                 "--update-rate" => o.update_rate = parse_num(flag, val()?)?,
+                "--disks" => o.disks = parse_num(flag, val()?)?,
                 "--accuracy" => o.accuracy = parse_num(flag, val()?)?,
                 "--shards" => o.shards = parse_num(flag, val()?)?,
                 "--json" => o.json = true,
@@ -146,6 +155,9 @@ impl Options {
         if o.shards == 0 {
             return Err("--shards must be at least 1".into());
         }
+        if o.disks == 0 || o.disks > 8 {
+            return Err("--disks must be 1..=8".into());
+        }
         Ok(o)
     }
 
@@ -160,6 +172,13 @@ impl Options {
             Some(n) => bda_core::RetryPolicy::bounded(n),
             None => bda_core::RetryPolicy::UNBOUNDED,
         }
+    }
+
+    /// The broadcast-disk stratification these flags select (`None` =
+    /// unstratified flat cycle; `--disks 1` is the same program
+    /// bit for bit, so it also maps to `None`).
+    pub fn disk_config(&self) -> Option<bda_core::DiskConfig> {
+        (self.disks > 1).then(|| bda_core::DiskConfig::new(self.disks))
     }
 
     /// The dynamic-broadcast update stream these flags select (`None` =
@@ -241,6 +260,20 @@ mod tests {
         assert_eq!(parse(&[]).unwrap().shards, 1);
         assert_eq!(parse(&["--shards", "8"]).unwrap().shards, 8);
         assert!(parse(&["--shards"]).is_err());
+    }
+
+    #[test]
+    fn disks_flag_parses_and_maps() {
+        assert_eq!(parse(&[]).unwrap().disks, 1);
+        assert!(parse(&[]).unwrap().disk_config().is_none());
+        let o = parse(&["--disks", "3"]).unwrap();
+        assert_eq!(o.disks, 3);
+        assert_eq!(o.disk_config().map(|d| d.disks()), Some(3));
+        // D=1 is the unstratified program — no wrapper needed.
+        assert!(parse(&["--disks", "1"]).unwrap().disk_config().is_none());
+        assert!(parse(&["--disks", "0"]).is_err());
+        assert!(parse(&["--disks", "9"]).is_err());
+        assert!(parse(&["--disks"]).is_err());
     }
 
     #[test]

@@ -1,12 +1,17 @@
 //! The four `bda-cli` commands.
 
 use bda_btree::{DistributedScheme, OneMScheme};
-use bda_core::{Dataset, DynSystem, Key, Params, Scheme, System};
+use bda_core::{
+    Dataset, DiskConfig, DiskScheme, DynSystem, FlatDisksScheme, Key, Params, Scheme, System,
+};
 use bda_datagen::{DatasetBuilder, Popularity, QueryWorkload};
 use bda_hash::HashScheme;
 use bda_hybrid::HybridScheme;
 use bda_obs::{export, MetricsHub};
-use bda_signature::{IntegratedSignatureScheme, MultiLevelSignatureScheme, SimpleSignatureScheme};
+use bda_signature::{
+    IntegratedSignatureScheme, MultiLevelSignatureScheme, SimpleSignatureDisksScheme,
+    SimpleSignatureScheme,
+};
 use bda_sim::{SimConfig, Simulator, UpdateSpec, VersionedServer};
 
 use crate::args::Options;
@@ -23,6 +28,9 @@ const SCHEMES: [&str; 8] = [
     "hybrid",
 ];
 
+/// The schemes with a broadcast-disk (stratified) construction.
+const DISK_SCHEMES: [&str; 4] = ["flat", "signature", "hashing", "distributed"];
+
 fn params(o: &Options) -> Result<Params, String> {
     Params::with_record_key_ratio(o.ratio).map_err(|e| e.to_string())
 }
@@ -33,7 +41,54 @@ fn dataset(o: &Options) -> Result<(Dataset, Vec<Key>), String> {
         .map_err(|e| e.to_string())
 }
 
-fn build_dyn(name: &str, ds: &Dataset, p: &Params) -> Result<Box<dyn DynSystem>, String> {
+/// Build the stratified (broadcast-disk) variant of a scheme, or explain
+/// which schemes support stratification.
+fn build_disks(
+    name: &str,
+    ds: &Dataset,
+    p: &Params,
+    d: DiskConfig,
+) -> Result<Box<dyn DynSystem>, String> {
+    let sys: Box<dyn DynSystem> = match name {
+        "flat" => Box::new(
+            FlatDisksScheme::new(d)
+                .build(ds, p)
+                .map_err(|e| e.to_string())?,
+        ),
+        "signature" => Box::new(
+            SimpleSignatureDisksScheme::new(d)
+                .build(ds, p)
+                .map_err(|e| e.to_string())?,
+        ),
+        "hashing" => Box::new(
+            DiskScheme::new(HashScheme::new(), d)
+                .build(ds, p)
+                .map_err(|e| e.to_string())?,
+        ),
+        "distributed" => Box::new(
+            DiskScheme::new(DistributedScheme::new(), d)
+                .build(ds, p)
+                .map_err(|e| e.to_string())?,
+        ),
+        other => {
+            return Err(format!(
+                "scheme {other:?} has no broadcast-disk construction (try: {})",
+                DISK_SCHEMES.join(", ")
+            ))
+        }
+    };
+    Ok(sys)
+}
+
+fn build_dyn(
+    name: &str,
+    ds: &Dataset,
+    p: &Params,
+    disks: Option<DiskConfig>,
+) -> Result<Box<dyn DynSystem>, String> {
+    if let Some(d) = disks {
+        return build_disks(name, ds, p, d);
+    }
     let sys: Box<dyn DynSystem> = match name {
         "flat" => Box::new(
             bda_core::FlatScheme
@@ -85,6 +140,7 @@ fn build_versioned(
     ds: &Dataset,
     p: &Params,
     spec: UpdateSpec,
+    disks: Option<DiskConfig>,
 ) -> Result<Box<dyn DynSystem>, String> {
     fn v<Sch: Scheme>(
         scheme: Sch,
@@ -99,6 +155,18 @@ fn build_versioned(
         Ok(Box::new(
             VersionedServer::build(&scheme, ds, p, spec).map_err(|e| e.to_string())?,
         ))
+    }
+    if let Some(d) = disks {
+        return match name {
+            "flat" => v(FlatDisksScheme::new(d), ds, p, spec),
+            "signature" => v(SimpleSignatureDisksScheme::new(d), ds, p, spec),
+            "hashing" => v(DiskScheme::new(HashScheme::new(), d), ds, p, spec),
+            "distributed" => v(DiskScheme::new(DistributedScheme::new(), d), ds, p, spec),
+            other => Err(format!(
+                "scheme {other:?} has no broadcast-disk construction (try: {})",
+                DISK_SCHEMES.join(", ")
+            )),
+        };
     }
     match name {
         "flat" => v(bda_core::FlatScheme, ds, p, spec),
@@ -124,8 +192,8 @@ fn build_system(
     p: &Params,
 ) -> Result<Box<dyn DynSystem>, String> {
     match o.update_spec() {
-        Some(spec) => build_versioned(name, ds, p, spec),
-        None => build_dyn(name, ds, p),
+        Some(spec) => build_versioned(name, ds, p, spec, o.disk_config()),
+        None => build_dyn(name, ds, p, o.disk_config()),
     }
 }
 
@@ -133,7 +201,7 @@ fn build_system(
 pub fn inspect(o: &Options) -> Result<(), String> {
     let p = params(o)?;
     let (ds, _) = dataset(o)?;
-    let sys = build_dyn(&o.scheme, &ds, &p)?;
+    let sys = build_dyn(&o.scheme, &ds, &p, o.disk_config())?;
     let cycle = sys.cycle_len();
     let buckets = sys.num_buckets();
     let data_bytes = ds.len() as u64 * u64::from(p.data_bucket_size());
@@ -153,6 +221,26 @@ pub fn inspect(o: &Options) -> Result<(), String> {
         cycle.saturating_sub(data_bytes),
     );
 
+    if let Some(d) = o.disk_config() {
+        let layout = bda_core::DiskLayout::new(ds.len(), &d);
+        println!(
+            "broadcast disks   : {} requested, {} effective",
+            d.disks(),
+            layout.effective_disks()
+        );
+        println!(
+            "minor cycles      : {}",
+            layout.schedule().num_minor_cycles()
+        );
+        println!(
+            "occurrences/cycle : {} ({} records, hot ones repeated)",
+            layout.schedule().num_occurrences(),
+            ds.len()
+        );
+        // The typed per-scheme stats below describe the unstratified
+        // build; skip them for a stratified program.
+        return Ok(());
+    }
     // Scheme-specific details where the typed system exposes them.
     match o.scheme.as_str() {
         "distributed" => {
@@ -218,6 +306,41 @@ pub fn trace(o: &Options) -> Result<(), String> {
             }
         );
     }
+    if let Some(d) = o.disk_config() {
+        let t: Trace = match o.scheme.as_str() {
+            "flat" => {
+                let sys = FlatDisksScheme::new(d)
+                    .build(&ds, &p)
+                    .map_err(|e| e.to_string())?;
+                trace_query(&sys, key, o.tune_in, errors, policy, describe::flat)
+            }
+            "signature" => {
+                let sys = SimpleSignatureDisksScheme::new(d)
+                    .build(&ds, &p)
+                    .map_err(|e| e.to_string())?;
+                trace_query(&sys, key, o.tune_in, errors, policy, describe::sig)
+            }
+            "hashing" => {
+                let sys = DiskScheme::new(HashScheme::new(), d)
+                    .build(&ds, &p)
+                    .map_err(|e| e.to_string())?;
+                trace_query(&sys, key, o.tune_in, errors, policy, describe::hash)
+            }
+            "distributed" => {
+                let sys = DiskScheme::new(DistributedScheme::new(), d)
+                    .build(&ds, &p)
+                    .map_err(|e| e.to_string())?;
+                trace_query(&sys, key, o.tune_in, errors, policy, describe::btree)
+            }
+            other => {
+                return Err(format!(
+                    "scheme {other:?} has no broadcast-disk construction (try: {})",
+                    DISK_SCHEMES.join(", ")
+                ))
+            }
+        };
+        return finish_trace(o, t, key);
+    }
     let t: Trace = match o.scheme.as_str() {
         "flat" => {
             let sys = bda_core::FlatScheme
@@ -274,6 +397,12 @@ pub fn trace(o: &Options) -> Result<(), String> {
             ))
         }
     };
+    finish_trace(o, t, key)
+}
+
+/// Render a finished trace (shared by the flat-cycle and broadcast-disk
+/// paths) and surface protocol aborts as errors.
+fn finish_trace(o: &Options, t: Trace, key: Key) -> Result<(), String> {
     if o.json {
         // One machine-readable document: every event (no elision), the
         // per-phase span totals, and the outcome.
@@ -309,7 +438,7 @@ pub fn compare(o: &Options) -> Result<(), String> {
     let availability = o.availability / 100.0;
     let dynamic = o.update_spec().is_some();
     println!(
-        "# {} records · {:.0}% availability · ratio {}{}{}\n",
+        "# {} records · {:.0}% availability · ratio {}{}{}{}\n",
         ds.len(),
         o.availability,
         o.ratio,
@@ -322,6 +451,11 @@ pub fn compare(o: &Options) -> Result<(), String> {
             format!(" · {}% updates/cycle", o.update_rate)
         } else {
             String::new()
+        },
+        if o.disks > 1 {
+            format!(" · {} broadcast disks", o.disks)
+        } else {
+            String::new()
         }
     );
     print!(
@@ -330,7 +464,9 @@ pub fn compare(o: &Options) -> Result<(), String> {
     );
     println!("{}", if dynamic { "  restart/q" } else { "" });
     let mut hubs: Vec<(&str, MetricsHub)> = Vec::new();
-    for name in SCHEMES {
+    // Under stratification only the disk-capable schemes compete.
+    let schemes: &[&str] = if o.disks > 1 { &DISK_SCHEMES } else { &SCHEMES };
+    for &name in schemes {
         let sys = build_system(o, name, &ds, &p)?;
         let workload = QueryWorkload::new(
             &ds,

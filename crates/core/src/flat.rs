@@ -36,6 +36,24 @@ pub struct FlatScheme;
 #[derive(Debug)]
 pub struct FlatSystem {
     channel: Channel<FlatPayload>,
+    /// Distinct records behind the cycle. Equal to the bucket count for the
+    /// classic one-bucket-per-record layout; smaller for broadcast-disk
+    /// repetition layouts (see [`crate::disks`]), where hot records occupy
+    /// several buckets per cycle. Coverage-based termination is sized by
+    /// records, not buckets.
+    num_records: u32,
+}
+
+impl FlatSystem {
+    /// Assemble a flat system from an explicit bucket layout — the
+    /// broadcast-disk constructor's entry point. `num_records` is the
+    /// number of *distinct* records in the cycle.
+    pub(crate) fn from_parts(channel: Channel<FlatPayload>, num_records: u32) -> Self {
+        FlatSystem {
+            channel,
+            num_records,
+        }
+    }
 }
 
 impl Scheme for FlatScheme {
@@ -60,6 +78,7 @@ impl Scheme for FlatScheme {
             .collect();
         Ok(FlatSystem {
             channel: Channel::new(buckets)?,
+            num_records: dataset.len() as u32,
         })
     }
 }
@@ -83,7 +102,7 @@ impl System for FlatSystem {
     fn query(&self, key: Key) -> FlatMachine {
         FlatMachine {
             key,
-            coverage: Coverage::new(self.channel.num_buckets() as u32),
+            coverage: Coverage::new(self.num_records),
         }
     }
 }

@@ -31,6 +31,7 @@
 pub mod bucket;
 pub mod channel;
 pub mod coverage;
+pub mod disks;
 pub mod dynamic;
 pub mod error;
 pub mod errors_model;
@@ -44,6 +45,10 @@ pub mod scheme;
 pub use bucket::{Bucket, BucketMeta};
 pub use channel::Channel;
 pub use coverage::Coverage;
+pub use disks::{
+    DiskConfig, DiskGeometry, DiskLayout, DiskMachine, DiskScheme, DiskSystem, FlatDisksScheme,
+    RepetitionSchedule,
+};
 pub use dynamic::{
     run_versioned, run_versioned_observed, run_versioned_with_policy, Epoch, ObservedVersionedSlot,
     ProgramTimeline, VersionedSlot, VersionedWalk,

@@ -1,0 +1,187 @@
+//! Property suite for broadcast-disk layouts (see `bda_core::disks`).
+//!
+//! The five load-bearing properties of a repetition schedule:
+//!
+//! 1. every record appears at least once per major cycle;
+//! 2. hot-record occurrences are evenly spaced (exactly in minor-cycle
+//!    index space; within a chunk-imbalance tolerance in byte space);
+//! 3. repetition counts are monotone in popularity rank;
+//! 4. routing always resolves to a *forward* occurrence — no wrap-around
+//!    miss: a client never skips its record's next broadcast;
+//! 5. `D = 1` reduces exactly to the single-disk (flat-cycle) program.
+
+use std::collections::HashMap;
+
+use bda_core::{
+    Dataset, DiskConfig, DiskLayout, DynSystem, FlatDisksScheme, FlatScheme, Key, Params, Record,
+    Scheme, System, Ticks,
+};
+use proptest::prelude::*;
+
+fn layout(n: usize, d: usize) -> DiskLayout {
+    DiskLayout::new(n, &DiskConfig::new(d))
+}
+
+proptest! {
+    /// Property 1+3: every record is scheduled at least once per major
+    /// cycle, the per-record occurrence count matches the schedule, and
+    /// repetition counts never increase with popularity rank.
+    #[test]
+    fn coverage_and_monotonicity(n in 1usize..300, d in 1usize..5) {
+        let l = layout(n, d);
+        let mut seen = vec![0u32; n];
+        for r in l.schedule().sequence() {
+            seen[r as usize] += 1;
+        }
+        for (r, &count) in seen.iter().enumerate() {
+            prop_assert!(count >= 1, "record {r} missing from the major cycle");
+            prop_assert_eq!(count, l.occurrences(r), "record {r}");
+        }
+        // Identity ranking: rank == record index, so counts are
+        // non-increasing in record index.
+        for r in 1..n {
+            prop_assert!(
+                l.occurrences(r) <= l.occurrences(r - 1),
+                "repetitions must be monotone in rank: r={r}"
+            );
+        }
+        // Counts are the disk speeds: 2^(D-1-d).
+        let m = 1u32 << (l.effective_disks() - 1);
+        for r in 0..n {
+            let (disk, _) = l.assignment(r);
+            prop_assert_eq!(l.occurrences(r), m >> disk);
+        }
+    }
+
+    /// Property 2 (exact form): a record on disk `d` appears in minor
+    /// cycles `c, c + 2^d, c + 2·2^d, …` — perfectly even spacing in
+    /// minor-cycle index space.
+    #[test]
+    fn minor_cycle_spacing_is_exact(n in 1usize..300, d in 1usize..5) {
+        let l = layout(n, d);
+        let s = l.schedule();
+        for r in 0..n {
+            let (disk, chunk) = l.assignment(r);
+            let stride = 1usize << disk;
+            let cycles: Vec<usize> = (0..s.num_minor_cycles())
+                .filter(|&j| s.minor_cycle(j).contains(&(r as u32)))
+                .collect();
+            let expect: Vec<usize> = (chunk as usize..s.num_minor_cycles())
+                .step_by(stride)
+                .collect();
+            prop_assert_eq!(cycles, expect, "record {}", r);
+        }
+    }
+
+    /// Property 2 (byte form): on the built flat-disks channel, the gaps
+    /// between consecutive occurrences of a repeated record differ by at
+    /// most the chunk-imbalance bound (minor cycles differ by at most
+    /// `D - 1` records, so a `2^d`-minor gap wobbles by at most
+    /// `2^d · (D-1)` buckets).
+    #[test]
+    fn byte_spacing_is_even_within_tolerance(n in 8usize..200, d in 2usize..4) {
+        let p = Params::paper();
+        let ds = Dataset::new((0..n as u64).map(|i| Record::keyed(i * 2)).collect()).unwrap();
+        let sys = FlatDisksScheme::new(DiskConfig::new(d)).build(&ds, &p).unwrap();
+        let l = layout(n, d);
+        let ch = sys.channel();
+        let bucket = Ticks::from(p.data_bucket_size());
+
+        let mut positions: HashMap<u32, Vec<Ticks>> = HashMap::new();
+        for (i, b) in ch.buckets().iter().enumerate() {
+            positions.entry(b.payload.record_index).or_default().push(ch.start_of(i));
+        }
+        for (r, pos) in positions {
+            let k = pos.len();
+            prop_assert_eq!(k as u32, l.occurrences(r as usize));
+            if k < 2 {
+                continue;
+            }
+            let (disk, _) = l.assignment(r as usize);
+            let slack = (1u64 << disk) * (l.effective_disks() as u64 - 1) * bucket;
+            let mut gaps = Vec::with_capacity(k);
+            for i in 0..k {
+                let next = pos[(i + 1) % k];
+                let gap = if next > pos[i] {
+                    next - pos[i]
+                } else {
+                    ch.cycle_len() - pos[i] + next
+                };
+                gaps.push(gap);
+            }
+            let min = *gaps.iter().min().unwrap();
+            let max = *gaps.iter().max().unwrap();
+            prop_assert!(
+                max - min <= slack,
+                "record {r}: gaps {min}..{max} exceed slack {slack}"
+            );
+        }
+    }
+
+    /// Property 4: retrieval is forward-exact — a flat-disks client always
+    /// downloads its record at the record's *next* complete occurrence,
+    /// never a later one (no wrap-around miss past a repetition).
+    #[test]
+    fn retrieval_hits_the_next_occurrence(n in 1usize..120, d in 1usize..4, seed in any::<u64>()) {
+        let p = Params::paper();
+        let ds = Dataset::new((0..n as u64).map(|i| Record::keyed(i * 2)).collect()).unwrap();
+        let sys = FlatDisksScheme::new(DiskConfig::new(d)).build(&ds, &p).unwrap();
+        let ch = sys.channel();
+        let key_index = (seed % n as u64) as usize;
+        let key = Key(key_index as u64 * 2);
+        let t = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) % (3 * ch.cycle_len());
+        // Earliest complete occurrence of the key's bucket at or after t.
+        let expect = (0..ch.num_buckets())
+            .filter(|&i| ch.bucket(i).payload.key == key)
+            .map(|i| ch.occurrence_at_or_after(i, t) + Ticks::from(ch.bucket(i).size))
+            .min()
+            .expect("key is broadcast");
+        let out = sys.probe(key, t);
+        prop_assert!(out.found);
+        prop_assert_eq!(t + out.access, expect, "client must use the next occurrence");
+    }
+
+    /// Property 5: one disk is the identity — the layout is the plain
+    /// 0..n sequence and the built program is bit-identical to
+    /// `FlatScheme`'s, outcomes included.
+    #[test]
+    fn d1_reduces_to_the_single_disk_program(n in 1usize..200, t in 0u64..1 << 30) {
+        let l = layout(n, 1);
+        prop_assert_eq!(l.effective_disks(), 1);
+        prop_assert_eq!(l.schedule().num_minor_cycles(), 1);
+        prop_assert_eq!(
+            l.schedule().sequence().collect::<Vec<_>>(),
+            (0..n as u32).collect::<Vec<_>>()
+        );
+
+        let p = Params::paper();
+        let ds = Dataset::new((0..n as u64).map(|i| Record::keyed(i * 2)).collect()).unwrap();
+        let base = FlatScheme.build(&ds, &p).unwrap();
+        let disks = FlatDisksScheme::new(DiskConfig::new(1)).build(&ds, &p).unwrap();
+        prop_assert_eq!(base.channel().buckets(), disks.channel().buckets());
+        let key = Key(t % (n as u64 * 2 + 1));
+        prop_assert_eq!(base.probe(key, t), disks.probe(key, t));
+    }
+}
+
+/// Deterministic spot-check of the clamping rule: every chunk of every
+/// disk is non-empty for all dataset sizes (tiny ones clamp `D` down).
+#[test]
+fn every_chunk_is_populated_for_all_sizes() {
+    for n in 1..=64usize {
+        for d in 1..=4usize {
+            let l = layout(n, d);
+            let eff = l.effective_disks();
+            let mut chunk_fill: HashMap<(u8, u32), usize> = HashMap::new();
+            for r in 0..n {
+                *chunk_fill.entry(l.assignment(r)).or_default() += 1;
+            }
+            let expected_chunks: usize = (0..eff).map(|disk| 1usize << disk).sum();
+            assert_eq!(
+                chunk_fill.len(),
+                expected_chunks,
+                "n={n} d={d}: every chunk must hold at least one record"
+            );
+        }
+    }
+}

@@ -13,6 +13,9 @@
 //! * [`workload`] — request workloads: exponential inter-arrival times
 //!   ([`Arrivals`]), uniform or Zipf key popularity, and the *data
 //!   availability* knob of Fig. 5 ([`QueryWorkload`]);
+//! * [`popularity`] — the Zipf workload's rank→record correspondence and
+//!   per-rank request weights, consumed by broadcast-disk program
+//!   construction and the repetition-schedule analytical model;
 //! * [`rng`] — a small, fully deterministic PRNG (SplitMix64-seeded
 //!   xoshiro256++) implemented from scratch so results are bit-identical
 //!   across platforms and toolchain versions.
@@ -22,11 +25,13 @@
 //! reproducible.
 
 pub mod dictionary;
+pub mod popularity;
 pub mod records;
 pub mod rng;
 pub mod workload;
 
 pub use dictionary::Dictionary;
+pub use popularity::{zipf_ranking, zipf_weights};
 pub use records::DatasetBuilder;
 pub use rng::Prng;
 pub use workload::{Arrivals, Popularity, QueryWorkload};

@@ -1,0 +1,67 @@
+//! Popularity ranking — the bridge between the Zipf query workload and
+//! broadcast-disk program construction.
+//!
+//! [`crate::QueryWorkload`]'s Zipf model draws rank `i` (0-based) with
+//! probability proportional to `1/(i+1)^θ` and maps rank `i` to the `i`-th
+//! dataset key **in key order**. The popularity ranking of a dataset under
+//! that model is therefore the *identity permutation*: record index `i` is
+//! popularity rank `i`. `bda_core::DiskLayout::new` bakes in the same
+//! identity ranking, so a disk-stratified program built for a dataset is
+//! automatically aligned with the workload generator's notion of "hot".
+//! These helpers make that correspondence explicit, give analytical models
+//! the exact per-record request weights, and are the natural seam for
+//! future non-identity rankings (e.g. measured access frequencies fed back
+//! through `UpdateStream` re-ranking).
+
+/// The popularity ranking the Zipf workload induces on a dataset of `n`
+/// records: `ranking[rank] = record_index`. Identity by construction —
+/// see the module docs.
+pub fn zipf_ranking(n: usize) -> Vec<u32> {
+    (0..n as u32).collect()
+}
+
+/// Normalized per-rank request probabilities of the Zipf workload:
+/// `weights[i] ∝ 1/(i+1)^θ`, summing to 1. `θ = 0` is uniform. Matches
+/// [`crate::QueryWorkload`]'s CDF increments exactly (same harmonic
+/// normalization), so analytical access-time models weighted with these
+/// agree with simulated Zipf workloads.
+pub fn zipf_weights(n: usize, theta: f64) -> Vec<f64> {
+    assert!(n > 0, "weights over an empty dataset");
+    let mut w: Vec<f64> = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).collect();
+    let total: f64 = w.iter().sum();
+    for v in &mut w {
+        *v /= total;
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranking_is_the_identity() {
+        assert_eq!(zipf_ranking(5), vec![0, 1, 2, 3, 4]);
+        assert_eq!(zipf_ranking(1), vec![0]);
+    }
+
+    #[test]
+    fn weights_are_normalized_and_strictly_monotone() {
+        for theta in [0.4, 0.8, 1.2] {
+            let w = zipf_weights(100, theta);
+            let sum: f64 = w.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+            for i in 1..w.len() {
+                assert!(w[i] < w[i - 1], "θ={theta} rank {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let w = zipf_weights(10, 0.0);
+        for v in w {
+            assert!((v - 0.1).abs() < 1e-12);
+        }
+    }
+}

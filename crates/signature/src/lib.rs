@@ -33,4 +33,7 @@ pub mod simple;
 pub use integrated::{IntegratedSignatureScheme, IntegratedSystem};
 pub use multilevel::{MultiLevelSignatureScheme, MultiLevelSystem};
 pub use sig::{SigParams, SigTable, Signature};
-pub use simple::{QueryTarget, SigPayload, SimpleSignatureScheme, SimpleSignatureSystem};
+pub use simple::{
+    QueryTarget, SigPayload, SimpleSignatureDisksScheme, SimpleSignatureScheme,
+    SimpleSignatureSystem,
+};

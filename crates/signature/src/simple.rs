@@ -9,8 +9,8 @@
 use std::sync::Arc;
 
 use bda_core::{
-    Action, Bucket, BucketMeta, Channel, Coverage, Dataset, FastForward, Key, Params,
-    ProtocolMachine, Result, Scheme, StaleResponse, System, Ticks, Verdict,
+    Action, Bucket, BucketMeta, Channel, Coverage, Dataset, DiskConfig, DiskLayout, FastForward,
+    Key, Params, ProtocolMachine, Result, Scheme, StaleResponse, System, Ticks, Verdict,
 };
 
 use crate::sig::{SigParams, SigTable, Signature};
@@ -133,29 +133,51 @@ impl Scheme for SimpleSignatureScheme {
     type System = SimpleSignatureSystem;
 
     fn build(&self, dataset: &Dataset, params: &Params) -> Result<Self::System> {
+        self.build_occurrences(dataset, params, (0..dataset.len() as u32).collect())
+    }
+}
+
+impl SimpleSignatureScheme {
+    /// Lay out one `(signature, data)` bucket pair per entry of
+    /// `occurrences` (record indices, possibly repeated) — the shared
+    /// backend of the classic once-per-record cycle and the broadcast-disk
+    /// repetition layout. The sifting protocol is indifferent to
+    /// repetition: coverage is keyed by `record_index` and marking is
+    /// idempotent, and the [`SigTable`] keeps one row per *record*, so
+    /// every occurrence of a record carries (and is matched against) the
+    /// same signature.
+    fn build_occurrences(
+        &self,
+        dataset: &Dataset,
+        params: &Params,
+        occurrences: Vec<u32>,
+    ) -> Result<SimpleSignatureSystem> {
         params.validate()?;
         let sig_size = params.header_size + self.sig.sig_bytes;
         let data_size = params.data_bucket_size();
-        let mut buckets = Vec::with_capacity(2 * dataset.len());
-        let mut sigs = Vec::with_capacity(dataset.len());
-        for (i, r) in dataset.records().iter().enumerate() {
-            let sig = self.sig.record_signature(r.key, &r.attrs);
+        let sigs: Vec<Signature> = dataset
+            .records()
+            .iter()
+            .map(|r| self.sig.record_signature(r.key, &r.attrs))
+            .collect();
+        let mut buckets = Vec::with_capacity(2 * occurrences.len());
+        for i in occurrences {
+            let r = dataset.record(i as usize);
             buckets.push(Bucket::new(
                 sig_size,
                 SigPayload::RecordSig {
-                    sig: sig.clone(),
-                    record_index: i as u32,
+                    sig: sigs[i as usize].clone(),
+                    record_index: i,
                 },
             ));
             buckets.push(Bucket::new(
                 data_size,
                 SigPayload::Data {
                     key: r.key,
-                    record_index: i as u32,
+                    record_index: i,
                     attrs: r.attrs.clone(),
                 },
             ));
-            sigs.push(sig);
         }
         Ok(SimpleSignatureSystem {
             channel: Channel::new(buckets)?,
@@ -164,6 +186,44 @@ impl Scheme for SimpleSignatureScheme {
             data_size: Ticks::from(data_size),
             table: Arc::new(SigTable::build(&sigs)),
         })
+    }
+}
+
+/// Simple signature indexing over a broadcast-disk repetition schedule
+/// (see `bda_core::disks`): hot records' `(signature, data)` pairs appear
+/// several times per cycle, evenly spaced. At `D = 1` the built program is
+/// bit-identical to [`SimpleSignatureScheme`]'s.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimpleSignatureDisksScheme {
+    sig: SigParams,
+    config: DiskConfig,
+}
+
+impl SimpleSignatureDisksScheme {
+    /// Signature sifting stratified across `config` disks.
+    pub fn new(config: DiskConfig) -> Self {
+        SimpleSignatureDisksScheme {
+            sig: SigParams::default(),
+            config,
+        }
+    }
+
+    /// Override the signature parameters (length / bits per attribute).
+    pub fn with_params(sig: SigParams, config: DiskConfig) -> Self {
+        SimpleSignatureDisksScheme { sig, config }
+    }
+}
+
+impl Scheme for SimpleSignatureDisksScheme {
+    type System = SimpleSignatureSystem;
+
+    fn build(&self, dataset: &Dataset, params: &Params) -> Result<Self::System> {
+        let layout = DiskLayout::new(dataset.len(), &self.config);
+        SimpleSignatureScheme { sig: self.sig }.build_occurrences(
+            dataset,
+            params,
+            layout.schedule().sequence().collect(),
+        )
     }
 }
 

@@ -72,6 +72,83 @@ fn hashing_matches_model() {
     assert_close("hashing tuning", r.mean_tuning(), m.tuning, 0.12);
 }
 
+/// Converged Zipf-workload report for a system (full availability, so
+/// every request is answerable and `aborted` stays zero).
+fn zipf_report(sys: &dyn DynSystem, ds: &Dataset, theta: f64, seed: u64) -> SimReport {
+    let workload = QueryWorkload::new(ds, Vec::new(), 1.0, Popularity::Zipf(theta), seed);
+    let mut cfg = SimConfig::quick();
+    cfg.accuracy = 0.02;
+    cfg.confidence = 0.99;
+    cfg.event_driven = false;
+    cfg.max_rounds = 600;
+    let r = Simulator::new(sys, workload, cfg).run();
+    assert!(r.converged, "{} did not converge", sys.scheme_name());
+    assert_eq!(r.aborted, 0);
+    r
+}
+
+/// The repetition-schedule closed form (weighted mean of per-record
+/// inter-arrival gap costs) tracks the simulated stratified program across
+/// the whole skew sweep, θ = 0 … 1.2, at D = 3.
+#[test]
+fn flat_disks_matches_model_across_skew() {
+    let n = 600;
+    let p = Params::paper();
+    let config = DiskConfig::new(3);
+    let layout = DiskLayout::new(n, &config);
+    for (i, theta) in [0.0, 0.4, 0.8, 1.2].into_iter().enumerate() {
+        let ds = DatasetBuilder::new(n, 60 + i as u64).build().unwrap();
+        let sys = FlatDisksScheme::new(config).build(&ds, &p).unwrap();
+        let r = zipf_report(&sys, &ds, theta, 600 + i as u64);
+        let m = model::flat_disks(&p, layout.schedule(), &zipf_weights(n, theta));
+        assert_close(
+            &format!("flat-disks θ={theta} access"),
+            r.mean_access(),
+            m.access,
+            0.05,
+        );
+        assert_close(
+            &format!("flat-disks θ={theta} tuning"),
+            r.mean_tuning(),
+            m.tuning,
+            0.05,
+        );
+    }
+}
+
+/// The point of stratification: at high skew (θ ≥ 0.8) the measured mean
+/// access time of the D = 3 program strictly improves on the flat cycle
+/// measured identically — and the analytical models predict the same
+/// ordering.
+#[test]
+fn stratification_beats_the_flat_cycle_at_high_skew() {
+    let n = 600;
+    let p = Params::paper();
+    let config = DiskConfig::new(3);
+    let layout = DiskLayout::new(n, &config);
+    for (i, theta) in [0.8, 1.2].into_iter().enumerate() {
+        let ds = DatasetBuilder::new(n, 80 + i as u64).build().unwrap();
+        let flat = FlatScheme.build(&ds, &p).unwrap();
+        let disks = FlatDisksScheme::new(config).build(&ds, &p).unwrap();
+        let seed = 800 + i as u64;
+        let flat_at = zipf_report(&flat, &ds, theta, seed).mean_access();
+        let disks_at = zipf_report(&disks, &ds, theta, seed).mean_access();
+        assert!(
+            disks_at < flat_at,
+            "θ={theta}: D=3 measured At {disks_at:.0} must beat flat {flat_at:.0}"
+        );
+        let weights = zipf_weights(n, theta);
+        let m_flat = model::flat(&p, n);
+        let m_disks = model::flat_disks(&p, layout.schedule(), &weights);
+        assert!(
+            m_disks.access < m_flat.access,
+            "θ={theta}: model ordering must agree ({} vs {})",
+            m_disks.access,
+            m_flat.access
+        );
+    }
+}
+
 #[test]
 fn signature_matches_model() {
     let ds = DatasetBuilder::new(NR, 5).build().unwrap();
