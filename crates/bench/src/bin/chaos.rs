@@ -1,0 +1,325 @@
+//! Chaos soak harness: randomized bursty-channel fault grids against
+//! every execution driver, asserting bit-identical agreement per cell.
+//!
+//! Each cell draws a random scheme, dataset size, channel (i.i.d. or
+//! Gilbert–Elliott burst loss, with or without scheduled outage windows),
+//! retry policy (bounded/unbounded, exponential back-off, seeded jitter)
+//! and optional program churn, then runs the same request batch through:
+//!
+//! * the slab engine with analytical fast-forward **on**,
+//! * the slab engine with fast-forward **off** (bucket-by-bucket),
+//! * the naive reference heap (the oracle),
+//! * the sharded engine at 1 shard and at `#cores` shards,
+//! * the isolated direct walker (spot-checked per request).
+//!
+//! Corruption is a pure function of (bucket instant, seed), so all six
+//! executions must agree outcome-for-outcome; any divergence prints a
+//! one-line reproducer (the cell seed and full parameters) and exits
+//! non-zero. `--quick` runs a small grid for CI smoke; the default soak
+//! is ~8× larger.
+//!
+//! Flags: `--quick`, `--seed N`, `--cells N`, `--quiet`.
+
+use bda_bench::SchemeKind;
+use bda_core::{
+    BurstModel, ChannelModel, DynSystem, ErrorModel, Key, OutageSchedule, RetryPolicy, Ticks,
+};
+use bda_datagen::DatasetBuilder;
+use bda_sim::engine::reference::run_requests_reference_channel;
+use bda_sim::{run_requests_sharded_channel, CompletedRequest, Engine, UpdateSpec};
+
+/// SplitMix64 — the harness's own deterministic parameter stream.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+}
+
+/// One randomized grid cell, fully determined by its seed.
+#[derive(Debug)]
+struct Cell {
+    seed: u64,
+    kind: SchemeKind,
+    records: usize,
+    requests: usize,
+    channel: ChannelModel,
+    policy: RetryPolicy,
+    /// Percent of records churned per cycle (0 = frozen program).
+    churn_pct: u32,
+}
+
+impl Cell {
+    /// Everything needed to rerun this exact cell by hand.
+    fn reproducer(&self) -> String {
+        format!(
+            "cell seed 0x{:X}: scheme={} records={} requests={} channel={:?} policy={:?} churn={}%",
+            self.seed,
+            self.kind.name(),
+            self.records,
+            self.requests,
+            self.channel,
+            self.policy,
+            self.churn_pct,
+        )
+    }
+}
+
+/// Draw one cell from the parameter stream.
+fn draw_cell(seed: u64) -> Cell {
+    let mut rng = Rng(seed);
+    let kind = SchemeKind::ALL[rng.below(SchemeKind::ALL.len() as u64) as usize];
+    let records = 32 + rng.below(64) as usize;
+    let requests = 32 + rng.below(48) as usize;
+
+    // Loss process: i.i.d. ~25%, burst ~75% (the point of the soak).
+    let loss = if rng.chance(0.25) {
+        ChannelModel::iid(ErrorModel::new(0.02 + 0.28 * rng.unit(), rng.next()))
+    } else {
+        ChannelModel::burst(BurstModel::new(
+            0.01 + 0.2 * rng.unit(), // good→bad
+            0.05 + 0.5 * rng.unit(), // bad→good
+            0.05 * rng.unit(),       // loss in good state
+            0.5 + 0.5 * rng.unit(),  // loss in bad state
+            rng.next(),
+        ))
+    };
+    // Outage windows on roughly half the cells, 2–15% of air time.
+    let channel = if rng.chance(0.5) {
+        let len = 100 + rng.below(400);
+        let rate = 0.02 + 0.13 * rng.unit();
+        let every = ((len as f64 / rate) as Ticks).max(len);
+        loss.with_outages(OutageSchedule::new(every, len, rng.next()))
+    } else {
+        loss
+    };
+
+    // Retry policy: always bounded enough that dead air cannot spin a
+    // cell forever, with the resynchronization knobs mixed in.
+    let mut policy = RetryPolicy::bounded(8 + rng.below(40) as u32);
+    if rng.chance(0.7) {
+        policy = policy.with_backoff_cap(1 << rng.below(5));
+    }
+    if rng.chance(0.6) {
+        policy = policy.with_jitter(rng.next());
+    }
+    let churn_pct = if rng.chance(0.4) {
+        5 + rng.below(21) as u32
+    } else {
+        0
+    };
+    Cell {
+        seed,
+        kind,
+        records,
+        requests,
+        channel,
+        policy,
+        churn_pct,
+    }
+}
+
+/// Deterministic request mix for a cell: unsorted arrivals with
+/// collisions, present and absent keys interleaved.
+fn request_mix(ds: &bda_core::Dataset, pool: &[Key], n: usize, rng: &mut Rng) -> Vec<(Ticks, Key)> {
+    let keys: Vec<Key> = ds.keys().collect();
+    (0..n)
+        .map(|i| {
+            let t = rng.below(12_000);
+            let key = if i % 5 == 0 {
+                pool[i % pool.len()]
+            } else {
+                keys[rng.below(keys.len() as u64) as usize]
+            };
+            (t, key)
+        })
+        .collect()
+}
+
+/// Run one cell through every driver; on divergence, return the failing
+/// comparison's label.
+fn run_cell(cell: &Cell) -> Result<CellStats, String> {
+    let (ds, pool) = DatasetBuilder::new(cell.records, cell.seed ^ 0xD5)
+        .build_with_absent_pool(8)
+        .map_err(|e| e.to_string())?;
+    let params = bda_core::Params::paper();
+    let sys: Box<dyn DynSystem> = if cell.churn_pct > 0 {
+        let spec = UpdateSpec {
+            rate: f64::from(cell.churn_pct) / 100.0,
+            seed: cell.seed ^ 0x0DD,
+            horizon_cycles: 16,
+        };
+        cell.kind
+            .build_versioned(&ds, &params, spec)
+            .map_err(|e| e.to_string())?
+    } else {
+        cell.kind.build(&ds, &params).map_err(|e| e.to_string())?
+    };
+    let requests = request_mix(&ds, &pool, cell.requests, &mut Rng(cell.seed ^ 0x9E9));
+
+    let run_engine = |ff: bool| -> Vec<CompletedRequest> {
+        let mut e = Engine::with_channel(sys.as_ref(), cell.channel, cell.policy);
+        e.set_fast_forward(ff);
+        e.run_batch(&requests)
+    };
+    let fast = run_engine(true);
+    let slow = run_engine(false);
+    if fast != slow {
+        return Err("fast-forward engine ≠ bucket-by-bucket engine".into());
+    }
+    let oracle = run_requests_reference_channel(sys.as_ref(), &requests, cell.channel, cell.policy);
+    if fast != oracle {
+        return Err("slab engine ≠ reference oracle".into());
+    }
+    let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
+    for shards in [1, cores] {
+        let sharded = run_requests_sharded_channel(
+            sys.as_ref(),
+            &requests,
+            shards,
+            cell.channel,
+            cell.policy,
+        );
+        if fast != sharded {
+            return Err(format!("slab engine ≠ sharded engine at {shards} shards"));
+        }
+    }
+    let mut stats = CellStats::default();
+    for (i, r) in fast.iter().enumerate() {
+        // Spot-check the isolated walker on a deterministic subsample.
+        if i % 7 == 0 {
+            let direct = sys.probe_with_channel(r.key, r.arrival, cell.channel, cell.policy);
+            if r.outcome != direct {
+                return Err(format!("engine ≠ direct walker at request {i}"));
+            }
+        }
+        if r.outcome.aborted {
+            return Err(format!(
+                "protocol aborted at request {i} — never acceptable"
+            ));
+        }
+        stats.retries += u64::from(r.outcome.retries);
+        stats.abandoned += u64::from(r.outcome.abandoned);
+        stats.stale_restarts += u64::from(r.outcome.stale_restarts);
+    }
+    Ok(stats)
+}
+
+#[derive(Default)]
+struct CellStats {
+    retries: u64,
+    abandoned: u64,
+    stale_restarts: u64,
+}
+
+fn main() {
+    let mut quick = false;
+    let mut quiet = false;
+    let mut seed = 0xC4A0_5000u64;
+    let mut cells: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--quiet" => quiet = true,
+            "--seed" => {
+                seed = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed requires an integer");
+                    std::process::exit(2);
+                });
+            }
+            "--cells" => {
+                cells = Some(args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--cells requires an integer");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "chaos — randomized burst/outage/churn differential soak\n\
+                     flags: --quick    small CI grid (16 cells)\n       \
+                     --cells N  explicit cell count\n       \
+                     --seed N   grid seed\n       --quiet    no per-cell narration"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    let n = cells.unwrap_or(if quick { 16 } else { 128 });
+    let mut totals = CellStats::default();
+    let mut burst_cells = 0usize;
+    let mut outage_cells = 0usize;
+    let mut churn_cells = 0usize;
+    for i in 0..n {
+        let cell = draw_cell(
+            seed.wrapping_add(i as u64)
+                .wrapping_mul(0x2545_F491_4F6C_DD1D),
+        );
+        if !matches!(cell.channel.loss, bda_core::LossModel::Iid(_)) {
+            burst_cells += 1;
+        }
+        if cell.channel.has_outages() {
+            outage_cells += 1;
+        }
+        if cell.churn_pct > 0 {
+            churn_cells += 1;
+        }
+        match run_cell(&cell) {
+            Ok(stats) => {
+                if !quiet {
+                    eprintln!(
+                        "cell {:>3}/{n} ok: {} records={} requests={} retries={} abandoned={} stale={}",
+                        i + 1,
+                        cell.kind.name(),
+                        cell.records,
+                        cell.requests,
+                        stats.retries,
+                        stats.abandoned,
+                        stats.stale_restarts,
+                    );
+                }
+                totals.retries += stats.retries;
+                totals.abandoned += stats.abandoned;
+                totals.stale_restarts += stats.stale_restarts;
+            }
+            Err(why) => {
+                eprintln!("DIVERGENCE: {why}");
+                eprintln!("reproduce with: {}", cell.reproducer());
+                eprintln!("(rerun: chaos --seed <grid seed> --cells {n})");
+                std::process::exit(1);
+            }
+        }
+    }
+    // The soak must actually exercise the fault machinery — a grid that
+    // never corrupts a read proves nothing.
+    if totals.retries == 0 {
+        eprintln!("grid produced zero corrupted reads — parameters degenerate");
+        std::process::exit(1);
+    }
+    println!(
+        "chaos ok: {n} cells ({burst_cells} burst, {outage_cells} outage, {churn_cells} churn) \
+         agreed across all drivers; {} retries, {} abandoned, {} stale restarts",
+        totals.retries, totals.abandoned, totals.stale_restarts
+    );
+}

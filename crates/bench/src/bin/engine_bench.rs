@@ -20,6 +20,11 @@
 //! aggregate sharded throughput, the speedup over one shard, the scaling
 //! efficiency (speedup / shards) and a per-shard breakdown.
 //!
+//! Every run also measures a bursty-channel leg — each scheme's churning
+//! program under a Gilbert–Elliott chain with outage windows — and
+//! exports it as the JSON's `"burst"` block (req/s plus the corrupt /
+//! abandoned / stale-restart counters).
+//!
 //! ```text
 //! engine_bench [--clients N] [--records N] [--shards N] [--out PATH]
 //!              [--no-reference] [--metrics-out DIR]
@@ -29,11 +34,12 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use bda_bench::SchemeKind;
-use bda_core::{Key, Params, Ticks};
+use bda_core::{BurstModel, ChannelModel, Key, OutageSchedule, Params, RetryPolicy, Ticks};
 use bda_datagen::{DatasetBuilder, Prng};
 use bda_obs::{export, MetricsHub};
 use bda_sim::{
     engine::reference::run_requests_reference, Engine, EngineStats, ShardRun, ShardedEngine,
+    UpdateSpec,
 };
 
 struct Cli {
@@ -128,6 +134,32 @@ fn burst(ds: &bda_core::Dataset, n: usize, seed: u64) -> Vec<(Ticks, Key)> {
 const SKEW_THETA: f64 = 1.2;
 /// Stratification depth of the broadcast-disk leg.
 const SKEW_DISKS: usize = 3;
+
+/// Per-cycle churn rate of the bursty-channel leg's programs — enough
+/// version drift that stale restarts actually register.
+const BURST_CHURN: f64 = 0.10;
+
+/// The bursty-channel leg's fault model: the same Gilbert–Elliott chain
+/// (~17 % stationary loss) plus 10 % outage windows the golden corpus
+/// pins, driven by the exponential-back-off resynchronization policy.
+fn burst_channel() -> (ChannelModel, RetryPolicy) {
+    let chain = BurstModel::new(0.04, 0.20, 0.0, 0.9, 0xB57);
+    (
+        ChannelModel::burst(chain).with_outages(OutageSchedule::new(3_000, 300, 0x0A7)),
+        RetryPolicy::bounded(24)
+            .with_backoff_cap(8)
+            .with_jitter(0x117),
+    )
+}
+
+/// One bursty-channel row: a churning program under burst loss + outages.
+struct BurstRow {
+    scheme: &'static str,
+    requests_per_sec: f64,
+    corrupt_reads: u64,
+    abandoned: u64,
+    stale_restarts: u64,
+}
 
 /// Keys drawn Zipf(θ) — the workload broadcast disks are built for —
 /// with tune-ins uniform over `span`, so the mean access time samples
@@ -431,6 +463,60 @@ fn main() {
         });
     }
 
+    // Bursty-channel leg: every scheme's churning program under the
+    // Gilbert–Elliott chain with outage windows, recovered by the
+    // resynchronization policy. Throughput here prices the whole fault
+    // path — skip-ahead state resolution, outage back-off, version-skew
+    // restarts — and the fault counters prove the leg isn't degenerate.
+    let (channel, policy) = burst_channel();
+    let burst_clients = (cli.clients / 10).max(1);
+    let burst_requests = burst(&dataset, burst_clients, 21);
+    let mut burst_rows: Vec<BurstRow> = Vec::new();
+    println!(
+        "\n{:<22} {:>12} {:>12} {:>12} {:>14}",
+        "burst+outage", "req/s", "corrupt", "abandoned", "stale restarts"
+    );
+    for kind in SchemeKind::ALL {
+        let spec = UpdateSpec {
+            rate: BURST_CHURN,
+            seed: 0x0DD,
+            horizon_cycles: 16,
+        };
+        let system = kind.build_versioned(&dataset, &params, spec).unwrap();
+        let mut engine = Engine::with_channel(system.as_ref(), channel, policy);
+        // Same warm-up discipline as the clean-channel leg.
+        engine.run_batch(&burst_requests);
+        let before = engine.stats();
+        let start = Instant::now();
+        let done = engine.run_batch(&burst_requests);
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(done.len(), burst_requests.len());
+        assert!(
+            done.iter().all(|r| !r.outcome.aborted),
+            "protocol bug in {} under burst channel",
+            kind.name()
+        );
+        let after = engine.stats();
+        let row = BurstRow {
+            scheme: kind.name(),
+            requests_per_sec: burst_requests.len() as f64 / elapsed.max(1e-12),
+            corrupt_reads: after.corrupt_reads - before.corrupt_reads,
+            abandoned: after.abandoned - before.abandoned,
+            stale_restarts: after.stale_restarts - before.stale_restarts,
+        };
+        // A burst leg that never corrupts a read measures nothing.
+        assert!(
+            row.corrupt_reads > 0,
+            "{}: burst channel produced no corrupt reads",
+            kind.name()
+        );
+        println!(
+            "{:<22} {:>12.0} {:>12} {:>12} {:>14}",
+            row.scheme, row.requests_per_sec, row.corrupt_reads, row.abandoned, row.stale_restarts
+        );
+        burst_rows.push(row);
+    }
+
     if let Some(dir) = &cli.metrics_out {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create {dir}: {e}");
@@ -549,6 +635,28 @@ fn main() {
             r.mean_access / r.disks_mean_access.max(1e-12),
         );
         json.push_str(if i + 1 < skew_rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]},\n");
+    let _ = writeln!(
+        json,
+        "  \"burst\": {{\"churn\": {BURST_CHURN}, \"requests\": {burst_clients}, \"schemes\": ["
+    );
+    for (i, r) in burst_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"scheme\": \"{}\", \"requests_per_sec\": {:.1}, \"corrupt_reads\": {}, \
+             \"abandoned\": {}, \"stale_restarts\": {}}}",
+            json_escape(r.scheme),
+            r.requests_per_sec,
+            r.corrupt_reads,
+            r.abandoned,
+            r.stale_restarts,
+        );
+        json.push_str(if i + 1 < burst_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     json.push_str("  ]}\n}\n");
     std::fs::write(&cli.out, &json).unwrap_or_else(|e| {

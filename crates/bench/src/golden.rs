@@ -15,9 +15,11 @@
 
 use std::fmt::Write as _;
 
-use bda_core::{ErrorModel, Key, Params, RetryPolicy, Ticks};
+use bda_core::{
+    BurstModel, ChannelModel, ErrorModel, Key, OutageSchedule, Params, RetryPolicy, Ticks,
+};
 use bda_datagen::{DatasetBuilder, Popularity, QueryWorkload};
-use bda_sim::{run_requests_with_faults, CompletedRequest};
+use bda_sim::{run_requests_channel, run_requests_with_faults, CompletedRequest};
 
 use crate::SchemeKind;
 
@@ -38,6 +40,10 @@ const DISK_THETA: f64 = 0.8;
 /// layout and one chunked-navigation wrapper.
 const DISK_KINDS: [SchemeKind; 2] = [SchemeKind::Flat, SchemeKind::Hashing];
 
+/// The two schemes pinned under the bursty-channel variants: one pointer
+/// chaser (whose index hops amplify burst damage) and one scan layout.
+const BURST_KINDS: [SchemeKind; 2] = [SchemeKind::Distributed, SchemeKind::Signature];
+
 /// The two channel variants every scheme is pinned under.
 fn variants() -> [(&'static str, ErrorModel, RetryPolicy); 2] {
     [
@@ -46,6 +52,25 @@ fn variants() -> [(&'static str, ErrorModel, RetryPolicy); 2] {
             "lossy15",
             ErrorModel::new(LOSS, SEED ^ 0xFA57),
             RetryPolicy::bounded(2),
+        ),
+    ]
+}
+
+/// The bursty-channel variants [`BURST_KINDS`] are additionally pinned
+/// under: a Gilbert–Elliott chain (~17 % stationary loss), alone and with
+/// 10 % scheduled outage windows, driven by the resynchronization policy
+/// (exponential back-off, seeded jitter).
+fn burst_variants() -> [(&'static str, ChannelModel, RetryPolicy); 2] {
+    let burst = BurstModel::new(0.04, 0.20, 0.0, 0.9, SEED ^ 0xB57);
+    let policy = RetryPolicy::bounded(24)
+        .with_backoff_cap(8)
+        .with_jitter(SEED ^ 0x117);
+    [
+        ("burst", ChannelModel::burst(burst), policy),
+        (
+            "burst_outage",
+            ChannelModel::burst(burst).with_outages(OutageSchedule::new(3_000, 300, SEED ^ 0x0A7)),
+            policy,
         ),
     ]
 }
@@ -176,6 +201,25 @@ pub fn corpus() -> Vec<(String, String)> {
             ));
         }
     }
+    // Bursty-channel extension: the Gilbert–Elliott chain and the outage
+    // schedule are pure functions of (bucket instant, seed), so these
+    // files freeze the skip-ahead state resolution, the outage jitter
+    // placement and the exponential-back-off resynchronization exactly.
+    for kind in BURST_KINDS {
+        let system = kind.build(&ds, &params).expect("corpus scheme build");
+        let reqs = requests(&ds, &pool, 16 * system.cycle_len());
+        for (variant, channel, policy) in burst_variants() {
+            let completed = run_requests_channel(system.as_ref(), &reqs, channel, policy);
+            let header = format!(
+                "scheme={} variant={variant} records={RECORDS} seed={SEED:#x}",
+                kind.name()
+            );
+            files.push((
+                format!("{}_{variant}.tsv", file_stem(kind.name())),
+                render(&header, &completed),
+            ));
+        }
+    }
     files
 }
 
@@ -196,8 +240,12 @@ mod tests {
         let a = corpus();
         let b = corpus();
         assert_eq!(a, b, "two generations must be byte-identical");
-        // 8 schemes × 2 variants, plus 2 broadcast-disk schemes × 2.
-        assert_eq!(a.len(), (SchemeKind::ALL.len() + DISK_KINDS.len()) * 2);
+        // 8 schemes × 2 variants, plus 2 broadcast-disk schemes × 2,
+        // plus 2 bursty-channel schemes × 2.
+        assert_eq!(
+            a.len(),
+            (SchemeKind::ALL.len() + DISK_KINDS.len() + BURST_KINDS.len()) * 2
+        );
         for (name, tsv) in &a {
             assert!(name.ends_with(".tsv"));
             // Header comments + column line + one row per request.

@@ -26,6 +26,15 @@ FLAGS:
     --availability P     percent of queries answerable (compare/simulate; default 100)
     --loss P             bucket loss percent on an error-prone channel
                          (trace/compare/simulate; default 0)
+    --burst P,Q[,LG,LB]  bursty Gilbert–Elliott channel instead of i.i.d.
+                         loss: per-bucket good→bad percent P, bad→good
+                         percent Q, loss percent LG in good state (default
+                         0) and LB in bad state (default 100); mutually
+                         exclusive with --loss (trace/compare/simulate)
+    --outage RATE,LEN    periodic outage windows: RATE percent of air time
+                         is unusable, in spans of LEN bytes at a
+                         seed-jittered position per frame; composes with
+                         --loss or --burst (trace/compare/simulate)
     --retry N            give up a query after N corrupted reads
                          (trace/compare/simulate; default: retry forever)
     --update-rate P      percent of records inserted/deleted/updated per
@@ -72,6 +81,12 @@ pub struct Options {
     pub availability: f64,
     /// Bucket loss percentage.
     pub loss: f64,
+    /// Gilbert–Elliott burst channel `(p_good_to_bad, p_bad_to_good,
+    /// loss_good, loss_bad)`, all in percent (None = i.i.d. `--loss`).
+    pub burst: Option<(f64, f64, f64, f64)>,
+    /// Periodic outage windows `(rate_percent, len_bytes)` (None = no
+    /// outages).
+    pub outage: Option<(f64, u64)>,
     /// Max corrupted reads tolerated before abandoning (None = forever).
     pub retry: Option<u32>,
     /// Percent of records updated per broadcast cycle (0 = frozen).
@@ -100,6 +115,8 @@ impl Default for Options {
             tune_in: 12_345,
             availability: 100.0,
             loss: 0.0,
+            burst: None,
+            outage: None,
             retry: None,
             update_rate: 0.0,
             disks: 1,
@@ -115,6 +132,7 @@ impl Options {
     /// Parse `--flag value` pairs.
     pub fn parse(argv: &[String]) -> Result<Options, String> {
         let mut o = Options::default();
+        let mut loss_set = false;
         let mut it = argv.iter();
         while let Some(flag) = it.next() {
             let mut val = || -> Result<&String, String> {
@@ -129,7 +147,28 @@ impl Options {
                 "--key" => o.key = Some(parse_num(flag, val()?)?),
                 "--tune-in" => o.tune_in = parse_num(flag, val()?)?,
                 "--availability" => o.availability = parse_num(flag, val()?)?,
-                "--loss" => o.loss = parse_num(flag, val()?)?,
+                "--loss" => {
+                    o.loss = parse_num(flag, val()?)?;
+                    loss_set = true;
+                }
+                "--burst" => {
+                    let parts = parse_list(flag, val()?)?;
+                    o.burst = Some(match parts.as_slice() {
+                        [p, q] => (*p, *q, 0.0, 100.0),
+                        [p, q, lg] => (*p, *q, *lg, 100.0),
+                        [p, q, lg, lb] => (*p, *q, *lg, *lb),
+                        _ => return Err("--burst wants P,Q[,LG,LB]".into()),
+                    });
+                }
+                "--outage" => {
+                    let parts = parse_list(flag, val()?)?;
+                    match parts.as_slice() {
+                        [rate, len] if *len >= 1.0 && len.fract() == 0.0 => {
+                            o.outage = Some((*rate, *len as u64));
+                        }
+                        _ => return Err("--outage wants RATE,LEN (LEN whole bytes >= 1)".into()),
+                    }
+                }
                 "--retry" => o.retry = Some(parse_num(flag, val()?)?),
                 "--update-rate" => o.update_rate = parse_num(flag, val()?)?,
                 "--disks" => o.disks = parse_num(flag, val()?)?,
@@ -149,6 +188,21 @@ impl Options {
         if !(0.0..=100.0).contains(&o.loss) {
             return Err("--loss must be 0..=100".into());
         }
+        if loss_set && o.burst.is_some() {
+            return Err("--loss and --burst are mutually exclusive: pick one loss model".into());
+        }
+        if let Some((p, q, lg, lb)) = o.burst {
+            for (name, v) in [("P", p), ("Q", q), ("LG", lg), ("LB", lb)] {
+                if !(0.0..=100.0).contains(&v) {
+                    return Err(format!("--burst {name} must be 0..=100"));
+                }
+            }
+        }
+        if let Some((rate, _len)) = o.outage {
+            if !(0.0 < rate && rate <= 100.0) {
+                return Err("--outage RATE must be in (0, 100]".into());
+            }
+        }
         if !(0.0..=100.0).contains(&o.update_rate) {
             return Err("--update-rate must be 0..=100".into());
         }
@@ -164,6 +218,34 @@ impl Options {
     /// The error model these flags select.
     pub fn error_model(&self) -> bda_core::ErrorModel {
         bda_core::ErrorModel::new(self.loss / 100.0, self.seed ^ 0xE7)
+    }
+
+    /// The full channel model these flags select: `--burst` picks a
+    /// Gilbert–Elliott loss process (else the i.i.d. `--loss` model), and
+    /// `--outage RATE,LEN` composes periodic unusable windows on top.
+    /// With neither flag this is bit-identical to the i.i.d. path.
+    pub fn channel_model(&self) -> bda_core::ChannelModel {
+        let mut ch = match self.burst {
+            Some((p, q, lg, lb)) => bda_core::ChannelModel::burst(bda_core::BurstModel::new(
+                p / 100.0,
+                q / 100.0,
+                lg / 100.0,
+                lb / 100.0,
+                self.seed ^ 0xB5,
+            )),
+            None => bda_core::ChannelModel::iid(self.error_model()),
+        };
+        if let Some((rate, len)) = self.outage {
+            // RATE percent of air time down in spans of `len` bytes: one
+            // span per frame of `len * 100 / RATE` bytes.
+            let every = ((len as f64) * 100.0 / rate).round() as u64;
+            ch = ch.with_outages(bda_core::OutageSchedule::new(
+                every.max(len),
+                len,
+                self.seed ^ 0x0A7,
+            ));
+        }
+        ch
     }
 
     /// The client retry policy these flags select.
@@ -194,6 +276,12 @@ impl Options {
 
 fn parse_num<T: std::str::FromStr>(flag: &str, s: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("{flag}: cannot parse {s:?}"))
+}
+
+fn parse_list(flag: &str, s: &str) -> Result<Vec<f64>, String> {
+    s.split(',')
+        .map(|part| parse_num(flag, part.trim()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -285,6 +373,68 @@ mod tests {
         assert_eq!(spec.horizon_cycles, 64);
         // Default: frozen program.
         assert!(parse(&[]).unwrap().update_spec().is_none());
+    }
+
+    #[test]
+    fn burst_flag_parses_and_maps() {
+        let o = parse(&["--burst", "2,10", "--seed", "7"]).unwrap();
+        assert_eq!(o.burst, Some((2.0, 10.0, 0.0, 100.0)));
+        let ch = o.channel_model();
+        // A burst channel is not reducible to the i.i.d. model.
+        assert!(ch.as_iid().is_none());
+        assert!(!ch.has_outages());
+        // Defaults: LG=0, LB=100 — the classic Gilbert channel.
+        let full = parse(&["--burst", "2,10,1,80"]).unwrap();
+        assert_eq!(full.burst, Some((2.0, 10.0, 1.0, 80.0)));
+        // Malformed tuples are rejected.
+        assert!(parse(&["--burst", "2"]).is_err());
+        assert!(parse(&["--burst", "2,10,1,80,9"]).is_err());
+        assert!(parse(&["--burst", "2,nope"]).is_err());
+        assert!(parse(&["--burst", "2,101"]).is_err());
+        assert!(parse(&["--burst"]).is_err());
+    }
+
+    #[test]
+    fn loss_and_burst_are_mutually_exclusive() {
+        assert!(parse(&["--loss", "10", "--burst", "2,10"]).is_err());
+        assert!(parse(&["--burst", "2,10", "--loss", "10"]).is_err());
+        // Even an explicit zero loss conflicts: the user picked two models.
+        assert!(parse(&["--loss", "0", "--burst", "2,10"]).is_err());
+        // Each alone is fine.
+        assert!(parse(&["--loss", "10"]).is_ok());
+        assert!(parse(&["--burst", "2,10"]).is_ok());
+    }
+
+    #[test]
+    fn outage_flag_parses_and_maps() {
+        let o = parse(&["--outage", "5,200", "--seed", "3"]).unwrap();
+        assert_eq!(o.outage, Some((5.0, 200)));
+        let ch = o.channel_model();
+        assert!(ch.has_outages());
+        // RATE=5%, LEN=200 → one 200-byte span per 4000-byte frame.
+        assert!((ch.outages.fraction() - 0.05).abs() < 1e-9);
+        // Composes with burst loss.
+        let both = parse(&["--burst", "2,10", "--outage", "5,200"]).unwrap();
+        let ch = both.channel_model();
+        assert!(ch.has_outages());
+        assert!(ch.as_iid().is_none());
+        // Malformed tuples are rejected.
+        assert!(parse(&["--outage", "5"]).is_err());
+        assert!(parse(&["--outage", "0,200"]).is_err());
+        assert!(parse(&["--outage", "101,200"]).is_err());
+        assert!(parse(&["--outage", "5,0"]).is_err());
+        assert!(parse(&["--outage", "5,2.5"]).is_err());
+        assert!(parse(&["--outage"]).is_err());
+    }
+
+    #[test]
+    fn default_channel_is_degenerate_iid() {
+        let o = parse(&["--loss", "10", "--seed", "1"]).unwrap();
+        // Without --burst/--outage the channel reduces to the exact
+        // i.i.d. model — same seed, same draws, bit-identical walks.
+        assert_eq!(o.channel_model().as_iid(), Some(o.error_model()));
+        let d = parse(&[]).unwrap();
+        assert_eq!(d.channel_model().as_iid(), Some(d.error_model()));
     }
 
     #[test]

@@ -15,7 +15,7 @@ use bda_signature::{
 use bda_sim::{SimConfig, Simulator, UpdateSpec, VersionedServer};
 
 use crate::args::Options;
-use crate::trace::{describe, trace_query, Trace};
+use crate::trace::{describe, trace_query_channel, Trace};
 
 const SCHEMES: [&str; 8] = [
     "flat",
@@ -272,6 +272,21 @@ pub fn inspect(o: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// The channel-fault fragment of a report header: i.i.d. loss, burst
+/// parameters, and outage windows, whichever the flags selected.
+fn fault_note(o: &Options) -> String {
+    let mut note = String::new();
+    if let Some((p, q, lg, lb)) = o.burst {
+        note.push_str(&format!(" · burst loss {p}%→bad/{q}%→good ({lg}%/{lb}%)"));
+    } else if o.loss > 0.0 {
+        note.push_str(&format!(" · {}% bucket loss", o.loss));
+    }
+    if let Some((rate, len)) = o.outage {
+        note.push_str(&format!(" · {rate}% outage in {len}B windows"));
+    }
+    note
+}
+
 /// `bda-cli trace` — bucket-by-bucket timeline of one query.
 pub fn trace(o: &Options) -> Result<(), String> {
     let p = params(o)?;
@@ -286,7 +301,7 @@ pub fn trace(o: &Options) -> Result<(), String> {
         }
         (None, None) => ds.record(ds.len() / 2).key,
     };
-    let errors = o.error_model();
+    let faults = o.channel_model();
     let policy = o.retry_policy();
     if !o.json {
         println!(
@@ -295,11 +310,7 @@ pub fn trace(o: &Options) -> Result<(), String> {
             ds.len(),
             key,
             o.tune_in,
-            if o.loss > 0.0 {
-                format!(" · {}% bucket loss", o.loss)
-            } else {
-                String::new()
-            },
+            fault_note(o),
             match o.retry {
                 Some(n) => format!(" · give up after {n} retries"),
                 None => String::new(),
@@ -312,25 +323,25 @@ pub fn trace(o: &Options) -> Result<(), String> {
                 let sys = FlatDisksScheme::new(d)
                     .build(&ds, &p)
                     .map_err(|e| e.to_string())?;
-                trace_query(&sys, key, o.tune_in, errors, policy, describe::flat)
+                trace_query_channel(&sys, key, o.tune_in, faults, policy, describe::flat)
             }
             "signature" => {
                 let sys = SimpleSignatureDisksScheme::new(d)
                     .build(&ds, &p)
                     .map_err(|e| e.to_string())?;
-                trace_query(&sys, key, o.tune_in, errors, policy, describe::sig)
+                trace_query_channel(&sys, key, o.tune_in, faults, policy, describe::sig)
             }
             "hashing" => {
                 let sys = DiskScheme::new(HashScheme::new(), d)
                     .build(&ds, &p)
                     .map_err(|e| e.to_string())?;
-                trace_query(&sys, key, o.tune_in, errors, policy, describe::hash)
+                trace_query_channel(&sys, key, o.tune_in, faults, policy, describe::hash)
             }
             "distributed" => {
                 let sys = DiskScheme::new(DistributedScheme::new(), d)
                     .build(&ds, &p)
                     .map_err(|e| e.to_string())?;
-                trace_query(&sys, key, o.tune_in, errors, policy, describe::btree)
+                trace_query_channel(&sys, key, o.tune_in, faults, policy, describe::btree)
             }
             other => {
                 return Err(format!(
@@ -346,49 +357,49 @@ pub fn trace(o: &Options) -> Result<(), String> {
             let sys = bda_core::FlatScheme
                 .build(&ds, &p)
                 .map_err(|e| e.to_string())?;
-            trace_query(&sys, key, o.tune_in, errors, policy, describe::flat)
+            trace_query_channel(&sys, key, o.tune_in, faults, policy, describe::flat)
         }
         "one-m" | "(1,m)" => {
             let sys = OneMScheme::new()
                 .build(&ds, &p)
                 .map_err(|e| e.to_string())?;
-            trace_query(&sys, key, o.tune_in, errors, policy, describe::btree)
+            trace_query_channel(&sys, key, o.tune_in, faults, policy, describe::btree)
         }
         "distributed" => {
             let sys = DistributedScheme::new()
                 .build(&ds, &p)
                 .map_err(|e| e.to_string())?;
-            trace_query(&sys, key, o.tune_in, errors, policy, describe::btree)
+            trace_query_channel(&sys, key, o.tune_in, faults, policy, describe::btree)
         }
         "hashing" => {
             let sys = HashScheme::new()
                 .build(&ds, &p)
                 .map_err(|e| e.to_string())?;
-            trace_query(&sys, key, o.tune_in, errors, policy, describe::hash)
+            trace_query_channel(&sys, key, o.tune_in, faults, policy, describe::hash)
         }
         "signature" => {
             let sys = SimpleSignatureScheme::new()
                 .build(&ds, &p)
                 .map_err(|e| e.to_string())?;
-            trace_query(&sys, key, o.tune_in, errors, policy, describe::sig)
+            trace_query_channel(&sys, key, o.tune_in, faults, policy, describe::sig)
         }
         "integrated-signature" => {
             let sys = IntegratedSignatureScheme::default()
                 .build(&ds, &p)
                 .map_err(|e| e.to_string())?;
-            trace_query(&sys, key, o.tune_in, errors, policy, describe::sig)
+            trace_query_channel(&sys, key, o.tune_in, faults, policy, describe::sig)
         }
         "multilevel-signature" => {
             let sys = MultiLevelSignatureScheme::default()
                 .build(&ds, &p)
                 .map_err(|e| e.to_string())?;
-            trace_query(&sys, key, o.tune_in, errors, policy, describe::sig)
+            trace_query_channel(&sys, key, o.tune_in, faults, policy, describe::sig)
         }
         "hybrid" => {
             let sys = HybridScheme::new()
                 .build(&ds, &p)
                 .map_err(|e| e.to_string())?;
-            trace_query(&sys, key, o.tune_in, errors, policy, describe::hybrid)
+            trace_query_channel(&sys, key, o.tune_in, faults, policy, describe::hybrid)
         }
         other => {
             return Err(format!(
@@ -442,11 +453,7 @@ pub fn compare(o: &Options) -> Result<(), String> {
         ds.len(),
         o.availability,
         o.ratio,
-        if o.loss > 0.0 {
-            format!(" · {}% bucket loss", o.loss)
-        } else {
-            String::new()
-        },
+        fault_note(o),
         if dynamic {
             format!(" · {}% updates/cycle", o.update_rate)
         } else {
@@ -478,6 +485,7 @@ pub fn compare(o: &Options) -> Result<(), String> {
         let mut cfg = SimConfig::quick();
         cfg.event_driven = false;
         cfg.errors = o.error_model();
+        cfg.channel = Some(o.channel_model());
         cfg.retry = o.retry_policy();
         cfg.updates = o.update_spec();
         let mut sim = Simulator::new(sys.as_ref(), workload, cfg);
@@ -529,6 +537,7 @@ pub fn simulate(o: &Options) -> Result<(), String> {
     let mut cfg = SimConfig::paper();
     cfg.accuracy = o.accuracy;
     cfg.errors = o.error_model();
+    cfg.channel = Some(o.channel_model());
     cfg.retry = o.retry_policy();
     cfg.updates = o.update_spec();
     cfg.shards = o.shards;
@@ -556,7 +565,7 @@ pub fn simulate(o: &Options) -> Result<(), String> {
     );
     println!("found         : {} / {}", r.found, r.requests);
     println!("false drops   : {}", r.false_drops);
-    if o.loss > 0.0 {
+    if o.loss > 0.0 || o.burst.is_some() || o.outage.is_some() {
         println!(
             "corrupt reads : {} ({:.3} retries/query)",
             r.retries,

@@ -8,7 +8,7 @@
 //! the `--json` document are two renderings of the same observed walk.
 
 use bda_core::{
-    Channel, ErrorModel, Key, Phase, PhaseSpans, ProtocolMachine, RetryPolicy, SpanRecorder,
+    Channel, ChannelModel, Key, Phase, PhaseSpans, ProtocolMachine, RetryPolicy, SpanRecorder,
     System, Ticks, Walk, WalkStep,
 };
 
@@ -31,6 +31,8 @@ pub struct TraceEvent {
     pub wait: Ticks,
     /// Whether the read arrived corrupted.
     pub corrupt: bool,
+    /// Whether the corruption came from a scheduled carrier outage.
+    pub outage: bool,
     /// Human description of the bucket payload, for reads.
     pub detail: String,
 }
@@ -62,20 +64,22 @@ fn span_delta(before: &PhaseSpans, after: &PhaseSpans) -> (Phase, u64, u64) {
 }
 
 /// Drive `machine` against `channel`, describing every bucket read with
-/// `describe`.
-pub fn trace_walk<P, M: ProtocolMachine<P>>(
+/// `describe`. Burst loss and scheduled outages are rendered with their
+/// cause (`×CORRUPT` vs `×OUTAGE`); a degenerate [`ChannelModel`] traces
+/// bit-identically to the i.i.d. [`ErrorModel`] it wraps.
+pub fn trace_walk_channel<P, M: ProtocolMachine<P>>(
     channel: &Channel<P>,
     machine: M,
     tune_in: Ticks,
-    errors: ErrorModel,
+    faults: ChannelModel,
     policy: RetryPolicy,
     describe: impl Fn(&P) -> String,
 ) -> Trace {
-    let mut walk = Walk::with_recorder(
+    let mut walk = Walk::with_channel_recorder(
         channel,
         machine,
         tune_in,
-        errors,
+        faults,
         policy,
         SpanRecorder::new(),
     );
@@ -98,11 +102,19 @@ pub fn trace_walk<P, M: ProtocolMachine<P>>(
                 } else {
                     String::new()
                 };
-                let corrupt = errors.corrupted(until - Ticks::from(channel.bucket(bucket).size));
+                let start = until - Ticks::from(channel.bucket(bucket).size);
+                let corrupt = faults.corrupted(start);
+                let outage = faults.in_outage(start);
                 let detail = describe(&channel.bucket(bucket).payload);
                 lines.push(format!(
                     "t={until:<12} READ  #{bucket:<6} {detail}{wait_note}{}  [{}]",
-                    if corrupt { " ×CORRUPT" } else { "" },
+                    if outage {
+                        " ×OUTAGE"
+                    } else if corrupt {
+                        " ×CORRUPT"
+                    } else {
+                        ""
+                    },
                     phase.name(),
                 ));
                 events.push(TraceEvent {
@@ -114,6 +126,7 @@ pub fn trace_walk<P, M: ProtocolMachine<P>>(
                     tuning,
                     wait,
                     corrupt,
+                    outage,
                     detail,
                 });
             }
@@ -129,6 +142,7 @@ pub fn trace_walk<P, M: ProtocolMachine<P>>(
                     tuning,
                     wait: 0,
                     corrupt: false,
+                    outage: false,
                     detail: String::new(),
                 });
             }
@@ -193,7 +207,7 @@ impl Trace {
                 out,
                 "    {{\"type\": \"{}\", \"t\": {}, \"bucket\": {}, \"phase\": \"{}\", \
                  \"access\": {}, \"tuning\": {}, \"wait\": {}, \"corrupt\": {}, \
-                 \"detail\": \"{}\"}}",
+                 \"outage\": {}, \"detail\": \"{}\"}}",
                 e.kind,
                 e.t,
                 e.bucket.map_or("null".into(), |b| b.to_string()),
@@ -202,6 +216,7 @@ impl Trace {
                 e.tuning,
                 e.wait,
                 e.corrupt,
+                e.outage,
                 json_escape(&e.detail),
             );
             out.push_str(if i + 1 < self.events.len() {
@@ -250,20 +265,21 @@ impl Trace {
     }
 }
 
-/// Trace a key query on any typed system, with per-payload description.
-pub fn trace_query<S: System>(
+/// Trace a key query on any typed system, with per-payload description,
+/// over a full [`ChannelModel`] (i.i.d. or burst loss, plus outages).
+pub fn trace_query_channel<S: System>(
     sys: &S,
     key: Key,
     tune_in: Ticks,
-    errors: ErrorModel,
+    faults: ChannelModel,
     policy: RetryPolicy,
     describe: impl Fn(&S::Payload) -> String,
 ) -> Trace {
-    trace_walk(
+    trace_walk_channel(
         sys.channel(),
         sys.query(key),
         tune_in,
-        errors,
+        faults,
         policy,
         describe,
     )
@@ -353,7 +369,21 @@ pub mod describe {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bda_core::{Dataset, DynSystem, FlatScheme, Params, Record, Scheme};
+    use bda_core::{Dataset, DynSystem, ErrorModel, FlatScheme, Params, Record, Scheme};
+
+    /// The legacy i.i.d. entry point: delegates through the channel path,
+    /// which the degenerate-equality test below shows is loss-for-loss
+    /// identical.
+    fn trace_query<S: System>(
+        sys: &S,
+        key: Key,
+        tune_in: Ticks,
+        errors: ErrorModel,
+        policy: RetryPolicy,
+        describe: impl Fn(&S::Payload) -> String,
+    ) -> Trace {
+        trace_query_channel(sys, key, tune_in, errors.into(), policy, describe)
+    }
 
     #[test]
     fn trace_lines_cover_the_walk() {
@@ -453,6 +483,55 @@ mod tests {
             t.outcome.retries as usize,
             "corrupt reads are attributed to the retry phase"
         );
+    }
+
+    #[test]
+    fn burst_and_outage_traces_flag_their_cause() {
+        use bda_core::{BurstModel, ChannelModel, OutageSchedule};
+        let ds = Dataset::new((0..8).map(|i| Record::keyed(i * 2)).collect()).unwrap();
+        let sys = FlatScheme.build(&ds, &Params::paper()).unwrap();
+        // A degenerate channel traces bit-identically to the i.i.d. path.
+        let errors = ErrorModel::new(0.5, 7);
+        let iid = trace_query(
+            &sys,
+            bda_core::Key(6),
+            0,
+            errors,
+            RetryPolicy::UNBOUNDED,
+            describe::flat,
+        );
+        let chan = trace_query_channel(
+            &sys,
+            bda_core::Key(6),
+            0,
+            ChannelModel::iid(errors),
+            RetryPolicy::UNBOUNDED,
+            describe::flat,
+        );
+        assert_eq!(iid.lines, chan.lines);
+        assert_eq!(iid.outcome, chan.outcome);
+        // An outage-only channel marks dead reads ×OUTAGE, not ×CORRUPT.
+        let faults = ChannelModel::burst(BurstModel::new(0.3, 0.3, 0.0, 1.0, 5))
+            .with_outages(OutageSchedule::new(400, 120, 9));
+        let t = trace_query_channel(
+            &sys,
+            bda_core::Key(6),
+            0,
+            faults,
+            RetryPolicy::UNBOUNDED,
+            describe::flat,
+        );
+        assert!(t.outcome.found);
+        assert_eq!(
+            t.events.iter().filter(|e| e.corrupt).count(),
+            t.outcome.retries as usize,
+            "outage and burst corruption both tie to the retry count"
+        );
+        for e in t.events.iter().filter(|e| e.outage) {
+            assert!(e.corrupt, "an outage read is always corrupt");
+        }
+        let json = t.to_json("flat", bda_core::Key(6), 0);
+        assert!(json.contains("\"outage\": "));
     }
 
     #[test]

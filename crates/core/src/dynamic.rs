@@ -36,7 +36,7 @@
 
 use crate::bucket::{Bucket, BucketMeta};
 use crate::error::{BdaError, Result};
-use crate::errors_model::{ErrorModel, RetryPolicy};
+use crate::errors_model::{ChannelModel, ErrorModel, RetryPolicy};
 use crate::key::Key;
 use crate::machine::{AccessOutcome, Action, ProtocolMachine, StaleResponse, WalkStep};
 use crate::scheme::{QueryRun, QuerySlot, System};
@@ -175,8 +175,12 @@ pub struct VersionedWalk<'a, S: System, R = NoopRecorder> {
     pending: Option<Action>,
     outcome: Option<AccessOutcome>,
     max_probes: u32,
-    errors: ErrorModel,
+    channel: ChannelModel,
     policy: RetryPolicy,
+    /// Consecutive unusable reads that fell inside an outage window —
+    /// drives the exponential resynchronization back-off; reset by any
+    /// usable or merely-lossy read.
+    outage_streak: u32,
     recorder: R,
 }
 
@@ -204,6 +208,20 @@ impl<'a, S: System> VersionedWalk<'a, S> {
     ) -> Self {
         VersionedWalk::with_recorder(timeline, key, tune_in, errors, policy, NoopRecorder)
     }
+
+    /// Begin a query over a unified [`ChannelModel`] (i.i.d. or burst
+    /// loss, with or without outages). With a degenerate channel
+    /// (`ChannelModel::from(errors)`) this is bit-identical to
+    /// [`VersionedWalk::with_policy`].
+    pub fn with_channel(
+        timeline: &'a ProgramTimeline<S>,
+        key: Key,
+        tune_in: Ticks,
+        channel: ChannelModel,
+        policy: RetryPolicy,
+    ) -> Self {
+        VersionedWalk::with_channel_recorder(timeline, key, tune_in, channel, policy, NoopRecorder)
+    }
 }
 
 impl<'a, S: System, R: Recorder> VersionedWalk<'a, S, R> {
@@ -220,6 +238,26 @@ impl<'a, S: System, R: Recorder> VersionedWalk<'a, S, R> {
         policy: RetryPolicy,
         recorder: R,
     ) -> Self {
+        VersionedWalk::with_channel_recorder(
+            timeline,
+            key,
+            tune_in,
+            errors.into(),
+            policy,
+            recorder,
+        )
+    }
+
+    /// [`VersionedWalk::with_channel`] with span instrumentation — the most
+    /// general constructor; every other constructor delegates here.
+    pub fn with_channel_recorder(
+        timeline: &'a ProgramTimeline<S>,
+        key: Key,
+        tune_in: Ticks,
+        channel: ChannelModel,
+        policy: RetryPolicy,
+        recorder: R,
+    ) -> Self {
         let epoch = timeline.epoch(timeline.index_at(tune_in));
         let mut machine = epoch.system.query(key);
         let pending = machine.start(tune_in);
@@ -233,12 +271,16 @@ impl<'a, S: System, R: Recorder> VersionedWalk<'a, S, R> {
             .max()
             .unwrap_or(1) as u32;
         let base = max_buckets.saturating_mul(4).saturating_add(64);
-        let max_probes = if errors.loss_prob > 0.0 {
-            let factor = (1.0 / (1.0 - errors.loss_prob.min(0.99))).ceil() as u32 + 4;
+        let worst = channel.worst_loss();
+        let mut max_probes = if worst > 0.0 {
+            let factor = (1.0 / (1.0 - worst.min(0.99))).ceil() as u32 + 4;
             base.saturating_mul(factor)
         } else {
             base
         };
+        if channel.has_outages() {
+            max_probes = max_probes.saturating_mul(4).saturating_add(256);
+        }
         VersionedWalk {
             timeline,
             machine,
@@ -255,8 +297,9 @@ impl<'a, S: System, R: Recorder> VersionedWalk<'a, S, R> {
             pending: Some(pending),
             outcome: None,
             max_probes,
-            errors,
+            channel,
             policy,
+            outage_streak: 0,
             recorder,
         }
     }
@@ -314,16 +357,29 @@ impl<'a, S: System, R: Recorder> VersionedWalk<'a, S, R> {
         step
     }
 
-    /// Apply the policy's next-cycle back-off to a post-corruption action,
-    /// using the cycle length of the program the client just read from.
-    fn backoff(&self, act: Action, cycle_len: Ticks) -> Action {
-        if self.policy.backoff_cycles == 0 {
+    /// The probe budget ran out. On a channel that actually corrupted
+    /// reads — or under program churn that starved the walk — this is a
+    /// truthful abandonment; on a clean frozen walk it flags a runaway
+    /// machine and aborts, as it always has.
+    fn exhaust(&mut self) -> WalkStep {
+        if self.retries > 0 || self.stale_restarts > 0 {
+            self.abandon()
+        } else {
+            self.finish(false, self.false_drops_hint, true)
+        }
+    }
+
+    /// Apply a back-off of `cycles` whole cycles to a post-corruption
+    /// action, using the cycle length of the program the client just read
+    /// from (whole-cycle shifts preserve the bucket the machine expects).
+    fn backoff(&self, act: Action, cycles: u32, cycle_len: Ticks) -> Action {
+        if cycles == 0 {
             return act;
         }
-        let shift = Ticks::from(self.policy.backoff_cycles) * cycle_len;
+        let shift = Ticks::from(cycles).saturating_mul(cycle_len);
         match act {
-            Action::ReadNext => Action::DozeTo(self.now + shift),
-            Action::DozeTo(t) => Action::DozeTo(t + shift),
+            Action::ReadNext => Action::DozeTo(self.now.saturating_add(shift)),
+            Action::DozeTo(t) => Action::DozeTo(t.saturating_add(shift)),
             other => other,
         }
     }
@@ -365,13 +421,7 @@ impl<'a, S: System, R: Recorder> VersionedWalk<'a, S, R> {
         match action {
             Action::ReadNext => {
                 if self.probes >= self.max_probes {
-                    // Budget exhaustion after stale restarts means program
-                    // churn starved the client — a truthful abandonment,
-                    // not a protocol bug.
-                    if self.stale_restarts > 0 {
-                        return self.abandon();
-                    }
-                    return self.finish(false, self.false_drops_hint, true);
+                    return self.exhaust();
                 }
                 let timeline = self.timeline;
                 let (ei, idx, start) = timeline.first_complete_at(self.now);
@@ -395,7 +445,7 @@ impl<'a, S: System, R: Recorder> VersionedWalk<'a, S, R> {
                     // Corruption trumps skew (the header is unreadable);
                     // skew trumps structure (the payload is withheld from
                     // the machine, so the read buys recovery, not progress).
-                    let phase = if self.errors.corrupted(start) {
+                    let phase = if self.channel.corrupted(start) {
                         Phase::Retry
                     } else if bucket.version != self.anchor_version {
                         Phase::StaleRecovery
@@ -409,7 +459,7 @@ impl<'a, S: System, R: Recorder> VersionedWalk<'a, S, R> {
                     };
                     self.recorder.span(phase, end - from, end - from);
                 }
-                let next = if self.errors.corrupted(start) {
+                let next = if self.channel.corrupted(start) {
                     // A corrupted transmission hides the header too: the
                     // client can't even see the version. Skew, if any, is
                     // caught on the next clean read.
@@ -417,9 +467,21 @@ impl<'a, S: System, R: Recorder> VersionedWalk<'a, S, R> {
                     if self.policy.gives_up(self.retries, self.now - self.tune_in) {
                         return self.abandon();
                     }
-                    let recovery = self.machine.on_corrupt(meta);
-                    self.backoff(recovery, ch.cycle_len())
+                    if self.channel.in_outage(start) {
+                        // Carrier gone: resynchronize against whichever
+                        // program is on the air when the client returns.
+                        self.outage_streak += 1;
+                        let recovery = self.machine.on_outage(meta);
+                        let cycles = self.policy.recovery_cycles(self.outage_streak, true);
+                        self.backoff(recovery, cycles, ch.cycle_len())
+                    } else {
+                        self.outage_streak = 0;
+                        let recovery = self.machine.on_corrupt(meta);
+                        let cycles = self.policy.recovery_cycles(self.retries, false);
+                        self.backoff(recovery, cycles, ch.cycle_len())
+                    }
                 } else if bucket.version != self.anchor_version {
+                    self.outage_streak = 0;
                     self.version_skews += 1;
                     match self.machine.on_stale(meta) {
                         StaleResponse::Resume(act) => {
@@ -429,6 +491,7 @@ impl<'a, S: System, R: Recorder> VersionedWalk<'a, S, R> {
                         StaleResponse::Respawn => self.respawn(epoch, bucket, meta),
                     }
                 } else {
+                    self.outage_streak = 0;
                     self.machine.on_bucket(&bucket.payload, meta)
                 };
                 if let Action::Finish(v) = next {
@@ -498,6 +561,41 @@ pub fn run_versioned_with_policy<S: System>(
     VersionedWalk::with_policy(timeline, key, tune_in, errors, policy).run()
 }
 
+/// Run one query over a dynamic broadcast timeline behind a unified
+/// [`ChannelModel`] (burst loss, outages, or both).
+pub fn run_versioned_with_channel<S: System>(
+    timeline: &ProgramTimeline<S>,
+    key: Key,
+    tune_in: Ticks,
+    channel: ChannelModel,
+    policy: RetryPolicy,
+) -> AccessOutcome {
+    VersionedWalk::with_channel(timeline, key, tune_in, channel, policy).run()
+}
+
+/// [`run_versioned_with_channel`] with span instrumentation.
+pub fn run_versioned_observed_channel<S: System>(
+    timeline: &ProgramTimeline<S>,
+    key: Key,
+    tune_in: Ticks,
+    channel: ChannelModel,
+    policy: RetryPolicy,
+) -> (AccessOutcome, PhaseSpans) {
+    let mut walk = VersionedWalk::with_channel_recorder(
+        timeline,
+        key,
+        tune_in,
+        channel,
+        policy,
+        SpanRecorder::new(),
+    );
+    loop {
+        if let WalkStep::Done(out) = walk.step() {
+            return (out, walk.recorder().spans);
+        }
+    }
+}
+
 /// [`run_versioned_with_policy`] with span instrumentation: also returns
 /// the walk's per-phase decomposition, whose totals equal the outcome's
 /// `access`/`tuning` exactly. Skewed reads land in
@@ -524,7 +622,7 @@ pub fn run_versioned_observed<S: System>(
 pub struct VersionedSlot<'a, S: System> {
     timeline: &'a ProgramTimeline<S>,
     walk: Option<VersionedWalk<'a, S>>,
-    errors: ErrorModel,
+    channel: ChannelModel,
     policy: RetryPolicy,
 }
 
@@ -541,10 +639,19 @@ impl<'a, S: System> VersionedSlot<'a, S> {
         errors: ErrorModel,
         policy: RetryPolicy,
     ) -> Self {
+        VersionedSlot::with_channel(timeline, errors.into(), policy)
+    }
+
+    /// An empty slot whose queries run behind a unified [`ChannelModel`].
+    pub fn with_channel(
+        timeline: &'a ProgramTimeline<S>,
+        channel: ChannelModel,
+        policy: RetryPolicy,
+    ) -> Self {
         VersionedSlot {
             timeline,
             walk: None,
-            errors,
+            channel,
             policy,
         }
     }
@@ -552,11 +659,11 @@ impl<'a, S: System> VersionedSlot<'a, S> {
 
 impl<S: System> QuerySlot for VersionedSlot<'_, S> {
     fn start(&mut self, key: Key, tune_in: Ticks) {
-        self.walk = Some(VersionedWalk::with_policy(
+        self.walk = Some(VersionedWalk::with_channel(
             self.timeline,
             key,
             tune_in,
-            self.errors,
+            self.channel,
             self.policy,
         ));
     }
@@ -585,7 +692,7 @@ impl<S: System> QuerySlot for VersionedSlot<'_, S> {
 pub struct ObservedVersionedSlot<'a, S: System> {
     timeline: &'a ProgramTimeline<S>,
     walk: Option<VersionedWalk<'a, S, SpanRecorder>>,
-    errors: ErrorModel,
+    channel: ChannelModel,
     policy: RetryPolicy,
 }
 
@@ -596,10 +703,19 @@ impl<'a, S: System> ObservedVersionedSlot<'a, S> {
         errors: ErrorModel,
         policy: RetryPolicy,
     ) -> Self {
+        ObservedVersionedSlot::with_channel(timeline, errors.into(), policy)
+    }
+
+    /// An empty instrumented slot behind a unified [`ChannelModel`].
+    pub fn with_channel(
+        timeline: &'a ProgramTimeline<S>,
+        channel: ChannelModel,
+        policy: RetryPolicy,
+    ) -> Self {
         ObservedVersionedSlot {
             timeline,
             walk: None,
-            errors,
+            channel,
             policy,
         }
     }
@@ -607,11 +723,11 @@ impl<'a, S: System> ObservedVersionedSlot<'a, S> {
 
 impl<S: System> QuerySlot for ObservedVersionedSlot<'_, S> {
     fn start(&mut self, key: Key, tune_in: Ticks) {
-        self.walk = Some(VersionedWalk::with_recorder(
+        self.walk = Some(VersionedWalk::with_channel_recorder(
             self.timeline,
             key,
             tune_in,
-            self.errors,
+            self.channel,
             self.policy,
             SpanRecorder::new(),
         ));

@@ -50,16 +50,20 @@ pub use disks::{
     RepetitionSchedule,
 };
 pub use dynamic::{
-    run_versioned, run_versioned_observed, run_versioned_with_policy, Epoch, ObservedVersionedSlot,
+    run_versioned, run_versioned_observed, run_versioned_observed_channel,
+    run_versioned_with_channel, run_versioned_with_policy, Epoch, ObservedVersionedSlot,
     ProgramTimeline, VersionedSlot, VersionedWalk,
 };
 pub use error::{BdaError, ProtocolFault, Result};
-pub use errors_model::{ErrorModel, RetryPolicy};
+pub use errors_model::{
+    BurstModel, ChainState, ChannelModel, ErrorModel, LossModel, OutageSchedule, RetryPolicy,
+};
 pub use flat::{FlatPayload, FlatScheme, FlatSystem};
 pub use key::Key;
 pub use machine::{
-    run_machine_observed, run_machine_with_errors, run_machine_with_policy, AccessOutcome, Action,
-    FastForward, ProtocolMachine, StaleResponse, Verdict, Walk, WalkStep,
+    run_machine_observed, run_machine_observed_channel, run_machine_with_channel,
+    run_machine_with_errors, run_machine_with_policy, AccessOutcome, Action, FastForward,
+    ProtocolMachine, StaleResponse, Verdict, Walk, WalkStep,
 };
 pub use params::Params;
 pub use record::{Dataset, Record};

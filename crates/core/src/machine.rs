@@ -15,7 +15,7 @@
 use crate::bucket::BucketMeta;
 use crate::channel::Channel;
 use crate::error::ProtocolFault;
-use crate::errors_model::{ErrorModel, RetryPolicy};
+use crate::errors_model::{ChannelModel, ErrorModel, RetryPolicy};
 use crate::Ticks;
 use bda_obs::{BucketKind, NoopRecorder, Phase, PhaseSpans, Recorder, SpanRecorder};
 
@@ -119,6 +119,23 @@ pub trait ProtocolMachine<P> {
         self.start(meta.end)
     }
 
+    /// Called instead of [`ProtocolMachine::on_corrupt`] when the unusable
+    /// bucket fell inside a scheduled carrier **outage**
+    /// ([`crate::errors_model::OutageSchedule`]): the client sensed signal
+    /// loss rather than a CRC failure. The walker additionally applies the
+    /// outage resynchronization back-off (exponential whole-cycle dozes,
+    /// see [`RetryPolicy::recovery_cycles`]) to whatever action this
+    /// returns, so a client dozing through a dead span does not burn its
+    /// retry budget one bucket at a time.
+    ///
+    /// The default defers to [`ProtocolMachine::on_corrupt`], whose own
+    /// default restarts the protocol — i.e. the resynchronizing client
+    /// re-probes the index once the carrier returns. Never called on a
+    /// channel without outages.
+    fn on_outage(&mut self, meta: BucketMeta) -> Action {
+        self.on_corrupt(meta)
+    }
+
     /// Called when a bucket about to be delivered carries a broadcast
     /// program version different from the one this machine was built
     /// against (dynamic broadcast; see [`crate::dynamic`]). The payload is
@@ -185,7 +202,7 @@ pub trait ProtocolMachine<P> {
 #[derive(Debug)]
 pub struct FastForward<'a, P> {
     ch: &'a Channel<P>,
-    errors: ErrorModel,
+    channel: ChannelModel,
     /// Cursor: index of the next unconsumed bucket.
     idx: usize,
     /// Absolute start instant of the cursor bucket.
@@ -228,11 +245,12 @@ impl<'a, P> FastForward<'a, P> {
 
     /// Whether the cursor bucket's transmission is corrupted — the same
     /// pure fault oracle (bucket start instant + seed) the walker
-    /// consults. Machines must stop *before* a corrupt bucket so the slow
+    /// consults, covering i.i.d. loss, burst loss and scheduled outages
+    /// alike. Machines must stop *before* a corrupt bucket so the slow
     /// path performs the retry accounting. Skipped (dozed-over) buckets
     /// are never consulted, exactly like the slow path.
     pub fn next_corrupt(&self) -> bool {
-        self.errors.corrupted(self.start)
+        self.channel.corrupted(self.start)
     }
 
     /// Consume the cursor bucket as a read of the given kind: tuning and
@@ -371,8 +389,12 @@ pub struct Walk<'a, P, M, R = NoopRecorder> {
     pending: Option<Action>,
     outcome: Option<AccessOutcome>,
     max_probes: u32,
-    errors: ErrorModel,
+    channel: ChannelModel,
     policy: RetryPolicy,
+    /// Consecutive unusable reads that fell inside an outage window —
+    /// drives the exponential resynchronization back-off; reset by any
+    /// usable or merely-lossy read.
+    outage_streak: u32,
     ff: bool,
     recorder: R,
 }
@@ -401,6 +423,20 @@ impl<'a, P, M: ProtocolMachine<P>> Walk<'a, P, M> {
     ) -> Self {
         Walk::with_recorder(ch, machine, tune_in, errors, policy, NoopRecorder)
     }
+
+    /// Begin a query over a unified [`ChannelModel`] (i.i.d. or burst
+    /// loss, with or without outages). With a degenerate channel
+    /// (`ChannelModel::from(errors)`) this is bit-identical to
+    /// [`Walk::with_policy`].
+    pub fn with_channel(
+        ch: &'a Channel<P>,
+        machine: M,
+        tune_in: Ticks,
+        channel: ChannelModel,
+        policy: RetryPolicy,
+    ) -> Self {
+        Walk::with_channel_recorder(ch, machine, tune_in, channel, policy, NoopRecorder)
+    }
 }
 
 impl<'a, P, M: ProtocolMachine<P>, R: Recorder> Walk<'a, P, M, R> {
@@ -410,9 +446,22 @@ impl<'a, P, M: ProtocolMachine<P>, R: Recorder> Walk<'a, P, M, R> {
     /// [`Walk::with_policy`].
     pub fn with_recorder(
         ch: &'a Channel<P>,
-        mut machine: M,
+        machine: M,
         tune_in: Ticks,
         errors: ErrorModel,
+        policy: RetryPolicy,
+        recorder: R,
+    ) -> Self {
+        Walk::with_channel_recorder(ch, machine, tune_in, errors.into(), policy, recorder)
+    }
+
+    /// [`Walk::with_channel`] with span instrumentation — the most general
+    /// constructor; every other constructor delegates here.
+    pub fn with_channel_recorder(
+        ch: &'a Channel<P>,
+        mut machine: M,
+        tune_in: Ticks,
+        channel: ChannelModel,
         policy: RetryPolicy,
         recorder: R,
     ) -> Self {
@@ -420,16 +469,23 @@ impl<'a, P, M: ProtocolMachine<P>, R: Recorder> Walk<'a, P, M, R> {
         // A correct protocol never needs more than a handful of cycles; the
         // budget of four cycles plus slack catches runaway machines without
         // ever triggering for correct ones on a lossless channel. Lossy
-        // channels get a budget scaled by the expected retry factor.
+        // channels get a budget scaled by the worst-state retry factor;
+        // channels with outages get further slack for resynchronization
+        // (outage recovery dozes whole cycles, so the probe cost per
+        // outage is logarithmic, but the streak resets buy extra reads).
         let base = (ch.num_buckets() as u32)
             .saturating_mul(4)
             .saturating_add(64);
-        let max_probes = if errors.loss_prob > 0.0 {
-            let factor = (1.0 / (1.0 - errors.loss_prob.min(0.99))).ceil() as u32 + 4;
+        let worst = channel.worst_loss();
+        let mut max_probes = if worst > 0.0 {
+            let factor = (1.0 / (1.0 - worst.min(0.99))).ceil() as u32 + 4;
             base.saturating_mul(factor)
         } else {
             base
         };
+        if channel.has_outages() {
+            max_probes = max_probes.saturating_mul(4).saturating_add(256);
+        }
         Walk {
             ch,
             machine,
@@ -442,8 +498,9 @@ impl<'a, P, M: ProtocolMachine<P>, R: Recorder> Walk<'a, P, M, R> {
             pending: Some(pending),
             outcome: None,
             max_probes,
-            errors,
+            channel,
             policy,
+            outage_streak: 0,
             ff: false,
             recorder,
         }
@@ -518,6 +575,18 @@ impl<'a, P, M: ProtocolMachine<P>, R: Recorder> Walk<'a, P, M, R> {
         step
     }
 
+    /// The probe budget ran out. On a channel that actually corrupted
+    /// reads this is a truthful abandonment (the client drowned in
+    /// retries, not a protocol bug); on a clean walk it flags a runaway
+    /// machine and aborts, as it always has.
+    fn exhaust(&mut self) -> WalkStep {
+        if self.retries > 0 {
+            self.abandon()
+        } else {
+            self.finish(false, self.false_drops_hint, true)
+        }
+    }
+
     /// Let the machine bulk-consume uninteresting buckets, then fold its
     /// aggregate accounting into the walk as if each had been stepped.
     fn run_fast_forward(&mut self) {
@@ -536,7 +605,7 @@ impl<'a, P, M: ProtocolMachine<P>, R: Recorder> Walk<'a, P, M, R> {
         let (idx, start) = self.ch.first_complete_at(self.now);
         let mut ctx = FastForward {
             ch: self.ch,
-            errors: self.errors,
+            channel: self.channel,
             idx,
             start,
             now: self.now,
@@ -551,6 +620,11 @@ impl<'a, P, M: ProtocolMachine<P>, R: Recorder> Walk<'a, P, M, R> {
         if ctx.probes == 0 {
             return;
         }
+        // Every consumed read was clean (machines stop before corrupt
+        // buckets), and a clean read resets the outage streak on the
+        // bucket-by-bucket path — mirror that here or the next dead read
+        // would back off further than the slow walk.
+        self.outage_streak = 0;
         self.tuning += ctx.tuning;
         self.now = ctx.now;
         self.probes += ctx.probes;
@@ -563,17 +637,17 @@ impl<'a, P, M: ProtocolMachine<P>, R: Recorder> Walk<'a, P, M, R> {
         }
     }
 
-    /// Apply the policy's next-cycle back-off to a post-corruption action:
-    /// the resume point shifts by whole cycles, which preserves the bucket
-    /// the machine expects to see next (the cycle is periodic).
-    fn backoff(&self, act: Action) -> Action {
-        if self.policy.backoff_cycles == 0 {
+    /// Apply a back-off of `cycles` whole cycles to a post-corruption
+    /// action: the resume point shifts by whole cycles, which preserves
+    /// the bucket the machine expects to see next (the cycle is periodic).
+    fn backoff(&self, act: Action, cycles: u32) -> Action {
+        if cycles == 0 {
             return act;
         }
-        let shift = Ticks::from(self.policy.backoff_cycles) * self.ch.cycle_len();
+        let shift = Ticks::from(cycles).saturating_mul(self.ch.cycle_len());
         match act {
-            Action::ReadNext => Action::DozeTo(self.now + shift),
-            Action::DozeTo(t) => Action::DozeTo(t + shift),
+            Action::ReadNext => Action::DozeTo(self.now.saturating_add(shift)),
+            Action::DozeTo(t) => Action::DozeTo(t.saturating_add(shift)),
             finish => finish,
         }
     }
@@ -590,15 +664,15 @@ impl<'a, P, M: ProtocolMachine<P>, R: Recorder> Walk<'a, P, M, R> {
         match action {
             Action::ReadNext => {
                 if self.probes >= self.max_probes {
-                    return self.finish(false, self.false_drops_hint, true);
+                    return self.exhaust();
                 }
                 if self.ff && self.probes > 0 {
                     self.run_fast_forward();
                     if self.probes >= self.max_probes {
                         // The scan burned the whole budget on uninteresting
-                        // buckets; the next read aborts, as it would have
+                        // buckets; the next read gives up, as it would have
                         // bucket-by-bucket.
-                        return self.finish(false, self.false_drops_hint, true);
+                        return self.exhaust();
                     }
                 }
                 let (idx, start) = self.ch.first_complete_at(self.now);
@@ -622,7 +696,7 @@ impl<'a, P, M: ProtocolMachine<P>, R: Recorder> Walk<'a, P, M, R> {
                     // Corruption trumps structure (the client cannot use the
                     // payload); the very first read is the initial probe; all
                     // other reads classify by what the machine sees in them.
-                    let phase = if self.errors.corrupted(start) {
+                    let phase = if self.channel.corrupted(start) {
                         Phase::Retry
                     } else if self.probes == 1 {
                         Phase::InitialProbe
@@ -634,14 +708,29 @@ impl<'a, P, M: ProtocolMachine<P>, R: Recorder> Walk<'a, P, M, R> {
                     };
                     self.recorder.span(phase, end - from, end - from);
                 }
-                let next = if self.errors.corrupted(start) {
+                let next = if self.channel.corrupted(start) {
                     self.retries += 1;
                     if self.policy.gives_up(self.retries, self.now - self.tune_in) {
                         return self.abandon();
                     }
-                    let recovery = self.machine.on_corrupt(meta);
-                    self.backoff(recovery)
+                    if self.channel.in_outage(start) {
+                        // Carrier gone: resynchronize. The machine restarts
+                        // its protocol (default: re-probe the index) and the
+                        // walker dozes exponentially more whole cycles per
+                        // consecutive dead read, so an outage costs O(log)
+                        // probes instead of one per bucket.
+                        self.outage_streak += 1;
+                        let recovery = self.machine.on_outage(meta);
+                        let cycles = self.policy.recovery_cycles(self.outage_streak, true);
+                        self.backoff(recovery, cycles)
+                    } else {
+                        self.outage_streak = 0;
+                        let recovery = self.machine.on_corrupt(meta);
+                        let cycles = self.policy.recovery_cycles(self.retries, false);
+                        self.backoff(recovery, cycles)
+                    }
                 } else {
+                    self.outage_streak = 0;
                     self.machine.on_bucket(&bucket.payload, meta)
                 };
                 if let Action::Finish(v) = next {
@@ -707,6 +796,41 @@ pub fn run_machine_with_policy<P, M: ProtocolMachine<P>>(
     loop {
         if let WalkStep::Done(out) = walk.step() {
             return out;
+        }
+    }
+}
+
+/// [`run_machine`] over a unified [`ChannelModel`] (burst loss and/or
+/// outages) with an explicit client [`RetryPolicy`]. Degenerate channels
+/// reproduce [`run_machine_with_policy`] bit for bit.
+pub fn run_machine_with_channel<P, M: ProtocolMachine<P>>(
+    ch: &Channel<P>,
+    machine: M,
+    tune_in: Ticks,
+    channel: ChannelModel,
+    policy: RetryPolicy,
+) -> AccessOutcome {
+    let mut walk = Walk::with_channel(ch, machine, tune_in, channel, policy);
+    loop {
+        if let WalkStep::Done(out) = walk.step() {
+            return out;
+        }
+    }
+}
+
+/// [`run_machine_with_channel`] with span instrumentation.
+pub fn run_machine_observed_channel<P, M: ProtocolMachine<P>>(
+    ch: &Channel<P>,
+    machine: M,
+    tune_in: Ticks,
+    channel: ChannelModel,
+    policy: RetryPolicy,
+) -> (AccessOutcome, PhaseSpans) {
+    let mut walk =
+        Walk::with_channel_recorder(ch, machine, tune_in, channel, policy, SpanRecorder::new());
+    loop {
+        if let WalkStep::Done(out) = walk.step() {
+            return (out, walk.recorder().spans);
         }
     }
 }

@@ -3,11 +3,11 @@
 
 use crate::channel::Channel;
 use crate::error::Result;
-use crate::errors_model::{ErrorModel, RetryPolicy};
+use crate::errors_model::{ChannelModel, ErrorModel, RetryPolicy};
 use crate::key::Key;
 use crate::machine::{
-    run_machine, run_machine_observed, run_machine_with_policy, AccessOutcome, ProtocolMachine,
-    Walk, WalkStep,
+    run_machine, run_machine_observed, run_machine_observed_channel, run_machine_with_channel,
+    run_machine_with_policy, AccessOutcome, ProtocolMachine, Walk, WalkStep,
 };
 use crate::params::Params;
 use crate::record::Dataset;
@@ -147,7 +147,7 @@ pub trait QuerySlot: Send {
 pub struct WalkSlot<'a, S: System> {
     system: &'a S,
     walk: Option<Walk<'a, S::Payload, S::Machine>>,
-    errors: ErrorModel,
+    channel: ChannelModel,
     policy: RetryPolicy,
     ff: bool,
 }
@@ -163,10 +163,16 @@ impl<'a, S: System> WalkSlot<'a, S> {
     /// channel with the given client retry policy — the fault-injection
     /// counterpart of [`WalkSlot::new`] used by the event engine.
     pub fn with_faults(system: &'a S, errors: ErrorModel, policy: RetryPolicy) -> Self {
+        WalkSlot::with_channel(system, errors.into(), policy)
+    }
+
+    /// An empty slot whose queries run behind a unified [`ChannelModel`]
+    /// (burst loss, outages, or both).
+    pub fn with_channel(system: &'a S, channel: ChannelModel, policy: RetryPolicy) -> Self {
         WalkSlot {
             system,
             walk: None,
-            errors,
+            channel,
             policy,
             ff: false,
         }
@@ -175,11 +181,11 @@ impl<'a, S: System> WalkSlot<'a, S> {
 
 impl<S: System> QuerySlot for WalkSlot<'_, S> {
     fn start(&mut self, key: Key, tune_in: Ticks) {
-        let mut walk = Walk::with_policy(
+        let mut walk = Walk::with_channel(
             self.system.channel(),
             self.system.query(key),
             tune_in,
-            self.errors,
+            self.channel,
             self.policy,
         );
         walk.set_fast_forward(self.ff);
@@ -218,7 +224,7 @@ impl<S: System> QuerySlot for WalkSlot<'_, S> {
 pub struct ObservedWalkSlot<'a, S: System> {
     system: &'a S,
     walk: Option<Walk<'a, S::Payload, S::Machine, SpanRecorder>>,
-    errors: ErrorModel,
+    channel: ChannelModel,
     policy: RetryPolicy,
     ff: bool,
 }
@@ -226,10 +232,15 @@ pub struct ObservedWalkSlot<'a, S: System> {
 impl<'a, S: System> ObservedWalkSlot<'a, S> {
     /// An empty instrumented slot; call [`QuerySlot::start`] to arm it.
     pub fn with_faults(system: &'a S, errors: ErrorModel, policy: RetryPolicy) -> Self {
+        ObservedWalkSlot::with_channel(system, errors.into(), policy)
+    }
+
+    /// An empty instrumented slot behind a unified [`ChannelModel`].
+    pub fn with_channel(system: &'a S, channel: ChannelModel, policy: RetryPolicy) -> Self {
         ObservedWalkSlot {
             system,
             walk: None,
-            errors,
+            channel,
             policy,
             ff: false,
         }
@@ -238,11 +249,11 @@ impl<'a, S: System> ObservedWalkSlot<'a, S> {
 
 impl<S: System> QuerySlot for ObservedWalkSlot<'_, S> {
     fn start(&mut self, key: Key, tune_in: Ticks) {
-        let mut walk = Walk::with_recorder(
+        let mut walk = Walk::with_channel_recorder(
             self.system.channel(),
             self.system.query(key),
             tune_in,
-            self.errors,
+            self.channel,
             self.policy,
             SpanRecorder::new(),
         );
@@ -374,6 +385,99 @@ pub trait DynSystem: Send + Sync {
     ) -> Box<dyn QuerySlot + '_> {
         self.make_slot_with_faults(errors, policy)
     }
+
+    /// Run one complete query behind a unified [`ChannelModel`] (burst
+    /// loss, outage windows, or both).
+    ///
+    /// The default handles degenerate channels (i.i.d. loss, no outages)
+    /// by delegating to [`DynSystem::probe_with_policy`] and panics on
+    /// correlated ones, so existing implementations stay correct without
+    /// silently ignoring burst configs; the blanket impl overrides it with
+    /// full support.
+    fn probe_with_channel(
+        &self,
+        key: Key,
+        tune_in: Ticks,
+        channel: ChannelModel,
+        policy: RetryPolicy,
+    ) -> AccessOutcome {
+        match channel.as_iid() {
+            Some(errors) => self.probe_with_policy(key, tune_in, errors, policy),
+            None => unimplemented!(
+                "{}: this DynSystem implementation does not support correlated channels",
+                self.scheme_name()
+            ),
+        }
+    }
+
+    /// [`DynSystem::probe_with_channel`] with span instrumentation. Same
+    /// degenerate-only default as `probe_with_channel`.
+    fn probe_recorded_channel(
+        &self,
+        key: Key,
+        tune_in: Ticks,
+        channel: ChannelModel,
+        policy: RetryPolicy,
+    ) -> (AccessOutcome, PhaseSpans) {
+        match channel.as_iid() {
+            Some(errors) => self.probe_recorded(key, tune_in, errors, policy),
+            None => unimplemented!(
+                "{}: this DynSystem implementation does not support correlated channels",
+                self.scheme_name()
+            ),
+        }
+    }
+
+    /// Start a stepping query behind a unified [`ChannelModel`]. Same
+    /// degenerate-only default as [`DynSystem::probe_with_channel`].
+    fn begin_with_channel(
+        &self,
+        key: Key,
+        tune_in: Ticks,
+        channel: ChannelModel,
+        policy: RetryPolicy,
+    ) -> Box<dyn QueryRun + '_> {
+        match channel.as_iid() {
+            Some(errors) => self.begin_with_faults(key, tune_in, errors, policy),
+            None => unimplemented!(
+                "{}: this DynSystem implementation does not support correlated channels",
+                self.scheme_name()
+            ),
+        }
+    }
+
+    /// Allocate a reusable client slot behind a unified [`ChannelModel`].
+    /// Same degenerate-only default as [`DynSystem::probe_with_channel`].
+    fn make_slot_channel(
+        &self,
+        channel: ChannelModel,
+        policy: RetryPolicy,
+    ) -> Box<dyn QuerySlot + '_> {
+        match channel.as_iid() {
+            Some(errors) => self.make_slot_with_faults(errors, policy),
+            None => unimplemented!(
+                "{}: this DynSystem implementation does not support correlated channels",
+                self.scheme_name()
+            ),
+        }
+    }
+
+    /// Allocate a reusable instrumented slot behind a unified
+    /// [`ChannelModel`]. Same degenerate-only default as
+    /// [`DynSystem::probe_with_channel`].
+    fn make_slot_channel_observed(
+        &self,
+        channel: ChannelModel,
+        policy: RetryPolicy,
+    ) -> Box<dyn QuerySlot + '_> {
+        match channel.as_iid() {
+            Some(errors) => self.make_slot_observed(errors, policy),
+            None => unimplemented!(
+                "{}: this DynSystem implementation does not support correlated channels",
+                self.scheme_name()
+            ),
+        }
+    }
 }
 
 impl<S: System> DynSystem for S
@@ -458,6 +562,58 @@ where
         policy: RetryPolicy,
     ) -> Box<dyn QuerySlot + '_> {
         Box::new(ObservedWalkSlot::with_faults(self, errors, policy))
+    }
+
+    fn probe_with_channel(
+        &self,
+        key: Key,
+        tune_in: Ticks,
+        channel: ChannelModel,
+        policy: RetryPolicy,
+    ) -> AccessOutcome {
+        run_machine_with_channel(self.channel(), self.query(key), tune_in, channel, policy)
+    }
+
+    fn probe_recorded_channel(
+        &self,
+        key: Key,
+        tune_in: Ticks,
+        channel: ChannelModel,
+        policy: RetryPolicy,
+    ) -> (AccessOutcome, PhaseSpans) {
+        run_machine_observed_channel(self.channel(), self.query(key), tune_in, channel, policy)
+    }
+
+    fn begin_with_channel(
+        &self,
+        key: Key,
+        tune_in: Ticks,
+        channel: ChannelModel,
+        policy: RetryPolicy,
+    ) -> Box<dyn QueryRun + '_> {
+        Box::new(Walk::with_channel(
+            self.channel(),
+            self.query(key),
+            tune_in,
+            channel,
+            policy,
+        ))
+    }
+
+    fn make_slot_channel(
+        &self,
+        channel: ChannelModel,
+        policy: RetryPolicy,
+    ) -> Box<dyn QuerySlot + '_> {
+        Box::new(WalkSlot::with_channel(self, channel, policy))
+    }
+
+    fn make_slot_channel_observed(
+        &self,
+        channel: ChannelModel,
+        policy: RetryPolicy,
+    ) -> Box<dyn QuerySlot + '_> {
+        Box::new(ObservedWalkSlot::with_channel(self, channel, policy))
     }
 }
 

@@ -1,6 +1,9 @@
 //! Property tests for the channel substrate and walker.
 
-use bda_core::{Bucket, Channel, DynSystem, ErrorModel, FlatScheme, Key, Params, Record, Scheme};
+use bda_core::{
+    Bucket, BurstModel, Channel, DynSystem, ErrorModel, FlatScheme, Key, OutageSchedule, Params,
+    Record, RetryPolicy, Scheme,
+};
 use proptest::prelude::*;
 
 /// Arbitrary non-empty channels with 1–64 buckets of 1–4096 bytes.
@@ -203,5 +206,126 @@ proptest! {
             (rate - loss).abs() < 5.0 * sigma + 1e-3,
             "empirical {} vs nominal {} (seed {})", rate, loss, seed
         );
+    }
+
+    /// The Gilbert–Elliott skip-ahead is *exact*: for any chain parameters
+    /// and any instant, the backward monotone-coupling resolution returns
+    /// the same fading state as stepping the chain forward tick by tick
+    /// from its t = 0 anchor — which is what makes burst corruption a pure
+    /// function of (bucket instant, seed) and keeps shard merges and
+    /// fast-forward hops bit-exact.
+    #[test]
+    fn burst_skip_ahead_equals_naive_forward_walk(
+        p in 0.001f64..0.9,
+        q in 0.001f64..0.9,
+        lg in 0.0f64..0.5,
+        lb in 0.5f64..1.0,
+        seed in any::<u64>(),
+        t in 0u64..30_000,
+    ) {
+        let m = BurstModel::new(p, q, lg, lb, seed);
+        prop_assert_eq!(
+            m.state_at(t),
+            m.state_at_naive(t),
+            "skip-ahead diverged from the forward walk at t={} (p={}, q={}, seed={})",
+            t, p, q, seed
+        );
+        // Purity: re-asking gives the same answer (no hidden state).
+        prop_assert_eq!(m.state_at(t), m.state_at(t));
+    }
+
+    /// Over a long sample the chain's empirical corruption rate converges
+    /// to the stationary closed form `(q·lg + p·lb) / (p + q)`. The
+    /// sample mean of a two-state chain concentrates like the i.i.d.
+    /// binomial inflated by the mixing factor `(2 − p − q)/(p + q)`, so a
+    /// 5 σ bound on the inflated deviation is deterministic-safe.
+    #[test]
+    fn burst_empirical_rate_tracks_stationary_loss(
+        p in 0.05f64..0.95,
+        q in 0.05f64..0.95,
+        lb in 0.4f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let lg = 0.02;
+        let m = BurstModel::new(p, q, lg, lb, seed);
+        let expect = m.stationary_loss();
+        prop_assert!((expect - (q * lg + p * lb) / (p + q)).abs() < 1e-12);
+        let n = 30_000u64;
+        let hits = (0..n).filter(|&t| m.corrupted(t)).count() as f64;
+        let rate = hits / n as f64;
+        let sigma = (expect * (1.0 - expect) / n as f64).sqrt();
+        let inflation = ((2.0 - p - q) / (p + q)).sqrt().max(1.0);
+        prop_assert!(
+            (rate - expect).abs() < 5.0 * sigma * inflation + 5e-3,
+            "empirical {} vs stationary {} (p={}, q={}, seed={})",
+            rate, expect, p, q, seed
+        );
+    }
+
+    /// Outage spans are seed-deterministic, stay inside their frame (so
+    /// consecutive spans can never overlap), occupy exactly `len` ticks,
+    /// and `in_outage` agrees pointwise with the span arithmetic.
+    #[test]
+    fn outage_spans_are_disjoint_and_deterministic(
+        every in 1u64..100_000,
+        len in 1u64..100_000,
+        seed in any::<u64>(),
+        k in 0u64..1 << 30,
+    ) {
+        let sched = OutageSchedule::new(every, len, seed);
+        let clone = sched;
+        let (start, end) = sched.span(k).expect("non-degenerate schedule");
+        prop_assert_eq!(sched.span(k), clone.span(k), "spans drifted between clones");
+        // The span sits inside frame k and is exactly len (clamped) long.
+        prop_assert!(start >= k * every, "span starts before its frame");
+        prop_assert!(end <= (k + 1) * every, "span spills into the next frame");
+        prop_assert_eq!(end - start, len.min(every));
+        // Disjointness with the neighbour frame follows from containment.
+        let (next_start, _) = sched.span(k + 1).expect("same schedule");
+        prop_assert!(end <= next_start, "consecutive spans overlap");
+        // in_outage agrees with the span arithmetic at the edges. The
+        // first tick past the span is clear unless it is already the
+        // *next* frame's span (possible when len == every).
+        prop_assert!(sched.in_outage(start));
+        prop_assert!(sched.in_outage(end - 1));
+        if end < next_start {
+            prop_assert!(!sched.in_outage(end));
+        }
+        if start > k * every {
+            prop_assert!(!sched.in_outage(start - 1));
+        }
+    }
+
+    /// Back-off jitter is a pure function of `(jitter_seed, attempt)`:
+    /// clones agree, draws stay in `[1, base]`, outage recovery always
+    /// dozes at least one cycle with the doubling capped, and removing the
+    /// jitter seed restores the deterministic exponential sequence.
+    #[test]
+    fn backoff_jitter_is_deterministic_per_seed_and_attempt(
+        seed in any::<u64>(),
+        cap_pow in 0u32..8,
+        attempt in 1u32..64,
+    ) {
+        let cap = 1u32 << cap_pow;
+        let plain = RetryPolicy::bounded(64).with_backoff_cap(cap);
+        let jittered = plain.with_jitter(seed);
+        for outage in [false, true] {
+            let base = plain.recovery_cycles(attempt, outage);
+            let j1 = jittered.recovery_cycles(attempt, outage);
+            let j2 = jittered.recovery_cycles(attempt, outage);
+            prop_assert_eq!(j1, j2, "jitter not deterministic per (seed, attempt)");
+            if base == 0 {
+                prop_assert_eq!(j1, 0);
+            } else {
+                prop_assert!(j1 >= 1 && j1 <= base, "jitter {} outside [1, {}]", j1, base);
+            }
+            if outage {
+                prop_assert!(base >= 1, "outage recovery must doze at least one cycle");
+                prop_assert!(base <= cap.max(1), "outage doze {} exceeds cap {}", base, cap);
+            }
+        }
+        // Without jitter the exponential sequence is exact: 1,2,4,… capped.
+        let expect = 1u64.checked_shl(attempt - 1).unwrap_or(u64::MAX).min(u64::from(cap)) as u32;
+        prop_assert_eq!(plain.recovery_cycles(attempt, true), expect.max(1));
     }
 }

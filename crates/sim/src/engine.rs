@@ -39,7 +39,8 @@
 use std::collections::BTreeMap;
 
 use bda_core::{
-    AccessOutcome, DynSystem, ErrorModel, Key, QuerySlot, RetryPolicy, Ticks, WalkStep,
+    AccessOutcome, ChannelModel, DynSystem, ErrorModel, Key, QuerySlot, RetryPolicy, Ticks,
+    WalkStep,
 };
 use bda_obs::{Gauge, MetricsHub};
 
@@ -208,8 +209,9 @@ pub struct Engine<'a> {
     batch: Vec<u32>,
     stats: EngineStats,
     /// Per-transmission channel corruption every admitted client sees
-    /// ([`ErrorModel::NONE`] for a perfect channel).
-    errors: ErrorModel,
+    /// ([`ChannelModel::NONE`] for a perfect channel; i.i.d., burst, or
+    /// outage-scarred).
+    channel: ChannelModel,
     /// Client-side recovery policy for corrupt reads.
     policy: RetryPolicy,
     /// Observability hub, when enabled: slots record per-walk phase spans,
@@ -241,6 +243,19 @@ impl<'a> Engine<'a> {
     /// corruption for the same request — the property the
     /// `engine_lossy_equiv` differential suite pins.
     pub fn with_faults(system: &'a dyn DynSystem, errors: ErrorModel, policy: RetryPolicy) -> Self {
+        Engine::with_channel(system, errors.into(), policy)
+    }
+
+    /// A fresh engine whose clients all experience the unified
+    /// [`ChannelModel`] `channel` (i.i.d. or burst loss, with or without
+    /// outage windows) and recover per `policy`. With a degenerate channel
+    /// (`ChannelModel::from(errors)`) this is bit-identical to
+    /// [`Engine::with_faults`].
+    pub fn with_channel(
+        system: &'a dyn DynSystem,
+        channel: ChannelModel,
+        policy: RetryPolicy,
+    ) -> Self {
         Engine {
             system,
             slots: Vec::new(),
@@ -250,7 +265,7 @@ impl<'a> Engine<'a> {
             sched: WakeupScheduler::default(),
             batch: Vec::new(),
             stats: EngineStats::default(),
-            errors,
+            channel,
             policy,
             obs: None,
             fast_forward: true,
@@ -332,9 +347,10 @@ impl<'a> Engine<'a> {
             None => {
                 let id = u32::try_from(self.slots.len()).expect("client population fits in u32");
                 self.slots.push(if self.obs.is_some() {
-                    self.system.make_slot_observed(self.errors, self.policy)
+                    self.system
+                        .make_slot_channel_observed(self.channel, self.policy)
                 } else {
-                    self.system.make_slot_with_faults(self.errors, self.policy)
+                    self.system.make_slot_channel(self.channel, self.policy)
                 });
                 self.meta.push(ClientMeta {
                     arrival,
@@ -505,6 +521,31 @@ pub fn run_requests_with_faults(
     Engine::with_faults(system, errors, policy).run_batch(requests)
 }
 
+/// [`run_requests`] over a unified [`ChannelModel`] (burst loss, outage
+/// windows, or both) with a client retry policy.
+pub fn run_requests_channel(
+    system: &dyn DynSystem,
+    requests: &[(Ticks, Key)],
+    channel: ChannelModel,
+    policy: RetryPolicy,
+) -> Vec<CompletedRequest> {
+    Engine::with_channel(system, channel, policy).run_batch(requests)
+}
+
+/// [`run_requests_channel`] with the observability layer switched on.
+pub fn run_requests_channel_observed(
+    system: &dyn DynSystem,
+    requests: &[(Ticks, Key)],
+    channel: ChannelModel,
+    policy: RetryPolicy,
+) -> (Vec<CompletedRequest>, MetricsHub) {
+    let mut engine = Engine::with_channel(system, channel, policy);
+    engine.enable_metrics();
+    let completed = engine.run_batch(requests);
+    let hub = engine.take_metrics().expect("metrics were enabled");
+    (completed, hub)
+}
+
 /// [`run_requests_with_faults`] with the observability layer switched on:
 /// returns the completed requests together with the run's [`MetricsHub`]
 /// (per-phase spans, access/tuning/retry histograms, engine gauges).
@@ -555,6 +596,17 @@ pub mod reference {
         errors: ErrorModel,
         policy: RetryPolicy,
     ) -> Vec<CompletedRequest> {
+        run_requests_reference_channel(system, requests, errors.into(), policy)
+    }
+
+    /// Reference implementation of [`super::run_requests_channel`]: the
+    /// oracle side of the burst/outage differential suite.
+    pub fn run_requests_reference_channel(
+        system: &dyn DynSystem,
+        requests: &[(Ticks, Key)],
+        channel: ChannelModel,
+        policy: RetryPolicy,
+    ) -> Vec<CompletedRequest> {
         // (time, tiebreak sequence, request index, kind) with kind 0 =
         // arrival, 1 = wake; Reverse for earliest-first order.
         let mut queue: BinaryHeap<Reverse<(Ticks, u64, usize, u8)>> = BinaryHeap::new();
@@ -571,7 +623,7 @@ pub mod reference {
         while let Some(Reverse((_t, _s, i, kind))) = queue.pop() {
             if kind == 0 {
                 let (arrival, key) = requests[i];
-                runs[i] = Some(system.begin_with_faults(key, arrival, errors, policy));
+                runs[i] = Some(system.begin_with_channel(key, arrival, channel, policy));
             }
             let run = runs[i].as_mut().expect("client exists while stepping");
             match run.step() {

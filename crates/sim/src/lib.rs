@@ -39,16 +39,16 @@ pub mod updates;
 
 pub use accuracy::AccuracyController;
 pub use engine::{
-    run_requests, run_requests_observed, run_requests_with_faults, CompletedRequest, Engine,
-    EngineStats,
+    run_requests, run_requests_channel, run_requests_channel_observed, run_requests_observed,
+    run_requests_with_faults, CompletedRequest, Engine, EngineStats,
 };
 pub use histogram::Histogram;
 pub use reqgen::RequestGenerator;
 pub use results::ResultHandler;
 pub use server::{BroadcastServer, VersionedServer};
 pub use sharded::{
-    run_requests_partitioned, run_requests_sharded, run_requests_sharded_observed,
-    run_requests_sharded_with_faults, ShardRun, ShardedEngine,
+    run_requests_partitioned, run_requests_sharded, run_requests_sharded_channel,
+    run_requests_sharded_observed, run_requests_sharded_with_faults, ShardRun, ShardedEngine,
 };
 pub use simulator::{SimConfig, SimReport, Simulator};
 pub use stats::{student_t_quantile, Summary, Welford};

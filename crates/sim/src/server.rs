@@ -2,7 +2,8 @@
 //! counterpart, [`VersionedServer`].
 
 use bda_core::{
-    run_versioned, run_versioned_observed, run_versioned_with_policy, AccessOutcome, Dataset,
+    run_versioned, run_versioned_observed, run_versioned_observed_channel,
+    run_versioned_with_channel, run_versioned_with_policy, AccessOutcome, ChannelModel, Dataset,
     DynSystem, Epoch, ErrorModel, Key, ObservedVersionedSlot, Params, PhaseSpans, ProgramTimeline,
     QueryRun, QuerySlot, Record, Result, RetryPolicy, Scheme, System, Ticks, VersionedSlot,
     VersionedWalk,
@@ -275,6 +276,62 @@ where
         Box::new(ObservedVersionedSlot::with_faults(
             &self.timeline,
             errors,
+            policy,
+        ))
+    }
+
+    fn probe_with_channel(
+        &self,
+        key: Key,
+        tune_in: Ticks,
+        channel: ChannelModel,
+        policy: RetryPolicy,
+    ) -> AccessOutcome {
+        run_versioned_with_channel(&self.timeline, key, tune_in, channel, policy)
+    }
+
+    fn probe_recorded_channel(
+        &self,
+        key: Key,
+        tune_in: Ticks,
+        channel: ChannelModel,
+        policy: RetryPolicy,
+    ) -> (AccessOutcome, PhaseSpans) {
+        run_versioned_observed_channel(&self.timeline, key, tune_in, channel, policy)
+    }
+
+    fn begin_with_channel(
+        &self,
+        key: Key,
+        tune_in: Ticks,
+        channel: ChannelModel,
+        policy: RetryPolicy,
+    ) -> Box<dyn QueryRun + '_> {
+        Box::new(VersionedWalk::with_channel(
+            &self.timeline,
+            key,
+            tune_in,
+            channel,
+            policy,
+        ))
+    }
+
+    fn make_slot_channel(
+        &self,
+        channel: ChannelModel,
+        policy: RetryPolicy,
+    ) -> Box<dyn QuerySlot + '_> {
+        Box::new(VersionedSlot::with_channel(&self.timeline, channel, policy))
+    }
+
+    fn make_slot_channel_observed(
+        &self,
+        channel: ChannelModel,
+        policy: RetryPolicy,
+    ) -> Box<dyn QuerySlot + '_> {
+        Box::new(ObservedVersionedSlot::with_channel(
+            &self.timeline,
+            channel,
             policy,
         ))
     }

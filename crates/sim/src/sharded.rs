@@ -37,7 +37,7 @@
 
 use std::time::Instant;
 
-use bda_core::{DynSystem, ErrorModel, Key, RetryPolicy, Ticks};
+use bda_core::{ChannelModel, DynSystem, ErrorModel, Key, RetryPolicy, Ticks};
 use bda_obs::MetricsHub;
 
 use crate::engine::{CompletedRequest, Engine, EngineStats};
@@ -98,10 +98,27 @@ impl<'a> ShardedEngine<'a> {
         errors: ErrorModel,
         policy: RetryPolicy,
     ) -> Self {
+        ShardedEngine::with_channel(system, shards, errors.into(), policy)
+    }
+
+    /// A sharded engine whose clients all experience the unified
+    /// [`ChannelModel`] `channel` (burst loss, outage windows, or both) —
+    /// still bit-identical across shard counts, because corruption and
+    /// outages are pure functions of bucket instant + seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn with_channel(
+        system: &'a dyn DynSystem,
+        shards: usize,
+        channel: ChannelModel,
+        policy: RetryPolicy,
+    ) -> Self {
         assert!(shards >= 1, "a sharded engine needs at least one shard");
         ShardedEngine {
             shards: (0..shards)
-                .map(|_| Engine::with_faults(system, errors, policy))
+                .map(|_| Engine::with_channel(system, channel, policy))
                 .collect(),
             last_runs: Vec::new(),
         }
@@ -258,6 +275,18 @@ pub fn run_requests_sharded_with_faults(
     policy: RetryPolicy,
 ) -> Vec<CompletedRequest> {
     ShardedEngine::with_faults(system, shards, errors, policy).run_batch(requests)
+}
+
+/// [`run_requests_sharded`] over a unified [`ChannelModel`] — bit-identical
+/// to [`crate::run_requests_channel`] for every shard count.
+pub fn run_requests_sharded_channel(
+    system: &dyn DynSystem,
+    requests: &[(Ticks, Key)],
+    shards: usize,
+    channel: ChannelModel,
+    policy: RetryPolicy,
+) -> Vec<CompletedRequest> {
+    ShardedEngine::with_channel(system, shards, channel, policy).run_batch(requests)
 }
 
 /// [`run_requests_sharded_with_faults`] with the observability layer on:

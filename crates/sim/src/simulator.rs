@@ -6,7 +6,7 @@
 //! each, results checked against the accuracy controller after every
 //! round), and end (result extraction).
 
-use bda_core::{DynSystem, ErrorModel, RetryPolicy, Ticks};
+use bda_core::{ChannelModel, DynSystem, ErrorModel, RetryPolicy, Ticks};
 use bda_datagen::{Arrivals, Popularity, QueryWorkload};
 use bda_obs::MetricsHub;
 
@@ -62,6 +62,11 @@ pub struct SimConfig {
     /// sees ([`ErrorModel::NONE`], the default, is a perfect channel).
     /// Honored identically by the event engine and the direct walker.
     pub errors: ErrorModel,
+    /// Correlated-fault injection: when set, this unified [`ChannelModel`]
+    /// (burst loss and/or outage windows) **overrides** `errors` on every
+    /// execution driver. `None` (the default) keeps the i.i.d. `errors`
+    /// path, bit for bit.
+    pub channel: Option<ChannelModel>,
     /// Client-side recovery policy for corrupt reads (default: retry
     /// forever — the paper's implicit assumption).
     pub retry: RetryPolicy,
@@ -90,6 +95,7 @@ impl SimConfig {
             max_in_flight: None,
             shards: 1,
             errors: ErrorModel::NONE,
+            channel: None,
             retry: RetryPolicy::UNBOUNDED,
             updates: None,
         }
@@ -105,6 +111,13 @@ impl SimConfig {
             max_rounds: 200,
             ..SimConfig::paper()
         }
+    }
+
+    /// The channel every execution driver runs behind: the explicit
+    /// correlated `channel` when set, otherwise the i.i.d. `errors` lifted
+    /// into a degenerate (bit-identical) [`ChannelModel`].
+    pub fn effective_channel(&self) -> ChannelModel {
+        self.channel.unwrap_or_else(|| self.errors.into())
     }
 
     fn controller(&self) -> AccuracyController {
@@ -291,10 +304,10 @@ impl<'a> Simulator<'a> {
         }
         let controller = self.config.controller();
         let mut handler = ResultHandler::new();
-        let mut engine = ShardedEngine::with_faults(
+        let mut engine = ShardedEngine::with_channel(
             self.system,
             self.config.shards.max(1),
-            self.config.errors,
+            self.config.effective_channel(),
             self.config.retry,
         );
         if observe && self.config.event_driven {
@@ -314,10 +327,10 @@ impl<'a> Simulator<'a> {
                     .iter()
                     .map(|&(arrival, key)| {
                         let outcome = if let Some(hub) = walker_hub.as_deref_mut() {
-                            let (outcome, spans) = self.system.probe_recorded(
+                            let (outcome, spans) = self.system.probe_recorded_channel(
                                 key,
                                 arrival,
-                                self.config.errors,
+                                self.config.effective_channel(),
                                 self.config.retry,
                             );
                             hub.complete(
@@ -330,10 +343,10 @@ impl<'a> Simulator<'a> {
                             );
                             outcome
                         } else {
-                            self.system.probe_with_policy(
+                            self.system.probe_with_channel(
                                 key,
                                 arrival,
-                                self.config.errors,
+                                self.config.effective_channel(),
                                 self.config.retry,
                             )
                         };
@@ -367,7 +380,11 @@ impl<'a> Simulator<'a> {
     fn run_steady(&mut self, cap: usize, observe: bool) -> (SimReport, Option<MetricsHub>) {
         let controller = self.config.controller();
         let mut handler = ResultHandler::new();
-        let mut engine = Engine::with_faults(self.system, self.config.errors, self.config.retry);
+        let mut engine = Engine::with_channel(
+            self.system,
+            self.config.effective_channel(),
+            self.config.retry,
+        );
         if observe {
             engine.enable_metrics();
         }
