@@ -1,0 +1,368 @@
+//! Bench regression gate: diff a fresh `engine_bench` run against the
+//! committed baseline.
+//!
+//! `BENCH_engine.json` mixes two kinds of numbers:
+//!
+//! * **Deterministic counters** — requests, events, wake batches, fault
+//!   counters, per-shard splits, busy/idle ticks, mean access times.
+//!   These live in the tick domain and must match the baseline *exactly*;
+//!   any difference is a behavioural change, not noise.
+//! * **Wall-clock throughput** — `*_per_sec`, `*speedup*`,
+//!   `*efficiency*`, `*improvement*`. These are machine-dependent, so
+//!   they get a relative tolerance band: the gate fails only when the
+//!   current value *degrades* by more than `--tolerance` (default 0.5,
+//!   i.e. a value may halve before the gate trips; improvements never
+//!   fail). Elapsed-time fields (`*_sec`) are skipped outright — they are
+//!   the reciprocal of throughput and double-counting them adds noise.
+//!
+//! A metric present in the baseline but missing from the current run is
+//! always an error (a silently dropped measurement is how regressions
+//! hide). Metrics new in the current run are ignored, so the gate never
+//! blocks adding measurements.
+//!
+//! ```text
+//! bench_check --baseline PATH --current PATH [--tolerance F]
+//! ```
+//!
+//! Exits 0 when every metric is within band, 1 on any regression, 2 on
+//! usage or parse errors.
+
+use bda_obs::export::{parse_json, Json};
+
+struct Cli {
+    baseline: String,
+    current: String,
+    tolerance: f64,
+}
+
+const DEFAULT_TOLERANCE: f64 = 0.5;
+
+fn parse_cli() -> Cli {
+    let mut baseline = None;
+    let mut current = None;
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--baseline" => baseline = args.next(),
+            "--current" => current = args.next(),
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|t: &f64| (0.0..1.0).contains(t))
+                    .unwrap_or_else(|| {
+                        eprintln!("--tolerance requires a fraction in [0, 1)");
+                        std::process::exit(2);
+                    });
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "bench_check --baseline PATH --current PATH [--tolerance F]\n\
+                     \n\
+                     Diffs a fresh engine_bench JSON against the committed baseline.\n\
+                     Deterministic counters (requests, events, wake_batches, fault\n\
+                     counters, per-shard splits, busy/idle ticks, mean access times)\n\
+                     must match exactly. Wall-clock throughput metrics (*_per_sec,\n\
+                     *speedup*, *efficiency*, *improvement*) may degrade by at most\n\
+                     F relative to the baseline (default {DEFAULT_TOLERANCE}; 0.5 allows a value to\n\
+                     halve) — improvements never fail. Elapsed-time fields (*_sec)\n\
+                     are skipped. A baseline metric missing from the current run is\n\
+                     always an error. Exits 0 in-band, 1 on regression, 2 on usage."
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (Some(baseline), Some(current)) = (baseline, current) else {
+        eprintln!("bench_check requires --baseline PATH and --current PATH; try --help");
+        std::process::exit(2);
+    };
+    Cli {
+        baseline,
+        current,
+        tolerance,
+    }
+}
+
+/// How one metric is compared against its baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricClass {
+    /// Wall-clock elapsed time: machine noise, skipped.
+    Skip,
+    /// Machine-dependent, higher-is-better: tolerance band on degradation.
+    Perf,
+    /// Tick-domain deterministic: exact equality.
+    Exact,
+}
+
+/// Classify a metric by its key name. The bench emits throughput as
+/// `*_per_sec` and derived ratios as `*speedup*` / `*efficiency*` /
+/// `*improvement*`; everything else numeric is a deterministic counter.
+fn classify(key: &str) -> MetricClass {
+    if key.ends_with("_sec") && !key.ends_with("_per_sec") {
+        MetricClass::Skip
+    } else if key.contains("per_sec")
+        || key.contains("speedup")
+        || key.contains("efficiency")
+        || key.contains("improvement")
+    {
+        MetricClass::Perf
+    } else {
+        MetricClass::Exact
+    }
+}
+
+/// One out-of-band metric.
+struct Regression {
+    path: String,
+    baseline: f64,
+    current: f64,
+    what: &'static str,
+}
+
+/// Recursively diff `current` against `baseline`, collecting every
+/// out-of-band metric. `key` is the member name that led here (classifies
+/// leaf numbers); `path` is the human-readable location.
+fn diff(
+    baseline: &Json,
+    current: Option<&Json>,
+    key: &str,
+    path: &str,
+    tolerance: f64,
+    out: &mut Vec<Regression>,
+) {
+    let Some(current) = current else {
+        out.push(Regression {
+            path: path.into(),
+            baseline: f64::NAN,
+            current: f64::NAN,
+            what: "missing from current run",
+        });
+        return;
+    };
+    match (baseline, current) {
+        (Json::Num(b), Json::Num(c)) => match classify(key) {
+            MetricClass::Skip => {}
+            MetricClass::Exact => {
+                if b != c {
+                    out.push(Regression {
+                        path: path.into(),
+                        baseline: *b,
+                        current: *c,
+                        what: "deterministic counter diverged",
+                    });
+                }
+            }
+            MetricClass::Perf => {
+                if *c < *b * (1.0 - tolerance) {
+                    out.push(Regression {
+                        path: path.into(),
+                        baseline: *b,
+                        current: *c,
+                        what: "degraded beyond tolerance",
+                    });
+                }
+            }
+        },
+        (Json::Obj(members), Json::Obj(_)) => {
+            for (k, v) in members {
+                diff(v, current.get(k), k, &format!("{path}.{k}"), tolerance, out);
+            }
+        }
+        (Json::Arr(bs), Json::Arr(cs)) => {
+            if bs.len() != cs.len() {
+                out.push(Regression {
+                    path: path.into(),
+                    baseline: bs.len() as f64,
+                    current: cs.len() as f64,
+                    what: "array length changed",
+                });
+                return;
+            }
+            for (i, b) in bs.iter().enumerate() {
+                // Label scheme rows by their scheme name, not their index.
+                let label = b
+                    .get("scheme")
+                    .and_then(|s| match s {
+                        Json::Str(s) => Some(format!("{path}[{s}]")),
+                        _ => None,
+                    })
+                    .unwrap_or_else(|| format!("{path}[{i}]"));
+                diff(b, cs.get(i), key, &label, tolerance, out);
+            }
+        }
+        (Json::Str(b), Json::Str(c)) => {
+            if b != c {
+                out.push(Regression {
+                    path: path.into(),
+                    baseline: f64::NAN,
+                    current: f64::NAN,
+                    what: "label changed",
+                });
+            }
+        }
+        (Json::Null, Json::Null) | (Json::Bool(_), Json::Bool(_)) => {}
+        _ => out.push(Regression {
+            path: path.into(),
+            baseline: f64::NAN,
+            current: f64::NAN,
+            what: "type changed",
+        }),
+    }
+}
+
+/// Diff two parsed bench documents; returns every out-of-band metric.
+fn check(baseline: &Json, current: &Json, tolerance: f64) -> Vec<Regression> {
+    let mut out = Vec::new();
+    diff(baseline, Some(current), "", "$", tolerance, &mut out);
+    out
+}
+
+fn main() {
+    let cli = parse_cli();
+    let load = |path: &str| -> Json {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        parse_json(&text).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = load(&cli.baseline);
+    let current = load(&cli.current);
+    let regressions = check(&baseline, &current, cli.tolerance);
+    if regressions.is_empty() {
+        println!(
+            "bench_check: {} within tolerance {} of {}",
+            cli.current, cli.tolerance, cli.baseline
+        );
+        return;
+    }
+    eprintln!(
+        "bench_check: {} regression(s) against {} (tolerance {}):",
+        regressions.len(),
+        cli.baseline,
+        cli.tolerance
+    );
+    for r in &regressions {
+        if r.baseline.is_nan() {
+            eprintln!("  {}: {}", r.path, r.what);
+        } else {
+            eprintln!(
+                "  {}: {} (baseline {}, current {})",
+                r.path, r.what, r.baseline, r.current
+            );
+        }
+    }
+    std::process::exit(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASELINE: &str = r#"{
+        "bench": "engine", "clients": 100, "shards": 1,
+        "schemes": [
+            {"scheme": "flat", "requests": 100, "elapsed_sec": 0.5,
+             "requests_per_sec": 1000.0, "events": 300, "wake_batches": 10,
+             "shard_speedup": 1.0, "scatter_merge_sec": 0.001,
+             "per_shard": [{"shard": 0, "requests": 100, "busy_ticks": 500}]}
+        ]
+    }"#;
+
+    fn base() -> Json {
+        parse_json(BASELINE).unwrap()
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        assert!(check(&base(), &base(), 0.5).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_noise_is_tolerated() {
+        // Throughput down 30% (inside 0.5 band), elapsed doubled (skipped),
+        // speedup up (improvements never fail).
+        let cur = BASELINE
+            .replace(
+                "\"requests_per_sec\": 1000.0",
+                "\"requests_per_sec\": 700.0",
+            )
+            .replace("\"elapsed_sec\": 0.5", "\"elapsed_sec\": 1.0")
+            .replace("\"scatter_merge_sec\": 0.001", "\"scatter_merge_sec\": 0.9")
+            .replace("\"shard_speedup\": 1.0", "\"shard_speedup\": 2.0");
+        assert!(check(&base(), &parse_json(&cur).unwrap(), 0.5).is_empty());
+    }
+
+    #[test]
+    fn throughput_collapse_fails() {
+        let cur = BASELINE.replace(
+            "\"requests_per_sec\": 1000.0",
+            "\"requests_per_sec\": 400.0",
+        );
+        let r = check(&base(), &parse_json(&cur).unwrap(), 0.5);
+        assert_eq!(r.len(), 1);
+        assert!(
+            r[0].path.contains("[flat].requests_per_sec"),
+            "{}",
+            r[0].path
+        );
+        assert_eq!(r[0].what, "degraded beyond tolerance");
+    }
+
+    #[test]
+    fn deterministic_counter_drift_fails_exactly() {
+        for (field, replacement) in [
+            ("\"events\": 300", "\"events\": 301"),
+            ("\"busy_ticks\": 500", "\"busy_ticks\": 499"),
+        ] {
+            let cur = BASELINE.replace(field, replacement);
+            let r = check(&base(), &parse_json(&cur).unwrap(), 0.5);
+            assert_eq!(r.len(), 1, "{field} must trip the exact gate");
+            assert_eq!(r[0].what, "deterministic counter diverged");
+        }
+    }
+
+    #[test]
+    fn missing_baseline_metric_fails() {
+        let cur = BASELINE.replace("\"wake_batches\": 10,", "\"wake_batches_renamed\": 10,");
+        let r = check(&base(), &parse_json(&cur).unwrap(), 0.5);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].what, "missing from current run");
+    }
+
+    #[test]
+    fn extra_current_metrics_are_ignored() {
+        let cur = BASELINE.replace("\"events\": 300", "\"events\": 300, \"new_metric\": 7");
+        assert!(check(&base(), &parse_json(&cur).unwrap(), 0.5).is_empty());
+    }
+
+    #[test]
+    fn scheme_rows_are_labelled_by_name_and_length_checked() {
+        let cur = BASELINE.replace("\"schemes\": [", "\"schemes\": [{}, ");
+        let r = check(&base(), &parse_json(&cur).unwrap(), 0.5);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].what, "array length changed");
+    }
+
+    #[test]
+    fn classification_matches_the_documented_rules() {
+        assert_eq!(classify("elapsed_sec"), MetricClass::Skip);
+        assert_eq!(classify("scatter_merge_sec"), MetricClass::Skip);
+        assert_eq!(classify("requests_per_sec"), MetricClass::Perf);
+        assert_eq!(classify("shard_speedup"), MetricClass::Perf);
+        assert_eq!(classify("scaling_efficiency"), MetricClass::Perf);
+        assert_eq!(classify("access_improvement"), MetricClass::Perf);
+        assert_eq!(classify("events"), MetricClass::Exact);
+        assert_eq!(classify("busy_ticks"), MetricClass::Exact);
+        assert_eq!(classify("mean_access"), MetricClass::Exact);
+    }
+}

@@ -14,7 +14,10 @@
 //!
 //! Corruption is a pure function of (bucket instant, seed), so all six
 //! executions must agree outcome-for-outcome; any divergence prints a
-//! one-line reproducer (the cell seed and full parameters) and exits
+//! one-line reproducer (the cell seed and full parameters) plus
+//! per-window context — both drivers' completions folded into windowed
+//! time series (one window per broadcast cycle), with the first window
+//! whose outcome counters disagree shown side by side — and exits
 //! non-zero. `--quick` runs a small grid for CI smoke; the default soak
 //! is ~8× larger.
 //!
@@ -25,6 +28,7 @@ use bda_core::{
     BurstModel, ChannelModel, DynSystem, ErrorModel, Key, OutageSchedule, RetryPolicy, Ticks,
 };
 use bda_datagen::DatasetBuilder;
+use bda_obs::{Completion, MetricsHub, TimeSeries, WindowSpec};
 use bda_sim::engine::reference::run_requests_reference_channel;
 use bda_sim::{run_requests_sharded_channel, CompletedRequest, Engine, UpdateSpec};
 
@@ -153,6 +157,81 @@ fn request_mix(ds: &bda_core::Dataset, pool: &[Key], n: usize, rng: &mut Rng) ->
         .collect()
 }
 
+/// Fold one driver's completion list into a windowed [`TimeSeries`] (one
+/// window per broadcast cycle), so a divergence can be located in time.
+fn completion_series(completed: &[CompletedRequest], width: Ticks) -> TimeSeries {
+    let mut hub = MetricsHub::default();
+    hub.enable_windows(WindowSpec::new(width));
+    for r in completed {
+        hub.complete_at(
+            &Completion {
+                end_tick: r.arrival + r.outcome.access,
+                access: r.outcome.access,
+                tuning: r.outcome.tuning,
+                retries: r.outcome.retries,
+                stale_restarts: r.outcome.stale_restarts,
+                version_skews: r.outcome.version_skews,
+                found: r.outcome.found,
+                abandoned: r.outcome.abandoned,
+            },
+            None,
+        );
+    }
+    hub.windows.expect("windows were just enabled")
+}
+
+/// Attribute a divergence in time: window both drivers' completions and
+/// describe the first broadcast cycle whose outcome counters disagree,
+/// with both drivers' counters side by side.
+fn divergence_context(
+    a_label: &str,
+    a: &[CompletedRequest],
+    b_label: &str,
+    b: &[CompletedRequest],
+    width: Ticks,
+) -> String {
+    let (sa, sb) = (completion_series(a, width), completion_series(b, width));
+    let ids: std::collections::BTreeSet<u64> = sa
+        .windows()
+        .map(|(id, _)| id)
+        .chain(sb.windows().map(|(id, _)| id))
+        .collect();
+    let fmt = |label: &str, s: &TimeSeries, id: u64| {
+        let [completions, found, abandoned, corrupt_reads, stale_restarts, version_skews, access_ticks, tuning_ticks] =
+            s.window(id)
+                .map(|w| w.outcome_counters())
+                .unwrap_or_default();
+        format!(
+            "  {label:<22} completions={completions} found={found} abandoned={abandoned} \
+             corrupt_reads={corrupt_reads} stale_restarts={stale_restarts} \
+             version_skews={version_skews} access={access_ticks} tuning={tuning_ticks}"
+        )
+    };
+    for id in ids {
+        let wa = sa
+            .window(id)
+            .map(|w| w.outcome_counters())
+            .unwrap_or_default();
+        let wb = sb
+            .window(id)
+            .map(|w| w.outcome_counters())
+            .unwrap_or_default();
+        if wa != wb {
+            return format!(
+                "first divergent window {id} [ticks {}..{}):\n{}\n{}",
+                id * width,
+                (id + 1) * width,
+                fmt(a_label, &sa, id),
+                fmt(b_label, &sb, id),
+            );
+        }
+    }
+    // Outcomes differed but every windowed counter agrees — the
+    // disagreement is in a field the counters do not project (e.g.
+    // probes or false drops).
+    "no window's outcome counters differ (divergence is outside the counter projection)".into()
+}
+
 /// Run one cell through every driver; on divergence, return the failing
 /// comparison's label.
 fn run_cell(cell: &Cell) -> Result<CellStats, String> {
@@ -179,14 +258,21 @@ fn run_cell(cell: &Cell) -> Result<CellStats, String> {
         e.set_fast_forward(ff);
         e.run_batch(&requests)
     };
+    let width = sys.cycle_len();
     let fast = run_engine(true);
     let slow = run_engine(false);
     if fast != slow {
-        return Err("fast-forward engine ≠ bucket-by-bucket engine".into());
+        return Err(format!(
+            "fast-forward engine ≠ bucket-by-bucket engine\n{}",
+            divergence_context("fast-forward", &fast, "bucket-by-bucket", &slow, width)
+        ));
     }
     let oracle = run_requests_reference_channel(sys.as_ref(), &requests, cell.channel, cell.policy);
     if fast != oracle {
-        return Err("slab engine ≠ reference oracle".into());
+        return Err(format!(
+            "slab engine ≠ reference oracle\n{}",
+            divergence_context("slab engine", &fast, "reference oracle", &oracle, width)
+        ));
     }
     let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
     for shards in [1, cores] {
@@ -198,7 +284,10 @@ fn run_cell(cell: &Cell) -> Result<CellStats, String> {
             cell.policy,
         );
         if fast != sharded {
-            return Err(format!("slab engine ≠ sharded engine at {shards} shards"));
+            return Err(format!(
+                "slab engine ≠ sharded engine at {shards} shards\n{}",
+                divergence_context("slab engine", &fast, "sharded engine", &sharded, width)
+            ));
         }
     }
     let mut stats = CellStats::default();
@@ -322,4 +411,49 @@ fn main() {
          agreed across all drivers; {} retries, {} abandoned, {} stale restarts",
         totals.retries, totals.abandoned, totals.stale_restarts
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bda_core::AccessOutcome;
+
+    fn req(arrival: Ticks, access: Ticks, found: bool) -> CompletedRequest {
+        CompletedRequest {
+            arrival,
+            key: Key(1),
+            outcome: AccessOutcome {
+                found,
+                access,
+                tuning: access / 2,
+                probes: 1,
+                false_drops: 0,
+                retries: 0,
+                abandoned: !found,
+                aborted: false,
+                stale_restarts: 0,
+                version_skews: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn divergence_context_names_the_first_differing_window() {
+        // Window width 100. Both drivers agree in window 1; driver B
+        // flips a request's outcome in window 3 (end_tick 350).
+        let a = vec![req(100, 50, true), req(300, 50, true)];
+        let b = vec![req(100, 50, true), req(300, 50, false)];
+        let ctx = divergence_context("driver A", &a, "driver B", &b, 100);
+        assert!(
+            ctx.contains("first divergent window 3 [ticks 300..400)"),
+            "{ctx}"
+        );
+        assert!(ctx.contains("driver A"), "{ctx}");
+        assert!(ctx.contains("driver B"), "{ctx}");
+        assert!(ctx.contains("found=1"), "{ctx}");
+        assert!(ctx.contains("found=0"), "{ctx}");
+        // Identical streams produce no locatable window.
+        let same = divergence_context("driver A", &a, "driver B", &a.clone(), 100);
+        assert!(same.contains("no window"), "{same}");
+    }
 }

@@ -25,9 +25,22 @@
 //! exports it as the JSON's `"burst"` block (req/s plus the corrupt /
 //! abandoned / stale-restart counters).
 //!
+//! With `--shards N` the sharded leg additionally attributes load per
+//! shard: a windowed re-run (one window per broadcast cycle) yields each
+//! shard's busy/idle ticks, and the JSON gains `busy_ticks`/`idle_ticks`
+//! per shard plus scheme-level imbalance figures (`shard_load_ratio` =
+//! max/mean busy ticks, `shard_busy_variance`) and the measured
+//! scatter-merge wall-clock cost (`scatter_merge_sec`).
+//!
+//! With `--timeline-out DIR` every scheme is re-run with windowed
+//! (time-resolved) metrics, the window sums are asserted equal to the
+//! end-of-run aggregates, and a `bda-obs/trace/v1` Perfetto/Chrome trace
+//! (per-shard counter lanes + seed-sampled per-request span timelines)
+//! lands in `DIR/<scheme>.trace.json`.
+//!
 //! ```text
 //! engine_bench [--clients N] [--records N] [--shards N] [--out PATH]
-//!              [--no-reference] [--metrics-out DIR]
+//!              [--no-reference] [--metrics-out DIR] [--timeline-out DIR]
 //! ```
 
 use std::fmt::Write as _;
@@ -36,10 +49,10 @@ use std::time::Instant;
 use bda_bench::SchemeKind;
 use bda_core::{BurstModel, ChannelModel, Key, OutageSchedule, Params, RetryPolicy, Ticks};
 use bda_datagen::{DatasetBuilder, Prng};
-use bda_obs::{export, MetricsHub};
+use bda_obs::{export, validate_trace, MetricsHub, TimeSeries, WindowSpec};
 use bda_sim::{
-    engine::reference::run_requests_reference, Engine, EngineStats, ShardRun, ShardedEngine,
-    UpdateSpec,
+    engine::reference::run_requests_reference, perfetto_trace, Engine, EngineStats, ShardRun,
+    ShardedEngine, UpdateSpec,
 };
 
 struct Cli {
@@ -51,6 +64,7 @@ struct Cli {
     out: String,
     reference: bool,
     metrics_out: Option<String>,
+    timeline_out: Option<String>,
 }
 
 fn parse_cli() -> Cli {
@@ -61,6 +75,7 @@ fn parse_cli() -> Cli {
         out: "BENCH_engine.json".into(),
         reference: true,
         metrics_out: None,
+        timeline_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -93,10 +108,16 @@ fn parse_cli() -> Cli {
                     std::process::exit(2);
                 }))
             }
+            "--timeline-out" => {
+                cli.timeline_out = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--timeline-out requires a directory");
+                    std::process::exit(2);
+                }))
+            }
             "--no-reference" => cli.reference = false,
             "--help" | "-h" => {
                 eprintln!(
-                    "engine_bench [--clients N] [--records N] [--shards N] [--out PATH] [--no-reference] [--metrics-out DIR]"
+                    "engine_bench [--clients N] [--records N] [--shards N] [--out PATH] [--no-reference] [--metrics-out DIR] [--timeline-out DIR]"
                 );
                 std::process::exit(0);
             }
@@ -138,6 +159,12 @@ const SKEW_DISKS: usize = 3;
 /// Per-cycle churn rate of the bursty-channel leg's programs — enough
 /// version drift that stale restarts actually register.
 const BURST_CHURN: f64 = 0.10;
+
+/// Seed of the deterministic request-timeline sample under
+/// `--timeline-out` — sampling is a pure function of (seed, index).
+const TRACE_SAMPLE_SEED: u64 = 0x7ACE;
+/// How many requests' span timelines each trace carries.
+const TRACE_SAMPLE_K: usize = 8;
 
 /// The bursty-channel leg's fault model: the same Gilbert–Elliott chain
 /// (~17 % stationary loss) plus 10 % outage windows the golden corpus
@@ -213,6 +240,57 @@ struct ShardedFigures {
     /// `speedup / shards` — 1.0 is perfect linear scaling.
     efficiency: f64,
     per_shard: Vec<ShardRun>,
+    /// Per-shard busy ticks (≥ 1 client in flight) from the windowed
+    /// attribution re-run, in shard order.
+    busy_ticks: Vec<u64>,
+    /// Per-shard idle ticks: the batch horizon minus busy ticks.
+    idle_ticks: Vec<u64>,
+    /// Max over mean of per-shard busy ticks — 1.0 is a perfectly even
+    /// split of simulated work.
+    load_ratio: f64,
+    /// Population variance of per-shard busy ticks.
+    busy_variance: f64,
+    /// Wall-clock spent scatter-merging completions back into arrival
+    /// order (the sequential tail of the sharded run).
+    merge_sec: f64,
+    /// Per-shard windowed time series, kept for `--timeline-out` lanes.
+    series: Vec<TimeSeries>,
+}
+
+/// Windowed attribution re-run: per-shard busy/idle ticks and imbalance
+/// over the same batch. The tick domain is deterministic, so this re-run
+/// sees exactly the load the timed run did.
+fn attribute_shards(
+    system: &dyn bda_core::DynSystem,
+    shards: usize,
+    requests: &[(Ticks, Key)],
+) -> (Vec<TimeSeries>, Vec<u64>, Vec<u64>, f64, f64, f64) {
+    let mut engine = ShardedEngine::new(system, shards);
+    engine.enable_metrics_windowed(WindowSpec::new(system.cycle_len()));
+    let done = engine.run_batch(requests);
+    let merge_sec = engine.last_merge_sec();
+    let horizon = done
+        .iter()
+        .map(|r| r.arrival + r.outcome.access)
+        .max()
+        .unwrap_or(0);
+    let series: Vec<TimeSeries> = engine
+        .take_shard_metrics()
+        .into_iter()
+        .map(|h| h.windows.expect("windowed metrics were enabled"))
+        .collect();
+    assert_eq!(series.len(), shards, "every shard must report a series");
+    let busy: Vec<u64> = series.iter().map(|s| s.totals().busy_ticks).collect();
+    let idle: Vec<u64> = busy.iter().map(|&b| horizon.saturating_sub(b)).collect();
+    let mean = busy.iter().sum::<u64>() as f64 / shards.max(1) as f64;
+    let load_ratio = if mean > 0.0 {
+        busy.iter().copied().max().unwrap_or(0) as f64 / mean
+    } else {
+        1.0
+    };
+    let variance =
+        busy.iter().map(|&b| (b as f64 - mean).powi(2)).sum::<f64>() / shards.max(1) as f64;
+    (series, busy, idle, load_ratio, variance, merge_sec)
 }
 
 struct Row {
@@ -374,13 +452,82 @@ fn main() {
                 );
                 std::process::exit(1);
             }
+            let per_shard = engine.last_runs().to_vec();
+            let (series, busy_ticks, idle_ticks, load_ratio, busy_variance, merge_sec) =
+                attribute_shards(system.as_ref(), n, &requests);
             ShardedFigures {
                 requests_per_sec: rps,
                 speedup,
                 efficiency: speedup / n as f64,
-                per_shard: engine.last_runs().to_vec(),
+                per_shard,
+                busy_ticks,
+                idle_ticks,
+                load_ratio,
+                busy_variance,
+                merge_sec,
+                series,
             }
         });
+
+        if let Some(dir) = &cli.timeline_out {
+            // Windowed (time-resolved) re-run: outcomes must stay
+            // bit-identical and the window sums must equal the aggregate
+            // hub exactly — the tentpole invariant of the timeline layer.
+            let mut windowed = Engine::new(system.as_ref());
+            windowed.enable_metrics_windowed(WindowSpec::new(system.cycle_len()));
+            let done = windowed.run_batch(&requests);
+            assert_eq!(
+                done,
+                completed,
+                "windowed observation must not perturb outcomes ({})",
+                kind.name()
+            );
+            let hub = windowed.take_metrics().expect("metrics were enabled");
+            let series = hub.windows.as_ref().expect("windowed run carries a series");
+            let totals = series.totals();
+            assert_eq!(totals.completions, hub.completed, "{}", kind.name());
+            assert_eq!(totals.found, hub.found, "{}", kind.name());
+            assert_eq!(
+                u128::from(totals.access_ticks),
+                hub.access.sum(),
+                "{}: window access sums must be exact",
+                kind.name()
+            );
+            assert_eq!(
+                u128::from(totals.tuning_ticks),
+                hub.tuning.sum(),
+                "{}: window tuning sums must be exact",
+                kind.name()
+            );
+            // One counter lane per shard when the sharded leg ran, else
+            // the single engine's lane; plus sampled request timelines.
+            let lanes: Vec<&TimeSeries> = match &sharded {
+                Some(f) => f.series.iter().collect(),
+                None => vec![series],
+            };
+            let trace = perfetto_trace(
+                kind.name(),
+                system.as_ref(),
+                &requests,
+                ChannelModel::NONE,
+                RetryPolicy::UNBOUNDED,
+                &lanes,
+                TRACE_SAMPLE_SEED,
+                TRACE_SAMPLE_K,
+            );
+            let events = validate_trace(&trace)
+                .unwrap_or_else(|e| panic!("{}: invalid trace document: {e}", kind.name()));
+            assert!(events > 0, "{}: empty trace", kind.name());
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {dir}: {e}");
+                std::process::exit(1);
+            }
+            let path = format!("{dir}/{}.trace.json", file_stem(kind.name()));
+            if let Err(e) = std::fs::write(&path, trace) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
 
         let row = Row {
             scheme: kind.name(),
@@ -409,10 +556,13 @@ fn main() {
         );
         if let (Some(f), Some(n)) = (&row.sharded, cli.shards) {
             println!(
-                "  └ {n} shards: {:>12.0} req/s  ({:.2}x over 1 engine, {:.0}% efficiency)",
+                "  └ {n} shards: {:>12.0} req/s  ({:.2}x over 1 engine, {:.0}% efficiency, \
+                 load ratio {:.2}, merge {:.2}ms)",
                 f.requests_per_sec,
                 f.speedup,
                 f.efficiency * 100.0,
+                f.load_ratio,
+                f.merge_sec * 1e3,
             );
         }
         rows.push(row);
@@ -597,19 +747,28 @@ fn main() {
             let _ = write!(
                 json,
                 ", \"sharded_requests_per_sec\": {:.1}, \"shard_speedup\": {:.3}, \
-                 \"scaling_efficiency\": {:.3}, \"per_shard\": [",
-                f.requests_per_sec, f.speedup, f.efficiency
+                 \"scaling_efficiency\": {:.3}, \"shard_load_ratio\": {:.4}, \
+                 \"shard_busy_variance\": {:.1}, \"scatter_merge_sec\": {:.6}, \
+                 \"per_shard\": [",
+                f.requests_per_sec,
+                f.speedup,
+                f.efficiency,
+                f.load_ratio,
+                f.busy_variance,
+                f.merge_sec
             );
             for (j, s) in f.per_shard.iter().enumerate() {
                 let _ = write!(
                     json,
                     "{}{{\"shard\": {}, \"requests\": {}, \"events\": {}, \
-                     \"requests_per_sec\": {:.1}}}",
+                     \"requests_per_sec\": {:.1}, \"busy_ticks\": {}, \"idle_ticks\": {}}}",
                     if j == 0 { "" } else { ", " },
                     s.shard,
                     s.requests,
                     s.events,
                     s.requests_per_sec(),
+                    f.busy_ticks.get(j).copied().unwrap_or(0),
+                    f.idle_ticks.get(j).copied().unwrap_or(0),
                 );
             }
             json.push_str("]}");

@@ -1,16 +1,44 @@
-//! CI gate: structurally validate `bda-obs/v1` metrics documents.
+//! CI gate: structurally validate observability documents.
 //!
-//! Reads every path given on the command line, runs it through the
-//! exporter's own validator (schema, required phase/gauge/histogram keys,
-//! ordering invariants like `found ≤ completed` and `p50 ≤ p99.9`), and
-//! exits nonzero on the first violation — so a broken exporter fails the
-//! `obs-smoke` job instead of silently shipping malformed telemetry.
+//! Reads every path given on the command line, dispatches on the
+//! document's declared `schema`, and runs it through the matching
+//! validator:
+//!
+//! * `bda-obs/v1` metrics documents — schema, required
+//!   phase/gauge/histogram keys, ordering invariants like
+//!   `found ≤ completed` and `p50 ≤ p99.9`, and (when the optional
+//!   `timeline` block is present) the windowed invariants: strictly
+//!   increasing window ids, per-window `tuning ≤ access`, and window
+//!   sums equal to the top-level aggregates exactly.
+//! * `bda-obs/trace/v1` Perfetto/Chrome trace documents — event
+//!   structure, monotone span nesting, counter lanes.
+//!
+//! Exits nonzero on the first violation — so a broken exporter fails the
+//! `obs-smoke` / `timeline-smoke` jobs instead of silently shipping
+//! malformed telemetry.
 //!
 //! ```text
 //! validate_metrics FILE.json [FILE.json ...]
 //! ```
 
-use bda_obs::export::validate;
+use bda_obs::export::{parse_json, validate, Json};
+use bda_obs::{validate_trace, TRACE_SCHEMA};
+
+/// Validate one document, dispatching on its `schema` member. Returns a
+/// human-readable summary for the OK line.
+fn validate_any(text: &str) -> Result<String, String> {
+    let doc = parse_json(text)?;
+    match doc.get("schema") {
+        Some(Json::Str(s)) if s == TRACE_SCHEMA => {
+            let events = validate_trace(text)?;
+            Ok(format!("trace, {events} events"))
+        }
+        _ => {
+            let scheme = validate(text)?;
+            Ok(format!("scheme: {scheme}"))
+        }
+    }
+}
 
 fn main() {
     let paths: Vec<String> = std::env::args().skip(1).collect();
@@ -28,8 +56,8 @@ fn main() {
                 continue;
             }
         };
-        match validate(&text) {
-            Ok(scheme) => println!("OK   {path} (scheme: {scheme})"),
+        match validate_any(&text) {
+            Ok(what) => println!("OK   {path} ({what})"),
             Err(e) => {
                 eprintln!("FAIL {path}: {e}");
                 failed = true;
@@ -37,4 +65,43 @@ fn main() {
         }
     }
     std::process::exit(i32::from(failed));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_version_mismatch_is_rejected_on_both_document_kinds() {
+        // A future metrics schema must fail, not silently half-validate.
+        let err = validate_any(r#"{"schema": "bda-obs/v2", "scheme": "flat"}"#)
+            .expect_err("v2 metrics document must be rejected");
+        assert!(err.contains("bda-obs/v1"), "{err}");
+        // A future trace schema falls through to the metrics validator
+        // (the dispatch matches the trace schema exactly), which rejects
+        // it for the same reason.
+        let err = validate_any(r#"{"schema": "bda-obs/trace/v2", "traceEvents": []}"#)
+            .expect_err("v2 trace document must be rejected");
+        assert!(err.contains("bda-obs/v1"), "{err}");
+        // A document with no schema member at all is rejected too.
+        assert!(validate_any(r#"{"traceEvents": []}"#).is_err());
+    }
+
+    #[test]
+    fn dispatch_sends_each_kind_to_its_own_validator() {
+        // A minimal valid trace document validates through the trace arm.
+        let trace = format!(
+            "{{\"schema\":\"{TRACE_SCHEMA}\",\"displayTimeUnit\":\"ms\",\"traceEvents\":[\
+             {{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":1,\"tid\":0,\
+             \"args\":{{\"name\":\"flat\"}}}}]}}"
+        );
+        let what = validate_any(&trace).expect("trace document validates");
+        assert!(what.starts_with("trace, "), "{what}");
+        // A malformed trace (span missing dur) fails through the same arm.
+        let bad = format!(
+            "{{\"schema\":\"{TRACE_SCHEMA}\",\"traceEvents\":[\
+             {{\"ph\":\"X\",\"name\":\"q\",\"pid\":1,\"tid\":0,\"ts\":5}}]}}"
+        );
+        assert!(validate_any(&bad).is_err());
+    }
 }

@@ -58,6 +58,14 @@ FLAGS:
                          .prom gets Prometheus text, anything else the
                          bda-obs/v1 JSON document (compare always writes
                          Prometheus text, one family set per scheme)
+    --timeline-out PATH  write a bda-obs/trace/v1 Perfetto/Chrome trace of
+                         the run: windowed counter lanes plus span
+                         timelines for a seed-sampled subset of requests
+                         (simulate: one process; compare: one process per
+                         scheme) — open in ui.perfetto.dev or about:tracing
+    --perfetto           render the query timeline as a bda-obs/trace/v1
+                         Perfetto/Chrome JSON document instead of the
+                         human rendering or bda-trace/v1 (trace)
 ";
 
 /// Parsed flags with defaults.
@@ -101,6 +109,11 @@ pub struct Options {
     pub json: bool,
     /// Where to write run metrics (compare/simulate; None = don't observe).
     pub metrics_out: Option<String>,
+    /// Where to write a Perfetto/Chrome trace of the run
+    /// (compare/simulate; None = don't trace).
+    pub timeline_out: Option<String>,
+    /// Emit the query timeline as a Perfetto/Chrome JSON document (trace).
+    pub perfetto: bool,
 }
 
 impl Default for Options {
@@ -124,6 +137,8 @@ impl Default for Options {
             shards: 1,
             json: false,
             metrics_out: None,
+            timeline_out: None,
+            perfetto: false,
         }
     }
 }
@@ -176,6 +191,8 @@ impl Options {
                 "--shards" => o.shards = parse_num(flag, val()?)?,
                 "--json" => o.json = true,
                 "--metrics-out" => o.metrics_out = Some(val()?.clone()),
+                "--timeline-out" => o.timeline_out = Some(val()?.clone()),
+                "--perfetto" => o.perfetto = true,
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -211,6 +228,9 @@ impl Options {
         }
         if o.disks == 0 || o.disks > 8 {
             return Err("--disks must be 1..=8".into());
+        }
+        if o.json && o.perfetto {
+            return Err("--json and --perfetto are mutually exclusive: pick one rendering".into());
         }
         Ok(o)
     }
@@ -341,6 +361,19 @@ mod tests {
         assert!(!d.json);
         assert!(d.metrics_out.is_none());
         assert!(parse(&["--metrics-out"]).is_err());
+    }
+
+    #[test]
+    fn timeline_flags_parse() {
+        let o = parse(&["--timeline-out", "run.trace.json", "--perfetto"]).unwrap();
+        assert_eq!(o.timeline_out.as_deref(), Some("run.trace.json"));
+        assert!(o.perfetto);
+        let d = parse(&[]).unwrap();
+        assert!(d.timeline_out.is_none());
+        assert!(!d.perfetto);
+        assert!(parse(&["--timeline-out"]).is_err());
+        // One rendering per trace: the two machine formats conflict.
+        assert!(parse(&["--json", "--perfetto"]).is_err());
     }
 
     #[test]

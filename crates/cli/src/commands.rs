@@ -7,7 +7,7 @@ use bda_core::{
 use bda_datagen::{DatasetBuilder, Popularity, QueryWorkload};
 use bda_hash::HashScheme;
 use bda_hybrid::HybridScheme;
-use bda_obs::{export, MetricsHub};
+use bda_obs::{export, MetricsHub, TraceBuilder};
 use bda_signature::{
     IntegratedSignatureScheme, MultiLevelSignatureScheme, SimpleSignatureDisksScheme,
     SimpleSignatureScheme,
@@ -30,6 +30,12 @@ const SCHEMES: [&str; 8] = [
 
 /// The schemes with a broadcast-disk (stratified) construction.
 const DISK_SCHEMES: [&str; 4] = ["flat", "signature", "hashing", "distributed"];
+
+/// Trace sampling for `--timeline-out`: XOR'd into `--seed` to pick which
+/// requests get replayed span timelines (see [`bda_obs::sample_indices`]),
+/// and how many per scheme.
+const TRACE_SAMPLE_SEED: u64 = 0x7ACE;
+const TRACE_SAMPLE_K: usize = 8;
 
 fn params(o: &Options) -> Result<Params, String> {
     Params::with_record_key_ratio(o.ratio).map_err(|e| e.to_string())
@@ -303,7 +309,7 @@ pub fn trace(o: &Options) -> Result<(), String> {
     };
     let faults = o.channel_model();
     let policy = o.retry_policy();
-    if !o.json {
+    if !o.json && !o.perfetto {
         println!(
             "# {} · {} records · query {} · tune-in {}{}{}\n",
             o.scheme,
@@ -414,7 +420,45 @@ pub fn trace(o: &Options) -> Result<(), String> {
 /// Render a finished trace (shared by the flat-cycle and broadcast-disk
 /// paths) and surface protocol aborts as errors.
 fn finish_trace(o: &Options, t: Trace, key: Key) -> Result<(), String> {
-    if o.json {
+    if o.perfetto {
+        // The same observed walk as `--json`, rendered as a
+        // `bda-obs/trace/v1` Perfetto document: one enclosing query span
+        // and one nested span per protocol step (phase-named, with its
+        // byte deltas and corruption cause as args).
+        let mut trace = TraceBuilder::new();
+        trace.process_name(1, &o.scheme);
+        trace.thread_name(1, 0, &format!("query key {}", key.0));
+        trace.span(
+            1,
+            0,
+            "query",
+            o.tune_in,
+            t.outcome.access,
+            &[
+                ("key", key.0),
+                ("tuning", t.outcome.tuning),
+                ("retries", u64::from(t.outcome.retries)),
+                ("found", u64::from(t.outcome.found)),
+            ],
+        );
+        for e in &t.events {
+            trace.span(
+                1,
+                0,
+                e.phase.name(),
+                e.t - e.access,
+                e.access,
+                &[
+                    ("tuning", e.tuning),
+                    ("corrupt", u64::from(e.corrupt)),
+                    ("outage", u64::from(e.outage)),
+                ],
+            );
+        }
+        let doc = trace.finish();
+        debug_assert!(bda_obs::validate_trace(&doc).is_ok());
+        println!("{doc}");
+    } else if o.json {
         // One machine-readable document: every event (no elision), the
         // per-phase span totals, and the outcome.
         print!("{}", t.to_json(&o.scheme, key, o.tune_in));
@@ -471,9 +515,12 @@ pub fn compare(o: &Options) -> Result<(), String> {
     );
     println!("{}", if dynamic { "  restart/q" } else { "" });
     let mut hubs: Vec<(&str, MetricsHub)> = Vec::new();
+    // One Perfetto document for the whole comparison: one process lane
+    // per scheme, appended as each simulation finishes.
+    let mut trace = o.timeline_out.as_ref().map(|_| TraceBuilder::new());
     // Under stratification only the disk-capable schemes compete.
     let schemes: &[&str] = if o.disks > 1 { &DISK_SCHEMES } else { &SCHEMES };
-    for &name in schemes {
+    for (i, &name) in schemes.iter().enumerate() {
         let sys = build_system(o, name, &ds, &p)?;
         let workload = QueryWorkload::new(
             &ds,
@@ -488,8 +535,33 @@ pub fn compare(o: &Options) -> Result<(), String> {
         cfg.channel = Some(o.channel_model());
         cfg.retry = o.retry_policy();
         cfg.updates = o.update_spec();
+        if o.timeline_out.is_some() {
+            cfg.window = Some(sys.cycle_len());
+        }
         let mut sim = Simulator::new(sys.as_ref(), workload, cfg);
-        let r = if o.metrics_out.is_some() {
+        let r = if let Some(trace) = trace.as_mut() {
+            let (r, hub, requests) = sim.run_observed_logged();
+            let series = hub
+                .windows
+                .as_ref()
+                .expect("timeline runs collect a windowed series");
+            bda_sim::append_scheme_timeline(
+                trace,
+                i as u64 + 1,
+                name,
+                sys.as_ref(),
+                &requests,
+                o.channel_model(),
+                o.retry_policy(),
+                &[series],
+                o.seed ^ TRACE_SAMPLE_SEED,
+                TRACE_SAMPLE_K,
+            );
+            if o.metrics_out.is_some() {
+                hubs.push((name, hub));
+            }
+            r
+        } else if o.metrics_out.is_some() {
             let (r, hub) = sim.run_observed();
             hubs.push((name, hub));
             r
@@ -519,6 +591,15 @@ pub fn compare(o: &Options) -> Result<(), String> {
             hubs.len()
         );
     }
+    if let (Some(path), Some(trace)) = (&o.timeline_out, trace) {
+        let doc = trace.finish();
+        debug_assert!(bda_obs::validate_trace(&doc).is_ok());
+        std::fs::write(path, doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!(
+            "\nwrote Perfetto timeline for {} schemes to {path} (open in ui.perfetto.dev)",
+            schemes.len()
+        );
+    }
     Ok(())
 }
 
@@ -541,12 +622,19 @@ pub fn simulate(o: &Options) -> Result<(), String> {
     cfg.retry = o.retry_policy();
     cfg.updates = o.update_spec();
     cfg.shards = o.shards;
+    if o.timeline_out.is_some() {
+        // One window per broadcast cycle keeps the counter lanes legible.
+        cfg.window = Some(sys.cycle_len());
+    }
     let mut sim = Simulator::new(sys.as_ref(), workload, cfg);
-    let (r, hub) = if o.metrics_out.is_some() {
+    let (r, hub, requests) = if o.timeline_out.is_some() {
+        let (r, hub, requests) = sim.run_observed_logged();
+        (r, Some(hub), requests)
+    } else if o.metrics_out.is_some() {
         let (r, hub) = sim.run_observed();
-        (r, Some(hub))
+        (r, Some(hub), Vec::new())
     } else {
-        (sim.run(), None)
+        (sim.run(), None, Vec::new())
     };
     println!("scheme        : {}", r.scheme);
     println!(
@@ -602,6 +690,25 @@ pub fn simulate(o: &Options) -> Result<(), String> {
         };
         std::fs::write(path, doc).map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("metrics       : wrote {path}");
+    }
+    if let (Some(path), Some(hub)) = (&o.timeline_out, &hub) {
+        let series = hub
+            .windows
+            .as_ref()
+            .expect("timeline runs collect a windowed series");
+        let doc = bda_sim::perfetto_trace(
+            r.scheme,
+            sys.as_ref(),
+            &requests,
+            o.channel_model(),
+            o.retry_policy(),
+            &[series],
+            o.seed ^ TRACE_SAMPLE_SEED,
+            TRACE_SAMPLE_K,
+        );
+        debug_assert!(bda_obs::validate_trace(&doc).is_ok());
+        std::fs::write(path, doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("timeline      : wrote {path} (open in ui.perfetto.dev)");
     }
     Ok(())
 }

@@ -35,15 +35,25 @@
 //! downstream tooling never branches on key existence. [`validate`]
 //! checks exactly this contract and is what the CI `obs-smoke` job runs
 //! against freshly emitted files.
+//!
+//! When the hub carries a windowed [`crate::TimeSeries`], the document
+//! additionally gets a `"timeline"` block — window width, the evicted
+//! fold, and one object per live window (id, counters, per-phase
+//! totals). The block is optional (absent for aggregate-only hubs), but
+//! when present the validator checks it structurally *and* checks the
+//! collector's core invariant: window sums (plus the evicted fold) equal
+//! the top-level aggregates exactly.
 
 use crate::gauges::Gauge;
 use crate::metrics::MetricsHub;
 use crate::phase::Phase;
+use crate::recorder::PhaseSpans;
+use crate::timeseries::WindowStats;
 
 /// The schema identifier written into (and required of) every document.
 pub const SCHEMA: &str = "bda-obs/v1";
 
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -74,19 +84,9 @@ fn histogram_json(h: &crate::histogram::Histogram) -> String {
     )
 }
 
-/// Render `hub` as one `bda-obs/v1` JSON object.
-pub fn to_json(scheme: &str, hub: &MetricsHub) -> String {
-    let mut out = String::with_capacity(1024);
-    out.push_str(&format!(
-        "{{\"schema\":\"{}\",\"scheme\":\"{}\",\"completed\":{},\"found\":{},\"abandoned\":{},",
-        SCHEMA,
-        escape(scheme),
-        hub.completed,
-        hub.found,
-        hub.abandoned
-    ));
-    out.push_str("\"phases\":{");
-    for (i, (phase, t)) in hub.spans.iter().enumerate() {
+fn phases_json(spans: &PhaseSpans) -> String {
+    let mut out = String::from("{");
+    for (i, (phase, t)) in spans.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
@@ -98,7 +98,42 @@ pub fn to_json(scheme: &str, hub: &MetricsHub) -> String {
             t.count
         ));
     }
-    out.push_str("},");
+    out.push('}');
+    out
+}
+
+fn window_stats_json(w: &WindowStats) -> String {
+    format!(
+        "{{\"completions\":{},\"found\":{},\"abandoned\":{},\"corrupt_reads\":{},\
+         \"stale_restarts\":{},\"version_skews\":{},\"access\":{},\"tuning\":{},\
+         \"wake_batches\":{},\"in_flight_high\":{},\"busy_ticks\":{},\"phases\":{}}}",
+        w.completions,
+        w.found,
+        w.abandoned,
+        w.corrupt_reads,
+        w.stale_restarts,
+        w.version_skews,
+        w.access_ticks,
+        w.tuning_ticks,
+        w.wake_batches,
+        w.in_flight_high,
+        w.busy_ticks,
+        phases_json(&w.spans)
+    )
+}
+
+/// Render `hub` as one `bda-obs/v1` JSON object.
+pub fn to_json(scheme: &str, hub: &MetricsHub) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str(&format!(
+        "{{\"schema\":\"{}\",\"scheme\":\"{}\",\"completed\":{},\"found\":{},\"abandoned\":{},",
+        SCHEMA,
+        escape(scheme),
+        hub.completed,
+        hub.found,
+        hub.abandoned
+    ));
+    out.push_str(&format!("\"phases\":{},", phases_json(&hub.spans)));
     out.push_str(&format!("\"access\":{},", histogram_json(&hub.access)));
     out.push_str(&format!("\"tuning\":{},", histogram_json(&hub.tuning)));
     out.push_str(&format!(
@@ -120,7 +155,25 @@ pub fn to_json(scheme: &str, hub: &MetricsHub) -> String {
             s.samples
         ));
     }
-    out.push_str("}}");
+    out.push('}');
+    if let Some(ts) = hub.windows.as_ref() {
+        out.push_str(&format!(
+            ",\"timeline\":{{\"window_width\":{},\"retain\":{},\"watermark\":{},\"evicted\":{},\"windows\":[",
+            ts.width(),
+            ts.spec().retain,
+            ts.watermark(),
+            window_stats_json(ts.evicted())
+        ));
+        for (i, (id, w)) in ts.windows().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let stats = window_stats_json(w);
+            out.push_str(&format!("{{\"id\":{id},{}", &stats[1..]));
+        }
+        out.push_str("]}");
+    }
+    out.push('}');
     out
 }
 
@@ -534,7 +587,90 @@ pub fn validate(text: &str) -> Result<String, String> {
             require_num(g, field, gauge.name())?;
         }
     }
+    if let Some(timeline) = doc.get("timeline") {
+        validate_timeline(timeline, completed, found)?;
+    }
     Ok(scheme)
+}
+
+const WINDOW_COUNTERS: [&str; 11] = [
+    "completions",
+    "found",
+    "abandoned",
+    "corrupt_reads",
+    "stale_restarts",
+    "version_skews",
+    "access",
+    "tuning",
+    "wake_batches",
+    "in_flight_high",
+    "busy_ticks",
+];
+
+fn validate_window_stats(w: &Json, ctx: &str) -> Result<(), String> {
+    for field in WINDOW_COUNTERS {
+        require_num(w, field, ctx)?;
+    }
+    if require_num(w, "tuning", ctx)? > require_num(w, "access", ctx)? {
+        return Err(format!("{ctx}: tuning exceeds access"));
+    }
+    let phases = w
+        .get("phases")
+        .ok_or_else(|| format!("{ctx}.phases is missing"))?;
+    for phase in Phase::ALL {
+        let p = phases
+            .get(phase.name())
+            .ok_or_else(|| format!("{ctx}.phases.{} is missing", phase.name()))?;
+        for field in ["access", "tuning", "count"] {
+            require_num(p, field, phase.name())?;
+        }
+    }
+    Ok(())
+}
+
+/// Validate a `timeline` block against the document's aggregate
+/// counters: structure, completeness, and the collector's exactness
+/// invariant (window sums + the evicted fold = aggregates).
+fn validate_timeline(timeline: &Json, completed: f64, found: f64) -> Result<(), String> {
+    if require_num(timeline, "window_width", "timeline")? < 1.0 {
+        return Err("timeline.window_width must be at least 1".into());
+    }
+    require_num(timeline, "retain", "timeline")?;
+    require_num(timeline, "watermark", "timeline")?;
+    let evicted = timeline
+        .get("evicted")
+        .ok_or("timeline.evicted is missing")?;
+    validate_window_stats(evicted, "timeline.evicted")?;
+    let windows = match timeline.get("windows") {
+        Some(Json::Arr(items)) => items,
+        Some(_) => return Err("timeline.windows is not an array".into()),
+        None => return Err("timeline.windows is missing".into()),
+    };
+    let mut sum_completed = require_num(evicted, "completions", "timeline.evicted")?;
+    let mut sum_found = require_num(evicted, "found", "timeline.evicted")?;
+    let mut last_id = -1.0f64;
+    for (i, w) in windows.iter().enumerate() {
+        let ctx = format!("timeline.windows[{i}]");
+        let id = require_num(w, "id", &ctx)?;
+        if id <= last_id {
+            return Err(format!("{ctx}: window ids are not strictly increasing"));
+        }
+        last_id = id;
+        validate_window_stats(w, &ctx)?;
+        sum_completed += require_num(w, "completions", &ctx)?;
+        sum_found += require_num(w, "found", &ctx)?;
+    }
+    if sum_completed != completed {
+        return Err(format!(
+            "timeline: window completions sum to {sum_completed}, document says {completed}"
+        ));
+    }
+    if sum_found != found {
+        return Err(format!(
+            "timeline: window found sum to {sum_found}, document says {found}"
+        ));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -577,6 +713,72 @@ mod tests {
         assert!(validate("{}").is_err());
         assert!(validate("not json").is_err());
         assert!(validate(&format!("{good} trailing")).is_err());
+    }
+
+    fn windowed_hub() -> MetricsHub {
+        use crate::timeseries::{Completion, WindowSpec};
+        let mut hub = sample_hub();
+        // Rebuild the two completions through the windowed path so the
+        // timeline block agrees with the aggregates recorded above.
+        let mut windowed = MetricsHub::new();
+        windowed.enable_windows(WindowSpec::new(64));
+        let mut spans = PhaseSpans::new();
+        spans.add(Phase::InitialProbe, 10, 10);
+        spans.add(Phase::Doze, 40, 0);
+        spans.add(Phase::DataRead, 50, 50);
+        for (end_tick, access, tuning, retries, found, abandoned) in [
+            (100u64, 100u64, 60u64, 1u32, true, false),
+            (320, 220, 75, 0, false, true),
+        ] {
+            windowed.complete_at(
+                &Completion {
+                    end_tick,
+                    access,
+                    tuning,
+                    retries,
+                    stale_restarts: 0,
+                    version_skews: 0,
+                    found,
+                    abandoned,
+                },
+                Some(&spans),
+            );
+        }
+        windowed.windows.as_mut().unwrap().record_batch(0, 2);
+        hub.windows = windowed.windows;
+        hub
+    }
+
+    #[test]
+    fn timeline_block_round_trips_through_the_validator() {
+        let hub = windowed_hub();
+        let json = to_json("flat", &hub);
+        assert!(
+            json.contains("\"timeline\""),
+            "timeline block missing:\n{json}"
+        );
+        assert_eq!(validate(&json).unwrap(), "flat");
+    }
+
+    #[test]
+    fn validator_rejects_inconsistent_or_malformed_timelines() {
+        let hub = windowed_hub();
+        let good = to_json("flat", &hub);
+        // Window sums must equal the aggregates exactly.
+        let skewed = good.replacen("\"completions\":1", "\"completions\":2", 1);
+        assert_ne!(skewed, good);
+        let err = validate(&skewed).unwrap_err();
+        assert!(err.contains("completions"), "unexpected error: {err}");
+        // Structural damage inside a window is caught.
+        assert!(validate(&good.replace("\"busy_ticks\"", "\"busy\"")).is_err());
+        assert!(validate(&good.replace("\"window_width\":64", "\"window_width\":0")).is_err());
+        // A future schema version is rejected outright, timeline or not.
+        let v2 = good.replace("bda-obs/v1", "bda-obs/v2");
+        let err = validate(&v2).unwrap_err();
+        assert!(
+            err.contains("unknown schema 'bda-obs/v2'"),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]

@@ -21,8 +21,17 @@
 //! * [`Gauge`]/[`GaugeSet`] — engine-level occupancy gauges sampled at
 //!   wakeup boundaries.
 //! * [`MetricsHub`] — the mergeable aggregate everything drains into.
+//! * [`TimeSeries`] — time-resolved telemetry: fixed-width tick windows
+//!   (completions, wake batches, in-flight high-water, corrupt/stale
+//!   events, per-phase tick totals, busy ticks) whose window sums equal
+//!   the end-of-run aggregates exactly and merge window-by-window across
+//!   shards.
 //! * [`export`] — a compact JSON schema (`bda-obs/v1`), a Prometheus text
 //!   renderer, and a dependency-free validator for the JSON schema.
+//! * [`tracefmt`] — a Chrome-trace-event/Perfetto exporter
+//!   (`bda-obs/trace/v1`): per-shard counter lanes from a [`TimeSeries`]
+//!   plus seed-sampled per-request span timelines, all in the tick
+//!   domain.
 //! * [`progress`] — leveled progress events for long-running harnesses,
 //!   so `--quiet` can actually be silent.
 //!
@@ -37,6 +46,8 @@ pub mod metrics;
 pub mod phase;
 pub mod progress;
 pub mod recorder;
+pub mod timeseries;
+pub mod tracefmt;
 
 pub use gauges::{Gauge, GaugeSet, GaugeStat};
 pub use histogram::Histogram;
@@ -44,3 +55,5 @@ pub use metrics::MetricsHub;
 pub use phase::{BucketKind, Phase};
 pub use progress::{NullProgress, ProgressSink, QuietProgress, Severity, StderrProgress};
 pub use recorder::{NoopRecorder, PhaseSpans, PhaseTotal, Recorder, SpanRecorder};
+pub use timeseries::{Completion, TimeSeries, WindowSpec, WindowStats};
+pub use tracefmt::{sample_indices, sample_priority, validate_trace, TraceBuilder, TRACE_SCHEMA};

@@ -12,6 +12,7 @@
 use crate::gauges::GaugeSet;
 use crate::histogram::Histogram;
 use crate::recorder::PhaseSpans;
+use crate::timeseries::{Completion, TimeSeries, WindowSpec};
 
 /// Aggregated observability state for one scheme under one driver.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -32,6 +33,10 @@ pub struct MetricsHub {
     pub found: u64,
     /// Queries truthfully abandoned by the retry policy.
     pub abandoned: u64,
+    /// Windowed time series, when [`MetricsHub::enable_windows`] was
+    /// called. `None` (the default) keeps the hub purely aggregate;
+    /// drivers that only call [`MetricsHub::complete`] never touch it.
+    pub windows: Option<TimeSeries>,
 }
 
 impl MetricsHub {
@@ -63,6 +68,25 @@ impl MetricsHub {
         }
     }
 
+    /// Attach a windowed [`TimeSeries`] so future completions resolve in
+    /// time as well as in aggregate. Call before recording; completions
+    /// recorded through [`MetricsHub::complete`] (no instant) bypass the
+    /// windows, so windowed drivers must use [`MetricsHub::complete_at`].
+    pub fn enable_windows(&mut self, spec: WindowSpec) {
+        self.windows = Some(TimeSeries::new(spec));
+    }
+
+    /// Record one completed query with its completion instant. Exactly
+    /// [`MetricsHub::complete`] on the aggregates, plus window attribution
+    /// (at `c.end_tick`) when windows are enabled — so windowed and
+    /// unwindowed hubs agree on every aggregate component bit for bit.
+    pub fn complete_at(&mut self, c: &Completion, spans: Option<&PhaseSpans>) {
+        self.complete(c.access, c.tuning, c.retries, c.found, c.abandoned, spans);
+        if let Some(ts) = self.windows.as_mut() {
+            ts.record_completion(c, spans);
+        }
+    }
+
     /// Fold an iterator of hubs into one, in iteration order — the shape
     /// a sharded driver produces (one hub per worker shard). Returns
     /// `None` for an empty iterator so callers can distinguish "metrics
@@ -81,8 +105,9 @@ impl MetricsHub {
     }
 
     /// Fold another hub into this one. Associative: component merges are
-    /// element-wise sums (histograms, spans) or order-tagged summaries
-    /// (gauges).
+    /// element-wise sums (histograms, spans), order-tagged summaries
+    /// (gauges), or window-id-aligned sums (time series; a hub without
+    /// windows adopts the other's).
     pub fn merge(&mut self, other: &MetricsHub) {
         self.spans.merge(&other.spans);
         self.access.merge(&other.access);
@@ -92,6 +117,11 @@ impl MetricsHub {
         self.completed += other.completed;
         self.found += other.found;
         self.abandoned += other.abandoned;
+        match (self.windows.as_mut(), other.windows.as_ref()) {
+            (Some(mine), Some(theirs)) => mine.merge(theirs),
+            (None, Some(theirs)) => self.windows = Some(theirs.clone()),
+            _ => {}
+        }
     }
 }
 
@@ -138,5 +168,82 @@ mod tests {
         sequential.complete(100, 60, 0, true, false, Some(&spans));
         sequential.complete(200, 90, 1, true, false, Some(&spans));
         assert_eq!(merged, sequential);
+    }
+
+    #[test]
+    fn windowed_hub_matches_unwindowed_aggregates_exactly() {
+        use crate::timeseries::{Completion, WindowSpec};
+        let spans = sample_spans();
+        let mut plain = MetricsHub::new();
+        let mut windowed = MetricsHub::new();
+        windowed.enable_windows(WindowSpec::new(64));
+        for i in 0..20u64 {
+            let c = Completion {
+                end_tick: i * 37,
+                access: 100 + i,
+                tuning: 60,
+                retries: (i % 2) as u32,
+                stale_restarts: 0,
+                version_skews: 0,
+                found: true,
+                abandoned: false,
+            };
+            plain.complete(
+                c.access,
+                c.tuning,
+                c.retries,
+                c.found,
+                c.abandoned,
+                Some(&spans),
+            );
+            windowed.complete_at(&c, Some(&spans));
+        }
+        // Aggregates are untouched by windowing.
+        let mut strip = windowed.clone();
+        strip.windows = None;
+        assert_eq!(strip, plain);
+        // Window sums equal the aggregates exactly.
+        let totals = windowed.windows.as_ref().unwrap().totals();
+        assert_eq!(totals.completions, windowed.completed);
+        assert_eq!(u128::from(totals.access_ticks), windowed.access.sum());
+        assert_eq!(u128::from(totals.tuning_ticks), windowed.tuning.sum());
+        assert_eq!(u128::from(totals.corrupt_reads), windowed.retry_depth.sum());
+        assert_eq!(totals.spans, windowed.spans);
+    }
+
+    #[test]
+    fn merge_adopts_and_aligns_window_series() {
+        use crate::timeseries::{Completion, WindowSpec};
+        let c = |end_tick: u64| Completion {
+            end_tick,
+            access: 10,
+            tuning: 5,
+            retries: 0,
+            stale_restarts: 0,
+            version_skews: 0,
+            found: true,
+            abandoned: false,
+        };
+        let mut a = MetricsHub::new();
+        a.enable_windows(WindowSpec::new(100));
+        a.complete_at(&c(50), None);
+        let mut b = MetricsHub::new();
+        b.enable_windows(WindowSpec::new(100));
+        b.complete_at(&c(60), None);
+        b.complete_at(&c(250), None);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let ts = merged.windows.as_ref().unwrap();
+        assert_eq!(ts.window(0).unwrap().completions, 2);
+        assert_eq!(ts.window(2).unwrap().completions, 1);
+        // A windowless hub adopts the other side's series on merge.
+        let mut plain = MetricsHub::new();
+        plain.complete(10, 5, 0, true, false, None);
+        plain.merge(&a);
+        assert_eq!(
+            plain.windows.as_ref().unwrap().totals().completions,
+            1,
+            "adopted series carries only the windowed side's events"
+        );
     }
 }

@@ -1,0 +1,498 @@
+//! Time-resolved telemetry: fixed-width tick windows over a run.
+//!
+//! The aggregate [`crate::MetricsHub`] answers *how much* — total access
+//! ticks, the tuning histogram, how many requests abandoned. It cannot
+//! answer *when*: which stretch of the broadcast saw the corruption
+//! spike, where wakeup batches bunch up, when a shard went idle. A
+//! [`TimeSeries`] adds the time axis while keeping every invariant the
+//! observability layer is built on:
+//!
+//! * **Tick domain only.** Windows are keyed by `tick / width` where
+//!   ticks are bytes of air time — never wall clock — so a windowed run
+//!   is exactly as deterministic as an unwindowed one.
+//! * **Exact accounting.** Every recorded event lands in exactly one
+//!   window (or, once a window ages out of the ring, in the `evicted`
+//!   accumulator), so [`TimeSeries::totals`] equals the end-of-run
+//!   aggregates *exactly* — no sampling, no decay. The property suite
+//!   pins window sums against `EngineStats` on every scheme.
+//! * **Mergeable by window id.** Shards over one broadcast program share
+//!   the global tick clock, so per-shard series merge window-by-window
+//!   ([`TimeSeries::merge`]); the per-request counter projection of the
+//!   merged series is bit-identical to a single-engine run for every
+//!   shard count, exactly like [`crate::MetricsHub`] itself.
+//!
+//! Retention is a ring in spirit: at most `retain` live windows are kept,
+//! and older ones fold into `evicted` (sums stay exact). Folding keeps the
+//! *highest* window ids, so the tail of a long run is always resolved.
+
+use std::collections::BTreeMap;
+
+use crate::recorder::PhaseSpans;
+
+/// Configuration for windowed collection: window width in ticks and how
+/// many live windows to retain before folding old ones into the evicted
+/// accumulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSpec {
+    /// Ticks (bytes of air time) per window. A natural choice is one
+    /// broadcast cycle, so each window is one revolution of the program.
+    pub width: u64,
+    /// Maximum number of live windows; older windows fold into the
+    /// evicted accumulator (sums stay exact, resolution is lost).
+    pub retain: usize,
+}
+
+impl WindowSpec {
+    /// Default live-window retention.
+    pub const DEFAULT_RETAIN: usize = 4096;
+
+    /// A spec with the given window width and default retention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn new(width: u64) -> Self {
+        assert!(width >= 1, "window width must be at least one tick");
+        WindowSpec {
+            width,
+            retain: Self::DEFAULT_RETAIN,
+        }
+    }
+
+    /// Override the retention (minimum 1).
+    pub fn with_retain(mut self, retain: usize) -> Self {
+        assert!(retain >= 1, "must retain at least one live window");
+        self.retain = retain;
+        self
+    }
+}
+
+/// One completed query, as the execution layers hand it to
+/// [`crate::MetricsHub::complete_at`]. This crate sits below `bda-core`,
+/// so the outcome arrives as scalars; `end_tick` is the completion
+/// instant (`arrival + access`) that decides window attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// Completion instant in ticks: `arrival + access`.
+    pub end_tick: u64,
+    /// Access time (bytes from tune-in to completion).
+    pub access: u64,
+    /// Tuning time (bytes listened; ≤ access).
+    pub tuning: u64,
+    /// Corrupted reads ridden out (or abandoned at).
+    pub retries: u32,
+    /// Stale-machine restarts after version skew.
+    pub stale_restarts: u32,
+    /// Version-skewed buckets observed.
+    pub version_skews: u32,
+    /// Whether the record was retrieved.
+    pub found: bool,
+    /// Whether the retry policy truthfully gave up.
+    pub abandoned: bool,
+}
+
+/// Counters accumulated over one tick window (or over all evicted
+/// windows). All per-request fields attribute at the request's
+/// *completion* instant; `wake_batches`, `in_flight_high` and
+/// `busy_ticks` attribute at the engine instants they describe.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowStats {
+    /// Requests completed in this window.
+    pub completions: u64,
+    /// Completions that found their record.
+    pub found: u64,
+    /// Completions truthfully abandoned by the retry policy.
+    pub abandoned: u64,
+    /// Corrupted reads across completions in this window.
+    pub corrupt_reads: u64,
+    /// Stale-machine restarts across completions in this window.
+    pub stale_restarts: u64,
+    /// Version-skewed buckets across completions in this window.
+    pub version_skews: u64,
+    /// Access ticks summed over completions in this window.
+    pub access_ticks: u64,
+    /// Tuning ticks summed over completions in this window.
+    pub tuning_ticks: u64,
+    /// Wake-up batches the engine drained at instants in this window.
+    pub wake_batches: u64,
+    /// High-water in-flight population sampled at this window's wake
+    /// batches (0 when no batch landed here).
+    pub in_flight_high: u64,
+    /// Ticks of this window during which the engine had at least one
+    /// client in flight.
+    pub busy_ticks: u64,
+    /// Per-phase tick totals of the completions attributed here.
+    pub spans: PhaseSpans,
+}
+
+impl WindowStats {
+    /// Fold another window's counters into this one: sums, except
+    /// `in_flight_high` which keeps the max (it is a high-water mark, not
+    /// a flow).
+    pub fn merge(&mut self, other: &WindowStats) {
+        self.completions += other.completions;
+        self.found += other.found;
+        self.abandoned += other.abandoned;
+        self.corrupt_reads += other.corrupt_reads;
+        self.stale_restarts += other.stale_restarts;
+        self.version_skews += other.version_skews;
+        self.access_ticks += other.access_ticks;
+        self.tuning_ticks += other.tuning_ticks;
+        self.wake_batches += other.wake_batches;
+        self.in_flight_high = self.in_flight_high.max(other.in_flight_high);
+        self.busy_ticks += other.busy_ticks;
+        self.spans.merge(&other.spans);
+    }
+
+    /// The projection of these counters that is **invariant under
+    /// sharding**: every field is a sum of per-request quantities, so for
+    /// any partition of a batch the per-shard windows merge to exactly
+    /// the single-engine window. `wake_batches`, `in_flight_high` and
+    /// `busy_ticks` describe scheduler shape and are excluded, mirroring
+    /// `EngineStats::outcome_counters`.
+    pub fn outcome_counters(&self) -> [u64; 8] {
+        [
+            self.completions,
+            self.found,
+            self.abandoned,
+            self.corrupt_reads,
+            self.stale_restarts,
+            self.version_skews,
+            self.access_ticks,
+            self.tuning_ticks,
+        ]
+    }
+
+    fn record(&mut self, c: &Completion, spans: Option<&PhaseSpans>) {
+        self.completions += 1;
+        self.found += u64::from(c.found);
+        self.abandoned += u64::from(c.abandoned);
+        self.corrupt_reads += u64::from(c.retries);
+        self.stale_restarts += u64::from(c.stale_restarts);
+        self.version_skews += u64::from(c.version_skews);
+        self.access_ticks += c.access;
+        self.tuning_ticks += c.tuning;
+        if let Some(s) = spans {
+            self.spans.merge(s);
+        }
+    }
+}
+
+/// Fixed-width tick windows with bounded live retention and an exact
+/// evicted accumulator. See the module docs for the invariants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimeSeries {
+    spec: WindowSpec,
+    /// Live windows keyed by window id (`tick / width`).
+    windows: BTreeMap<u64, WindowStats>,
+    /// Fold of every window that aged out of the live set. Totals stay
+    /// exact: `evicted` + live windows = everything ever recorded.
+    evicted: WindowStats,
+    /// Window ids below this have been folded; late events to them go
+    /// straight to `evicted`.
+    watermark: u64,
+}
+
+impl TimeSeries {
+    /// An empty series with the given window spec.
+    pub fn new(spec: WindowSpec) -> Self {
+        TimeSeries {
+            spec,
+            windows: BTreeMap::new(),
+            evicted: WindowStats::default(),
+            watermark: 0,
+        }
+    }
+
+    /// The window spec this series collects under.
+    pub fn spec(&self) -> WindowSpec {
+        self.spec
+    }
+
+    /// Window width in ticks.
+    pub fn width(&self) -> u64 {
+        self.spec.width
+    }
+
+    /// The window id covering `tick`.
+    pub fn window_id(&self, tick: u64) -> u64 {
+        tick / self.spec.width
+    }
+
+    /// Number of live windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Whether nothing has ever been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty() && self.evicted == WindowStats::default()
+    }
+
+    /// Live `(window id, stats)` pairs in ascending id order.
+    pub fn windows(&self) -> impl Iterator<Item = (u64, &WindowStats)> + '_ {
+        self.windows.iter().map(|(&id, w)| (id, w))
+    }
+
+    /// The live stats for window `id`, if retained.
+    pub fn window(&self, id: u64) -> Option<&WindowStats> {
+        self.windows.get(&id)
+    }
+
+    /// The fold of every window that aged out of the live set.
+    pub fn evicted(&self) -> &WindowStats {
+        &self.evicted
+    }
+
+    /// Window ids below this have been folded into [`TimeSeries::evicted`].
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    fn slot(&mut self, id: u64) -> &mut WindowStats {
+        if id < self.watermark {
+            return &mut self.evicted;
+        }
+        if let std::collections::btree_map::Entry::Vacant(e) = self.windows.entry(id) {
+            e.insert(WindowStats::default());
+            self.trim();
+            if id < self.watermark {
+                return &mut self.evicted;
+            }
+        }
+        self.windows.get_mut(&id).expect("window just ensured")
+    }
+
+    fn trim(&mut self) {
+        while self.windows.len() > self.spec.retain {
+            let (id, w) = self.windows.pop_first().expect("len > retain >= 1");
+            self.evicted.merge(&w);
+            self.watermark = self.watermark.max(id + 1);
+        }
+    }
+
+    /// Record one completed query, attributed to the window containing
+    /// its completion instant.
+    pub fn record_completion(&mut self, c: &Completion, spans: Option<&PhaseSpans>) {
+        let id = self.window_id(c.end_tick);
+        self.slot(id).record(c, spans);
+    }
+
+    /// Record one drained wake-up batch at `tick` with the engine's
+    /// post-batch in-flight population.
+    pub fn record_batch(&mut self, tick: u64, in_flight: u64) {
+        let id = self.window_id(tick);
+        let w = self.slot(id);
+        w.wake_batches += 1;
+        w.in_flight_high = w.in_flight_high.max(in_flight);
+    }
+
+    /// Attribute the half-open busy interval `[start, end)` — ticks during
+    /// which the engine had at least one client in flight — across the
+    /// windows it overlaps.
+    pub fn record_busy_span(&mut self, start: u64, end: u64) {
+        if end <= start {
+            return;
+        }
+        let width = self.spec.width;
+        let mut cursor = start;
+        while cursor < end {
+            let id = cursor / width;
+            let window_end = (id + 1).saturating_mul(width).max(cursor + 1);
+            let upto = end.min(window_end);
+            self.slot(id).busy_ticks += upto - cursor;
+            cursor = upto;
+        }
+    }
+
+    /// Fold another series into this one, window id by window id. Both
+    /// series must share a [`WindowSpec`]. Retention is re-applied after
+    /// the union, so merging per-shard series yields the same live set
+    /// (and the same evicted fold) as a single engine recording the
+    /// concatenated events — the shard-count-invariance the test suite
+    /// pins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the specs differ (windows would not be comparable).
+    pub fn merge(&mut self, other: &TimeSeries) {
+        assert_eq!(
+            self.spec, other.spec,
+            "cannot merge time series with different window specs"
+        );
+        self.watermark = self.watermark.max(other.watermark);
+        // Re-fold own live windows that fall below the raised watermark.
+        while let Some((&id, _)) = self.windows.first_key_value() {
+            if id >= self.watermark {
+                break;
+            }
+            let w = self.windows.remove(&id).expect("first key exists");
+            self.evicted.merge(&w);
+        }
+        self.evicted.merge(&other.evicted);
+        for (&id, w) in &other.windows {
+            if id < self.watermark {
+                self.evicted.merge(w);
+            } else {
+                self.windows.entry(id).or_default().merge(w);
+            }
+        }
+        self.trim();
+    }
+
+    /// Exact fold of everything ever recorded: all live windows plus the
+    /// evicted accumulator. By construction this equals the end-of-run
+    /// aggregates (`in_flight_high` is a max over windows, not a sum).
+    pub fn totals(&self) -> WindowStats {
+        let mut t = self.evicted;
+        for w in self.windows.values() {
+            t.merge(w);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::Phase;
+
+    fn completion(end_tick: u64, access: u64, tuning: u64) -> Completion {
+        Completion {
+            end_tick,
+            access,
+            tuning,
+            retries: 1,
+            stale_restarts: 0,
+            version_skews: 0,
+            found: true,
+            abandoned: false,
+        }
+    }
+
+    #[test]
+    fn events_land_in_the_window_of_their_instant() {
+        let mut ts = TimeSeries::new(WindowSpec::new(100));
+        ts.record_completion(&completion(0, 10, 5), None);
+        ts.record_completion(&completion(99, 20, 10), None);
+        ts.record_completion(&completion(100, 30, 15), None);
+        ts.record_batch(250, 7);
+        assert_eq!(ts.window(0).unwrap().completions, 2);
+        assert_eq!(ts.window(0).unwrap().access_ticks, 30);
+        assert_eq!(ts.window(1).unwrap().completions, 1);
+        assert_eq!(ts.window(2).unwrap().wake_batches, 1);
+        assert_eq!(ts.window(2).unwrap().in_flight_high, 7);
+        assert_eq!(ts.len(), 3);
+    }
+
+    #[test]
+    fn totals_are_exact_even_under_tight_retention() {
+        let mut ts = TimeSeries::new(WindowSpec::new(10).with_retain(3));
+        let mut spans = PhaseSpans::new();
+        spans.add(Phase::DataRead, 5, 5);
+        for i in 0..50u64 {
+            let mut c = completion(i * 10, 5, 5);
+            c.retries = (i % 3) as u32;
+            ts.record_completion(&c, Some(&spans));
+        }
+        assert_eq!(ts.len(), 3, "retention caps live windows");
+        assert!(ts.watermark() > 0);
+        let t = ts.totals();
+        assert_eq!(t.completions, 50);
+        assert_eq!(t.access_ticks, 250);
+        assert_eq!(t.corrupt_reads, (0..50u64).map(|i| i % 3).sum::<u64>());
+        assert_eq!(t.spans.get(Phase::DataRead).count, 50);
+        // Late events to a folded window go straight to `evicted`.
+        ts.record_completion(&completion(0, 1, 1), None);
+        assert_eq!(ts.totals().completions, 51);
+        assert_eq!(ts.len(), 3);
+    }
+
+    #[test]
+    fn busy_spans_distribute_exactly_across_windows() {
+        let mut ts = TimeSeries::new(WindowSpec::new(100));
+        ts.record_busy_span(50, 250);
+        assert_eq!(ts.window(0).unwrap().busy_ticks, 50);
+        assert_eq!(ts.window(1).unwrap().busy_ticks, 100);
+        assert_eq!(ts.window(2).unwrap().busy_ticks, 50);
+        let total: u64 = ts.windows().map(|(_, w)| w.busy_ticks).sum();
+        assert_eq!(total, 200);
+        // Degenerate spans record nothing.
+        ts.record_busy_span(10, 10);
+        ts.record_busy_span(10, 5);
+        assert_eq!(ts.totals().busy_ticks, 200);
+    }
+
+    #[test]
+    fn merge_is_window_aligned_and_order_insensitive() {
+        let spec = WindowSpec::new(100);
+        let mut a = TimeSeries::new(spec);
+        let mut b = TimeSeries::new(spec);
+        let mut whole = TimeSeries::new(spec);
+        for i in 0..40u64 {
+            let c = completion(i * 37, 7, 3);
+            whole.record_completion(&c, None);
+            if i % 2 == 0 {
+                a.record_completion(&c, None);
+            } else {
+                b.record_completion(&c, None);
+            }
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge is commutative here");
+        assert_eq!(ab, whole, "split-and-merge equals single recording");
+    }
+
+    #[test]
+    fn merge_with_retention_matches_single_series() {
+        let spec = WindowSpec::new(10).with_retain(4);
+        let mut a = TimeSeries::new(spec);
+        let mut b = TimeSeries::new(spec);
+        let mut whole = TimeSeries::new(spec);
+        // Monotone event stream, round-robin split — the sharded shape.
+        for i in 0..100u64 {
+            let c = completion(i * 7, 2, 1);
+            whole.record_completion(&c, None);
+            if i % 2 == 0 {
+                a.record_completion(&c, None);
+            } else {
+                b.record_completion(&c, None);
+            }
+        }
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged, whole, "retention must commute with merging");
+        assert_eq!(merged.totals(), whole.totals());
+    }
+
+    #[test]
+    #[should_panic(expected = "different window specs")]
+    fn merging_mismatched_specs_is_rejected() {
+        let mut a = TimeSeries::new(WindowSpec::new(10));
+        let b = TimeSeries::new(WindowSpec::new(20));
+        a.merge(&b);
+    }
+
+    #[test]
+    fn high_water_is_a_max_not_a_sum() {
+        let mut a = TimeSeries::new(WindowSpec::new(100));
+        a.record_batch(5, 10);
+        let mut b = TimeSeries::new(WindowSpec::new(100));
+        b.record_batch(7, 25);
+        b.record_batch(8, 4);
+        a.merge(&b);
+        let w = a.window(0).unwrap();
+        assert_eq!(w.wake_batches, 3);
+        assert_eq!(w.in_flight_high, 25);
+        assert_eq!(a.totals().in_flight_high, 25);
+    }
+
+    #[test]
+    fn zero_width_windows_are_rejected() {
+        let r = std::panic::catch_unwind(|| WindowSpec::new(0));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,336 @@
+//! Chrome-trace-event export (`bda-obs/trace/v1`) — timelines Perfetto
+//! and `chrome://tracing` can load directly.
+//!
+//! The document is the standard JSON object form of the trace event
+//! format, plus a `schema` tag for our validator:
+//!
+//! ```json
+//! {
+//!   "schema": "bda-obs/trace/v1",
+//!   "displayTimeUnit": "ms",
+//!   "traceEvents": [
+//!     {"ph":"M","name":"process_name","pid":1,"tid":0,
+//!      "args":{"name":"flat"}},
+//!     {"ph":"M","name":"thread_name","pid":1,"tid":0,
+//!      "args":{"name":"shard 0"}},
+//!     {"ph":"C","name":"shard 0","pid":1,"tid":0,"ts":0,
+//!      "args":{"completions":12,"busy_ticks":500}},
+//!     {"ph":"X","name":"data_read","pid":2,"tid":7,"ts":120,"dur":8,
+//!      "args":{"tuning":8}}
+//!   ]
+//! }
+//! ```
+//!
+//! All `ts`/`dur` values are **ticks** (bytes of air time), not wall
+//! time — the trace is a deterministic artifact of the simulation, byte
+//! identical across runs and hosts. Counter lanes (`ph:"C"`) carry
+//! per-window series from a [`TimeSeries`]; span lanes (`ph:"X"`) carry
+//! per-request phase segments for a deterministically sampled subset of
+//! requests (tracing every client of a 100k-request run is infeasible;
+//! see [`sample_indices`]).
+
+use std::fmt::Write as _;
+
+use crate::export::{escape, parse_json, Json};
+use crate::timeseries::TimeSeries;
+
+/// The schema identifier written into (and required of) every trace
+/// document.
+pub const TRACE_SCHEMA: &str = "bda-obs/trace/v1";
+
+/// Incremental builder for one `bda-obs/trace/v1` document.
+#[derive(Debug, Default)]
+pub struct TraceBuilder {
+    events: Vec<String>,
+}
+
+impl TraceBuilder {
+    /// An empty trace.
+    pub fn new() -> Self {
+        TraceBuilder::default()
+    }
+
+    /// Number of events queued so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are queued.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Name the process lane `pid` (a `ph:"M"` metadata event).
+    pub fn process_name(&mut self, pid: u64, name: &str) {
+        self.events.push(format!(
+            "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\"{}\"}}}}",
+            escape(name)
+        ));
+    }
+
+    /// Name the thread lane `(pid, tid)` (a `ph:"M"` metadata event).
+    pub fn thread_name(&mut self, pid: u64, tid: u64, name: &str) {
+        self.events.push(format!(
+            "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":\"{}\"}}}}",
+            escape(name)
+        ));
+    }
+
+    /// One counter sample (`ph:"C"`): `series` are `(name, value)` pairs
+    /// plotted together in the lane `name` at instant `ts`.
+    pub fn counter(&mut self, pid: u64, tid: u64, name: &str, ts: u64, series: &[(&str, u64)]) {
+        let mut args = String::new();
+        for (i, (k, v)) in series.iter().enumerate() {
+            if i > 0 {
+                args.push(',');
+            }
+            let _ = write!(args, "\"{}\":{v}", escape(k));
+        }
+        self.events.push(format!(
+            "{{\"ph\":\"C\",\"name\":\"{}\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\"args\":{{{args}}}}}",
+            escape(name)
+        ));
+    }
+
+    /// One complete span (`ph:"X"`) of `dur` ticks starting at `ts`, with
+    /// numeric `args`.
+    pub fn span(
+        &mut self,
+        pid: u64,
+        tid: u64,
+        name: &str,
+        ts: u64,
+        dur: u64,
+        args: &[(&str, u64)],
+    ) {
+        let mut extra = String::new();
+        for (k, v) in args {
+            let _ = write!(extra, ",\"{}\":{v}", escape(k));
+        }
+        self.events.push(format!(
+            "{{\"ph\":\"X\",\"name\":\"{}\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\"dur\":{dur},\"cat\":\"walk\",\"args\":{{\"_\":0{extra}}}}}",
+            escape(name)
+        ));
+    }
+
+    /// Emit one counter lane per shard-style [`TimeSeries`]: a sample per
+    /// live window at the window's start tick, carrying completions, wake
+    /// batches, in-flight high-water, busy ticks and corrupt reads. The
+    /// evicted fold, having no single instant, is not plotted (its sums
+    /// live in the metrics JSON).
+    pub fn counter_lane(&mut self, pid: u64, tid: u64, name: &str, series: &TimeSeries) {
+        self.thread_name(pid, tid, name);
+        let width = series.width();
+        for (id, w) in series.windows() {
+            self.counter(
+                pid,
+                tid,
+                name,
+                id * width,
+                &[
+                    ("completions", w.completions),
+                    ("wake_batches", w.wake_batches),
+                    ("in_flight_high", w.in_flight_high),
+                    ("busy_ticks", w.busy_ticks),
+                    ("corrupt_reads", w.corrupt_reads),
+                ],
+            );
+        }
+    }
+
+    /// Render the finished document.
+    pub fn finish(self) -> String {
+        let mut out =
+            String::with_capacity(64 + self.events.iter().map(String::len).sum::<usize>());
+        let _ = write!(
+            out,
+            "{{\"schema\":\"{TRACE_SCHEMA}\",\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+        );
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(e);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// The sampling priority of request `index` under `seed` — a pure
+/// function of its two arguments (SplitMix64 of `seed ^ mix(index)`), so
+/// trace sampling is reproducible run to run and shard placement can
+/// never change which requests are traced. Lower priority = sampled
+/// first.
+pub fn sample_priority(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The `k` request indices (of `0..n`) with the lowest
+/// [`sample_priority`], ties broken by index, returned in ascending index
+/// order. Deterministic in `(seed, n, k)`.
+pub fn sample_indices(seed: u64, n: u64, k: usize) -> Vec<u64> {
+    let mut ranked: Vec<(u64, u64)> = (0..n).map(|i| (sample_priority(seed, i), i)).collect();
+    ranked.sort_unstable();
+    ranked.truncate(k);
+    let mut picked: Vec<u64> = ranked.into_iter().map(|(_, i)| i).collect();
+    picked.sort_unstable();
+    picked
+}
+
+fn event_num(e: &Json, key: &str, i: usize) -> Result<f64, String> {
+    match e.get(key) {
+        Some(Json::Num(v)) => Ok(*v),
+        Some(_) => Err(format!("traceEvents[{i}].{key} is not a number")),
+        None => Err(format!("traceEvents[{i}].{key} is missing")),
+    }
+}
+
+/// Validate one `bda-obs/trace/v1` document: schema tag, event array,
+/// and per-phase-type required fields. Returns the event count on
+/// success.
+pub fn validate_trace(text: &str) -> Result<usize, String> {
+    let doc = parse_json(text)?;
+    match doc.get("schema") {
+        Some(Json::Str(s)) if s == TRACE_SCHEMA => {}
+        Some(Json::Str(s)) => {
+            return Err(format!("unknown schema '{s}', expected '{TRACE_SCHEMA}'"))
+        }
+        _ => return Err("missing 'schema' string".into()),
+    }
+    let events = match doc.get("traceEvents") {
+        Some(Json::Arr(items)) => items,
+        Some(_) => return Err("'traceEvents' is not an array".into()),
+        None => return Err("missing 'traceEvents' array".into()),
+    };
+    for (i, e) in events.iter().enumerate() {
+        let ph = match e.get("ph") {
+            Some(Json::Str(s)) => s.as_str(),
+            _ => return Err(format!("traceEvents[{i}].ph is missing")),
+        };
+        match e.get("name") {
+            Some(Json::Str(_)) => {}
+            _ => return Err(format!("traceEvents[{i}].name is missing")),
+        }
+        event_num(e, "pid", i)?;
+        event_num(e, "tid", i)?;
+        match ph {
+            "X" => {
+                let ts = event_num(e, "ts", i)?;
+                let dur = event_num(e, "dur", i)?;
+                if ts < 0.0 || dur < 0.0 {
+                    return Err(format!("traceEvents[{i}]: negative ts/dur"));
+                }
+            }
+            "C" => {
+                event_num(e, "ts", i)?;
+                match e.get("args") {
+                    Some(Json::Obj(members)) if !members.is_empty() => {
+                        for (k, v) in members {
+                            if !matches!(v, Json::Num(_)) {
+                                return Err(format!("traceEvents[{i}].args.{k} is not a number"));
+                            }
+                        }
+                    }
+                    _ => return Err(format!("traceEvents[{i}]: counter without args")),
+                }
+            }
+            "M" => match e.get("args").and_then(|a| a.get("name")) {
+                Some(Json::Str(_)) => {}
+                _ => return Err(format!("traceEvents[{i}]: metadata without args.name")),
+            },
+            other => return Err(format!("traceEvents[{i}]: unsupported ph '{other}'")),
+        }
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeseries::{Completion, TimeSeries, WindowSpec};
+
+    fn sample_series() -> TimeSeries {
+        let mut ts = TimeSeries::new(WindowSpec::new(100));
+        for i in 0..5u64 {
+            ts.record_completion(
+                &Completion {
+                    end_tick: i * 70,
+                    access: 10,
+                    tuning: 4,
+                    retries: 0,
+                    stale_restarts: 0,
+                    version_skews: 0,
+                    found: true,
+                    abandoned: false,
+                },
+                None,
+            );
+            ts.record_batch(i * 70, i);
+        }
+        ts.record_busy_span(0, 280);
+        ts
+    }
+
+    #[test]
+    fn built_traces_round_trip_through_the_validator() {
+        let mut b = TraceBuilder::new();
+        b.process_name(1, "flat");
+        b.counter_lane(1, 0, "shard 0", &sample_series());
+        b.span(2, 7, "data_read", 120, 8, &[("tuning", 8)]);
+        b.span(2, 7, "doze \"d\"", 128, 90, &[]);
+        let n = b.len();
+        let doc = b.finish();
+        assert_eq!(validate_trace(&doc).unwrap(), n);
+        assert!(doc.contains("\"schema\":\"bda-obs/trace/v1\""));
+    }
+
+    #[test]
+    fn validator_rejects_schema_version_mismatch_and_malformed_events() {
+        let mut b = TraceBuilder::new();
+        b.process_name(1, "flat");
+        let good = b.finish();
+        // Schema-version mismatch: a future v2 document must be rejected,
+        // not half-validated.
+        let v2 = good.replace("bda-obs/trace/v1", "bda-obs/trace/v2");
+        let err = validate_trace(&v2).unwrap_err();
+        assert!(err.contains("unknown schema"), "got: {err}");
+        assert!(validate_trace("{}").is_err());
+        assert!(validate_trace("{\"schema\":\"bda-obs/trace/v1\"}").is_err());
+        assert!(validate_trace(
+            "{\"schema\":\"bda-obs/trace/v1\",\"traceEvents\":[{\"ph\":\"X\",\"name\":\"x\",\"pid\":1,\"tid\":1,\"ts\":1}]}"
+        )
+        .is_err(), "X span without dur must fail");
+        assert!(validate_trace(
+            "{\"schema\":\"bda-obs/trace/v1\",\"traceEvents\":[{\"ph\":\"C\",\"name\":\"c\",\"pid\":1,\"tid\":1,\"ts\":1,\"args\":{}}]}"
+        )
+        .is_err(), "counter without series must fail");
+        assert!(validate_trace(
+            "{\"schema\":\"bda-obs/trace/v1\",\"traceEvents\":[{\"ph\":\"B\",\"name\":\"b\",\"pid\":1,\"tid\":1}]}"
+        )
+        .is_err(), "unsupported phase type must fail");
+    }
+
+    #[test]
+    fn sampling_is_a_pure_function_of_seed_and_index() {
+        // Stable across calls (purity) and sensitive to both arguments.
+        for i in 0..100u64 {
+            assert_eq!(sample_priority(42, i), sample_priority(42, i));
+        }
+        assert_ne!(sample_priority(42, 7), sample_priority(43, 7));
+        assert_ne!(sample_priority(42, 7), sample_priority(42, 8));
+        let a = sample_indices(0xBEEF, 10_000, 16);
+        let b = sample_indices(0xBEEF, 10_000, 16);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "ascending index order");
+        // A different seed samples a different subset (overwhelmingly).
+        assert_ne!(a, sample_indices(0xF00D, 10_000, 16));
+        // k >= n degenerates to everything.
+        assert_eq!(sample_indices(1, 5, 99), vec![0, 1, 2, 3, 4]);
+    }
+}

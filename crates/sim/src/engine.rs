@@ -42,7 +42,7 @@ use bda_core::{
     AccessOutcome, ChannelModel, DynSystem, ErrorModel, Key, QuerySlot, RetryPolicy, Ticks,
     WalkStep,
 };
-use bda_obs::{Gauge, MetricsHub};
+use bda_obs::{Completion, Gauge, MetricsHub, WindowSpec};
 
 /// One completed request with its timing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -219,6 +219,10 @@ pub struct Engine<'a> {
     /// the occupancy gauges. `None` (the default) costs one untaken branch
     /// per completion and per batch — nothing on the per-step hot path.
     obs: Option<Box<MetricsHub>>,
+    /// Start of the current busy period (`in_flight > 0`), tracked at the
+    /// 0→1 transition so windowed metrics can attribute busy vs idle ticks
+    /// per shard. Plain tick bookkeeping — no wall clock.
+    busy_since: Option<Ticks>,
     /// Whether admitted clients use analytical fast-forward (on by
     /// default): scan-heavy schemes collapse runs of mechanical bucket
     /// transitions into one wake-up with bit-identical outcomes and
@@ -268,6 +272,7 @@ impl<'a> Engine<'a> {
             channel,
             policy,
             obs: None,
+            busy_since: None,
             fast_forward: true,
         }
     }
@@ -295,6 +300,24 @@ impl<'a> Engine<'a> {
         self.meta.clear();
         self.free.clear();
         self.obs = Some(Box::default());
+    }
+
+    /// [`Engine::enable_metrics`] plus time-resolved collection: the hub
+    /// carries a windowed [`bda_obs::TimeSeries`] (window width in ticks
+    /// per `spec`), so completions, wake batches, in-flight high-water and
+    /// busy periods resolve per window as well as in aggregate. Costs the
+    /// same one untaken branch as plain metrics when disabled; the window
+    /// sums equal the aggregates exactly (pinned by `timeline_equiv`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if clients are currently admitted.
+    pub fn enable_metrics_windowed(&mut self, spec: WindowSpec) {
+        self.enable_metrics();
+        self.obs
+            .as_deref_mut()
+            .expect("metrics just enabled")
+            .enable_windows(spec);
     }
 
     /// The metrics hub, when [`Engine::enable_metrics`] was called.
@@ -365,13 +388,23 @@ impl<'a> Engine<'a> {
         self.sched.schedule(arrival, id);
     }
 
-    /// Step client `id` once; on completion, report `(tag, result)` and
-    /// recycle the slot.
-    fn step_client(&mut self, id: u32, on_complete: &mut impl FnMut(u64, CompletedRequest)) {
+    /// Step client `id` once at batch instant `now`; on completion,
+    /// report `(tag, result)` and recycle the slot.
+    fn step_client(
+        &mut self,
+        now: Ticks,
+        id: u32,
+        on_complete: &mut impl FnMut(u64, CompletedRequest),
+    ) {
         let m = self.meta[id as usize];
         if !m.started {
             self.meta[id as usize].started = true;
             self.in_flight += 1;
+            if self.in_flight == 1 {
+                // Idle → busy transition; the arrival event fires at the
+                // request's arrival instant.
+                self.busy_since = Some(m.arrival);
+            }
             self.stats.peak_in_flight = self.stats.peak_in_flight.max(self.in_flight);
             self.slots[id as usize].start(m.key, m.arrival);
         }
@@ -387,15 +420,39 @@ impl<'a> Engine<'a> {
                 self.stats.abandoned += u64::from(outcome.abandoned);
                 self.stats.stale_restarts += u64::from(outcome.stale_restarts);
                 self.stats.version_skews += u64::from(outcome.version_skews);
+                // The walk ends at its arrival plus its access time — a
+                // pure function of the outcome, so window attribution is
+                // invariant under sharding and fast-forward. (For
+                // abandoned walks this can run one bucket past the batch
+                // instant delivering the Done: the final corrupted read
+                // is charged to access but never walked.)
+                let end_tick = m.arrival + outcome.access;
+                let busy_start = if self.in_flight == 0 {
+                    self.busy_since.take()
+                } else {
+                    None
+                };
                 if let Some(hub) = self.obs.as_deref_mut() {
-                    hub.complete(
-                        outcome.access,
-                        outcome.tuning,
-                        outcome.retries,
-                        outcome.found,
-                        outcome.abandoned,
+                    hub.complete_at(
+                        &Completion {
+                            end_tick,
+                            access: outcome.access,
+                            tuning: outcome.tuning,
+                            retries: outcome.retries,
+                            stale_restarts: outcome.stale_restarts,
+                            version_skews: outcome.version_skews,
+                            found: outcome.found,
+                            abandoned: outcome.abandoned,
+                        },
                         self.slots[id as usize].spans(),
                     );
+                    // Busy periods end at the batch instant, not at
+                    // `end_tick`: the engine is idle once the batch is
+                    // drained, and using the (possibly later) abandoned
+                    // end_tick would overlap the next busy period.
+                    if let (Some(start), Some(ts)) = (busy_start, hub.windows.as_mut()) {
+                        ts.record_busy_span(start, now);
+                    }
                 }
                 self.free.push(id);
                 on_complete(
@@ -414,11 +471,12 @@ impl<'a> Engine<'a> {
     /// for that instant. Returns `false` when nothing is pending.
     pub(crate) fn advance(&mut self, on_complete: &mut impl FnMut(u64, CompletedRequest)) -> bool {
         let mut batch = std::mem::take(&mut self.batch);
-        let advanced = self.sched.pop_batch(&mut batch).is_some();
-        if advanced {
+        let instant = self.sched.pop_batch(&mut batch);
+        let advanced = instant.is_some();
+        if let Some(t) = instant {
             self.stats.wake_batches += 1;
             for &id in &batch {
-                self.step_client(id, on_complete);
+                self.step_client(t, id, on_complete);
             }
             if let Some(hub) = self.obs.as_deref_mut() {
                 // Wake-up boundaries are the engine's natural sampling
@@ -432,6 +490,9 @@ impl<'a> Engine<'a> {
                     .record(Gauge::WakeupQueueDepth, self.sched.depth() as u64);
                 hub.gauges
                     .record(Gauge::FreeListLen, self.free.len() as u64);
+                if let Some(ts) = hub.windows.as_mut() {
+                    ts.record_batch(t, self.in_flight as u64);
+                }
             }
         }
         self.batch = batch;
@@ -541,6 +602,23 @@ pub fn run_requests_channel_observed(
 ) -> (Vec<CompletedRequest>, MetricsHub) {
     let mut engine = Engine::with_channel(system, channel, policy);
     engine.enable_metrics();
+    let completed = engine.run_batch(requests);
+    let hub = engine.take_metrics().expect("metrics were enabled");
+    (completed, hub)
+}
+
+/// [`run_requests_channel_observed`] with time-resolved collection: the
+/// returned hub carries a windowed time series (windows of `width` ticks)
+/// whose sums equal the aggregates exactly.
+pub fn run_requests_channel_windowed(
+    system: &dyn DynSystem,
+    requests: &[(Ticks, Key)],
+    channel: ChannelModel,
+    policy: RetryPolicy,
+    width: u64,
+) -> (Vec<CompletedRequest>, MetricsHub) {
+    let mut engine = Engine::with_channel(system, channel, policy);
+    engine.enable_metrics_windowed(WindowSpec::new(width));
     let completed = engine.run_batch(requests);
     let hub = engine.take_metrics().expect("metrics were enabled");
     (completed, hub)

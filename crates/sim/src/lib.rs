@@ -28,21 +28,21 @@
 
 pub mod accuracy;
 pub mod engine;
-pub mod histogram;
 pub mod reqgen;
 pub mod results;
 pub mod server;
 pub mod sharded;
 pub mod simulator;
 pub mod stats;
+pub mod timeline;
 pub mod updates;
 
 pub use accuracy::AccuracyController;
 pub use engine::{
-    run_requests, run_requests_channel, run_requests_channel_observed, run_requests_observed,
-    run_requests_with_faults, CompletedRequest, Engine, EngineStats,
+    run_requests, run_requests_channel, run_requests_channel_observed,
+    run_requests_channel_windowed, run_requests_observed, run_requests_with_faults,
+    CompletedRequest, Engine, EngineStats,
 };
-pub use histogram::Histogram;
 pub use reqgen::RequestGenerator;
 pub use results::ResultHandler;
 pub use server::{BroadcastServer, VersionedServer};
@@ -52,4 +52,5 @@ pub use sharded::{
 };
 pub use simulator::{SimConfig, SimReport, Simulator};
 pub use stats::{student_t_quantile, Summary, Welford};
+pub use timeline::{append_scheme_timeline, perfetto_trace, replay_spans, SpanSegment};
 pub use updates::{UpdateOp, UpdateSpec, UpdateStream};

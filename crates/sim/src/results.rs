@@ -1,8 +1,8 @@
 //! The result handler (paper §3, `ResultHandler`).
 
 use crate::engine::CompletedRequest;
-use crate::histogram::Histogram;
 use crate::stats::Welford;
+use bda_obs::Histogram;
 
 /// Accumulates per-request outcomes into the two evaluation metrics —
 /// access time and tuning time — plus bookkeeping counters.

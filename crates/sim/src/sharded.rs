@@ -38,7 +38,7 @@
 use std::time::Instant;
 
 use bda_core::{ChannelModel, DynSystem, ErrorModel, Key, RetryPolicy, Ticks};
-use bda_obs::MetricsHub;
+use bda_obs::{MetricsHub, WindowSpec};
 
 use crate::engine::{CompletedRequest, Engine, EngineStats};
 
@@ -78,6 +78,7 @@ impl ShardRun {
 pub struct ShardedEngine<'a> {
     shards: Vec<Engine<'a>>,
     last_runs: Vec<ShardRun>,
+    last_merge_sec: f64,
 }
 
 impl<'a> ShardedEngine<'a> {
@@ -121,6 +122,7 @@ impl<'a> ShardedEngine<'a> {
                 .map(|_| Engine::with_channel(system, channel, policy))
                 .collect(),
             last_runs: Vec::new(),
+            last_merge_sec: 0.0,
         }
     }
 
@@ -147,13 +149,37 @@ impl<'a> ShardedEngine<'a> {
         }
     }
 
+    /// Turn on time-resolved metrics collection on every shard: each
+    /// shard's hub carries a windowed time series with the same `spec`,
+    /// so [`ShardedEngine::take_metrics`] merges them window-by-window
+    /// (the per-window outcome counters are invariant under sharding) and
+    /// [`ShardedEngine::take_shard_metrics`] exposes per-shard busy/idle
+    /// tick attribution for load-imbalance analysis.
+    pub fn enable_metrics_windowed(&mut self, spec: WindowSpec) {
+        for e in &mut self.shards {
+            e.enable_metrics_windowed(spec);
+        }
+    }
+
     /// Detach and deterministically merge the per-shard metrics hubs (in
     /// shard order), disabling further collection. The merged histograms,
     /// spans and counters are bit-identical to a single-engine observed
     /// run of the same batches; the occupancy gauges keep per-shard
     /// sampling grids (merged via the order-tagged gauge merge).
     pub fn take_metrics(&mut self) -> Option<MetricsHub> {
-        MetricsHub::merged(self.shards.iter_mut().filter_map(Engine::take_metrics))
+        MetricsHub::merged(self.take_shard_metrics())
+    }
+
+    /// Detach the per-shard metrics hubs **unmerged**, in shard order,
+    /// disabling further collection. Shards that never had metrics
+    /// enabled are skipped. This is the load-attribution surface: each
+    /// hub's windowed time series carries that shard's own busy ticks,
+    /// wake batches and in-flight high-water per window.
+    pub fn take_shard_metrics(&mut self) -> Vec<MetricsHub> {
+        self.shards
+            .iter_mut()
+            .filter_map(Engine::take_metrics)
+            .collect()
     }
 
     /// Counters accumulated over everything this engine has run, merged
@@ -179,6 +205,14 @@ impl<'a> ShardedEngine<'a> {
         &self.last_runs
     }
 
+    /// Wall-clock seconds the most recent [`ShardedEngine::run_batch`]
+    /// spent scattering shard completions back to request order — the
+    /// merge-side overhead of sharding (0 on the 1-shard inline path,
+    /// where no scatter happens).
+    pub fn last_merge_sec(&self) -> f64 {
+        self.last_merge_sec
+    }
+
     /// Run a batch of `(arrival, key)` requests to completion, returning
     /// outcomes **in request order** — bit-identical to
     /// [`Engine::run_batch`] on a single engine, for every shard count.
@@ -200,6 +234,7 @@ impl<'a> ShardedEngine<'a> {
                 events: engine.stats().events - events_before,
                 elapsed_sec: start.elapsed().as_secs_f64(),
             }];
+            self.last_merge_sec = 0.0;
             return done;
         }
 
@@ -215,6 +250,7 @@ impl<'a> ShardedEngine<'a> {
 
         let mut results: Vec<Option<CompletedRequest>> = vec![None; requests.len()];
         let mut runs = vec![ShardRun::default(); n];
+        let mut merge_sec = 0.0;
         std::thread::scope(|scope| {
             let workers: Vec<_> = self
                 .shards
@@ -239,11 +275,14 @@ impl<'a> ShardedEngine<'a> {
                     events,
                     elapsed_sec: elapsed,
                 };
+                let scatter_start = Instant::now();
                 for (j, r) in done.into_iter().enumerate() {
                     results[s + j * n] = Some(r);
                 }
+                merge_sec += scatter_start.elapsed().as_secs_f64();
             }
         });
+        self.last_merge_sec = merge_sec;
         self.last_runs = runs;
         results
             .into_iter()

@@ -8,11 +8,10 @@
 
 use bda_core::{ChannelModel, DynSystem, ErrorModel, RetryPolicy, Ticks};
 use bda_datagen::{Arrivals, Popularity, QueryWorkload};
-use bda_obs::MetricsHub;
+use bda_obs::{Completion, Histogram, MetricsHub, WindowSpec};
 
 use crate::accuracy::AccuracyController;
 use crate::engine::{Engine, EngineStats};
-use crate::histogram::Histogram;
 use crate::reqgen::RequestGenerator;
 use crate::results::ResultHandler;
 use crate::sharded::ShardedEngine;
@@ -78,6 +77,14 @@ pub struct SimConfig {
     /// server and label reports. `None` (the default) is the paper's
     /// static broadcast.
     pub updates: Option<UpdateSpec>,
+    /// Time-resolved telemetry: when set, observed runs
+    /// ([`Simulator::run_observed`]) collect a windowed time series with
+    /// this window width in ticks alongside the aggregates (the hub's
+    /// `windows` field; see [`bda_obs::TimeSeries`]). `None` (the
+    /// default) keeps observation purely aggregate; plain
+    /// [`Simulator::run`] ignores it entirely. Purely tick-domain and
+    /// honored identically by every execution driver.
+    pub window: Option<u64>,
 }
 
 impl SimConfig {
@@ -98,6 +105,7 @@ impl SimConfig {
             channel: None,
             retry: RetryPolicy::UNBOUNDED,
             updates: None,
+            window: None,
         }
     }
 
@@ -279,7 +287,7 @@ impl<'a> Simulator<'a> {
 
     /// Run until the accuracy targets are met (or `max_rounds` elapse).
     pub fn run(&mut self) -> SimReport {
-        self.run_inner(false).0
+        self.run_inner(false, None).0
     }
 
     /// [`run`](Simulator::run) with the observability layer switched on:
@@ -289,17 +297,36 @@ impl<'a> Simulator<'a> {
     /// [`DynSystem::probe_recorded`], so phase attribution is identical
     /// across all three execution drivers.
     pub fn run_observed(&mut self) -> (SimReport, MetricsHub) {
-        let (report, hub) = self.run_inner(true);
+        let (report, hub) = self.run_inner(true, None);
         (report, hub.expect("observed run always produces a hub"))
     }
 
-    fn run_inner(&mut self, observe: bool) -> (SimReport, Option<MetricsHub>) {
+    /// [`run_observed`](Simulator::run_observed) that additionally returns
+    /// the exact request stream the run generated, in generation order.
+    /// `bda-cli --timeline-out` replays a seed-sampled subset of this
+    /// stream (walks are pure, so out-of-band replay is byte-faithful) to
+    /// build per-request span timelines for the Perfetto trace.
+    pub fn run_observed_logged(&mut self) -> (SimReport, MetricsHub, Vec<(Ticks, bda_core::Key)>) {
+        let mut log = Vec::new();
+        let (report, hub) = self.run_inner(true, Some(&mut log));
+        (
+            report,
+            hub.expect("observed run always produces a hub"),
+            log,
+        )
+    }
+
+    fn run_inner(
+        &mut self,
+        observe: bool,
+        mut log: Option<&mut Vec<(Ticks, bda_core::Key)>>,
+    ) -> (SimReport, Option<MetricsHub>) {
         if self.config.event_driven {
             // `Some(0)` used to hang the steady loop (a zero-capacity cap
             // admits nothing, so rounds never complete); it now means "no
             // cap" and falls through to the batch testbed.
             if let Some(cap) = self.config.max_in_flight.filter(|&cap| cap > 0) {
-                return self.run_steady(cap, observe);
+                return self.run_steady(cap, observe, log);
             }
         }
         let controller = self.config.controller();
@@ -311,15 +338,27 @@ impl<'a> Simulator<'a> {
             self.config.retry,
         );
         if observe && self.config.event_driven {
-            engine.enable_metrics();
+            match self.config.window {
+                Some(width) => engine.enable_metrics_windowed(WindowSpec::new(width)),
+                None => engine.enable_metrics(),
+            }
         }
         // Direct-walker observation accumulates into a local hub instead.
         let mut walker_hub: Option<Box<MetricsHub>> =
-            (observe && !self.config.event_driven).then(Box::default);
+            (observe && !self.config.event_driven).then(|| {
+                let mut hub = Box::<MetricsHub>::default();
+                if let Some(width) = self.config.window {
+                    hub.enable_windows(WindowSpec::new(width));
+                }
+                hub
+            });
         let mut rounds = 0;
         let mut converged = false;
         while rounds < self.config.max_rounds {
             let batch = self.generator.round(self.config.round_requests);
+            if let Some(log) = log.as_deref_mut() {
+                log.extend_from_slice(&batch);
+            }
             let completed = if self.config.event_driven {
                 engine.run_batch(&batch)
             } else {
@@ -333,12 +372,17 @@ impl<'a> Simulator<'a> {
                                 self.config.effective_channel(),
                                 self.config.retry,
                             );
-                            hub.complete(
-                                outcome.access,
-                                outcome.tuning,
-                                outcome.retries,
-                                outcome.found,
-                                outcome.abandoned,
+                            hub.complete_at(
+                                &Completion {
+                                    end_tick: arrival + outcome.access,
+                                    access: outcome.access,
+                                    tuning: outcome.tuning,
+                                    retries: outcome.retries,
+                                    stale_restarts: outcome.stale_restarts,
+                                    version_skews: outcome.version_skews,
+                                    found: outcome.found,
+                                    abandoned: outcome.abandoned,
+                                },
                                 Some(&spans),
                             );
                             outcome
@@ -377,7 +421,12 @@ impl<'a> Simulator<'a> {
     /// Steady-state rounds: a bounded client population streams through a
     /// persistent engine; round boundaries are counted in *completions*
     /// rather than materialized request batches.
-    fn run_steady(&mut self, cap: usize, observe: bool) -> (SimReport, Option<MetricsHub>) {
+    fn run_steady(
+        &mut self,
+        cap: usize,
+        observe: bool,
+        mut log: Option<&mut Vec<(Ticks, bda_core::Key)>>,
+    ) -> (SimReport, Option<MetricsHub>) {
         let controller = self.config.controller();
         let mut handler = ResultHandler::new();
         let mut engine = Engine::with_channel(
@@ -386,7 +435,10 @@ impl<'a> Simulator<'a> {
             self.config.retry,
         );
         if observe {
-            engine.enable_metrics();
+            match self.config.window {
+                Some(width) => engine.enable_metrics_windowed(WindowSpec::new(width)),
+                None => engine.enable_metrics(),
+            }
         }
         let mut rounds = 0;
         let mut converged = false;
@@ -394,6 +446,9 @@ impl<'a> Simulator<'a> {
         'sim: while rounds < self.config.max_rounds {
             while engine.occupied() < cap {
                 let (t, key) = self.generator.next_request();
+                if let Some(log) = log.as_deref_mut() {
+                    log.push((t, key));
+                }
                 engine.admit(t, key, 0);
             }
             engine.advance(&mut |_tag, r| {

@@ -343,6 +343,47 @@ fn fast_forwarded_spans_match_bucket_by_bucket_on_every_scheme() {
     );
 }
 
+/// Windowed (time-resolved) observation is as invisible as aggregate
+/// observation: on every scheme, the windowed engine's outcomes are
+/// bit-identical to the plain engine's, and its aggregate hub is
+/// bit-identical to the aggregate-only observed run's — the time axis is
+/// a pure refinement, never a perturbation.
+#[test]
+fn timeline_observed_runs_are_bit_identical_to_plain_runs() {
+    use bda_sim::run_requests_channel_windowed;
+    let (ds, pool) = DatasetBuilder::new(60, 0x0B5E)
+        .build_with_absent_pool(10)
+        .unwrap();
+    let params = Params::paper();
+    for (errors, policy) in [
+        (ErrorModel::NONE, RetryPolicy::UNBOUNDED),
+        (ErrorModel::new(0.15, 0xFA57), RetryPolicy::bounded(2)),
+    ] {
+        for sys in all_systems(&ds, &params) {
+            let requests = request_mix(&ds, &pool, 90, 8 * sys.cycle_len());
+            let plain = run_requests_with_faults(sys.as_ref(), &requests, errors, policy);
+            let (aggregate_only, agg_hub) =
+                run_requests_observed(sys.as_ref(), &requests, errors, policy);
+            let (windowed, win_hub) = run_requests_channel_windowed(
+                sys.as_ref(),
+                &requests,
+                errors.into(),
+                policy,
+                sys.cycle_len(),
+            );
+            let name = sys.scheme_name();
+            assert_eq!(plain, windowed, "{name}: windowing perturbed outcomes");
+            assert_eq!(aggregate_only, windowed);
+            // The windowed hub, with its time series stripped, is the
+            // aggregate hub — windowing refines, it never re-counts.
+            let mut stripped = win_hub.clone();
+            stripped.windows = None;
+            assert_eq!(stripped, agg_hub, "{name}: windowing changed aggregates");
+            assert!(win_hub.windows.is_some());
+        }
+    }
+}
+
 /// The simulator's observed run agrees with its plain run on a non-flat
 /// scheme driven through the full accuracy-controlled testbed.
 #[test]
