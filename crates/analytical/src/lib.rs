@@ -32,6 +32,7 @@
 //! assert!(hash.tuning < dist.tuning && dist.tuning < flat.tuning);
 //! ```
 
+pub mod allocation;
 pub mod availability;
 pub mod btree;
 pub mod disks;
@@ -39,6 +40,10 @@ pub mod flat;
 pub mod hash;
 pub mod signature;
 
+pub use allocation::{
+    best_striped, even_striped, indexed_even, indexed_search, pick_channels, striped_predict,
+    IndexedAllocation, StripedAllocation,
+};
 pub use btree::{distributed, distributed_paper, one_m, tree_shape};
 pub use disks::{flat_disks, signature_disks};
 pub use flat::flat;

@@ -24,6 +24,8 @@ fn main() {
     println!();
     ext_hybrid::run(&cli);
     println!();
+    ext_multichannel::run(&cli);
+    println!();
     ext_tails::run(&cli);
     println!();
     ext_phases::run(&cli);

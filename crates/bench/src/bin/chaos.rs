@@ -3,8 +3,10 @@
 //!
 //! Each cell draws a random scheme, dataset size, channel (i.i.d. or
 //! Gilbert–Elliott burst loss, with or without scheduled outage windows),
-//! retry policy (bounded/unbounded, exponential back-off, seeded jitter)
-//! and optional program churn, then runs the same request batch through:
+//! retry policy (bounded/unbounded, exponential back-off, seeded jitter),
+//! optional program churn and — on roughly a third of the cells — a
+//! multichannel striping group (2–4 channels, randomized tune-switch
+//! cost), then runs the same request batch through:
 //!
 //! * the slab engine with analytical fast-forward **on**,
 //! * the slab engine with fast-forward **off** (bucket-by-bucket),
@@ -14,18 +16,20 @@
 //!
 //! Corruption is a pure function of (bucket instant, seed), so all six
 //! executions must agree outcome-for-outcome; any divergence prints a
-//! one-line reproducer (the cell seed and full parameters) plus
+//! copy-pasteable reproducer (`chaos --cell <seed>` plus the fully
+//! decoded channel/outage/policy/churn/group configuration) and
 //! per-window context — both drivers' completions folded into windowed
 //! time series (one window per broadcast cycle), with the first window
 //! whose outcome counters disagree shown side by side — and exits
 //! non-zero. `--quick` runs a small grid for CI smoke; the default soak
 //! is ~8× larger.
 //!
-//! Flags: `--quick`, `--seed N`, `--cells N`, `--quiet`.
+//! Flags: `--quick`, `--seed N`, `--cells N`, `--cell SEED`, `--quiet`.
 
 use bda_bench::SchemeKind;
 use bda_core::{
-    BurstModel, ChannelModel, DynSystem, ErrorModel, Key, OutageSchedule, RetryPolicy, Ticks,
+    BurstModel, ChannelModel, DynSystem, ErrorModel, GroupConfig, Key, LossModel, OutageSchedule,
+    RetryPolicy, Ticks,
 };
 use bda_datagen::DatasetBuilder;
 use bda_obs::{Completion, MetricsHub, TimeSeries, WindowSpec};
@@ -68,19 +72,53 @@ struct Cell {
     policy: RetryPolicy,
     /// Percent of records churned per cycle (0 = frozen program).
     churn_pct: u32,
+    /// Multichannel striping (`None` = the classic single channel).
+    group: Option<GroupConfig>,
 }
 
 impl Cell {
-    /// Everything needed to rerun this exact cell by hand.
+    /// Everything needed to rerun this exact cell by hand: a
+    /// copy-pasteable invocation (the cell is a pure function of its
+    /// seed) followed by the fully decoded configuration — every channel,
+    /// outage, policy, churn and channel-group parameter spelled out, so
+    /// nothing (in particular a degenerate burst or an implicit outage
+    /// schedule) has to be reverse-engineered from the seed.
     fn reproducer(&self) -> String {
+        let loss = match &self.channel.loss {
+            LossModel::Iid(m) => {
+                format!("loss=iid p={:.6} seed=0x{:X}", m.loss_prob, m.seed)
+            }
+            LossModel::Burst(b) => format!(
+                "loss=burst g2b={:.6} b2g={:.6} loss_good={:.6} loss_bad={:.6} seed=0x{:X}",
+                b.p_good_to_bad, b.p_bad_to_good, b.loss_good, b.loss_bad, b.seed
+            ),
+        };
+        let o = &self.channel.outages;
+        let outages = if self.channel.has_outages() {
+            format!(
+                "outages every={} len={} seed=0x{:X}",
+                o.every, o.len, o.seed
+            )
+        } else {
+            "outages=none".to_string()
+        };
+        let p = &self.policy;
+        let policy = format!(
+            "policy retries={:?} backoff={} cap={} jitter={:?} give_up={:?}",
+            p.max_retries, p.backoff_cycles, p.backoff_cap_cycles, p.jitter_seed, p.give_up_after
+        );
+        let group = match &self.group {
+            Some(g) => format!("channels={} switch_cost={}", g.channels, g.switch_cost),
+            None => "channels=1".to_string(),
+        };
         format!(
-            "cell seed 0x{:X}: scheme={} records={} requests={} channel={:?} policy={:?} churn={}%",
+            "cargo run -p bda-bench --bin chaos -- --cell 0x{:X}\n  \
+             # scheme={} records={} requests={} churn={}%\n  \
+             # {loss}\n  # {outages}\n  # {policy}\n  # {group}",
             self.seed,
             self.kind.name(),
             self.records,
             self.requests,
-            self.channel,
-            self.policy,
             self.churn_pct,
         )
     }
@@ -129,6 +167,15 @@ fn draw_cell(seed: u64) -> Cell {
     } else {
         0
     };
+    // Stripe roughly a third of the cells over a channel group, so the
+    // soak also differentiates the cross-channel routing, the per-channel
+    // fault-seed remix and the tune-switch accounting.
+    let group = if rng.chance(0.35) {
+        let channels = 2 + rng.below(3) as u32;
+        Some(GroupConfig::new(channels, rng.below(600)).expect("2..=4 channels is valid"))
+    } else {
+        None
+    };
     Cell {
         seed,
         kind,
@@ -137,6 +184,7 @@ fn draw_cell(seed: u64) -> Cell {
         channel,
         policy,
         churn_pct,
+        group,
     }
 }
 
@@ -239,17 +287,25 @@ fn run_cell(cell: &Cell) -> Result<CellStats, String> {
         .build_with_absent_pool(8)
         .map_err(|e| e.to_string())?;
     let params = bda_core::Params::paper();
-    let sys: Box<dyn DynSystem> = if cell.churn_pct > 0 {
-        let spec = UpdateSpec {
-            rate: f64::from(cell.churn_pct) / 100.0,
-            seed: cell.seed ^ 0x0DD,
-            horizon_cycles: 16,
-        };
-        cell.kind
+    let spec = UpdateSpec {
+        rate: f64::from(cell.churn_pct) / 100.0,
+        seed: cell.seed ^ 0x0DD,
+        horizon_cycles: 16,
+    };
+    let sys: Box<dyn DynSystem> = match (cell.group, cell.churn_pct > 0) {
+        (Some(config), true) => cell
+            .kind
+            .build_multichannel_versioned(&ds, &params, config, spec)
+            .map_err(|e| e.to_string())?,
+        (Some(config), false) => cell
+            .kind
+            .build_multichannel(&ds, &params, config, None)
+            .map_err(|e| e.to_string())?,
+        (None, true) => cell
+            .kind
             .build_versioned(&ds, &params, spec)
-            .map_err(|e| e.to_string())?
-    } else {
-        cell.kind.build(&ds, &params).map_err(|e| e.to_string())?
+            .map_err(|e| e.to_string())?,
+        (None, false) => cell.kind.build(&ds, &params).map_err(|e| e.to_string())?,
     };
     let requests = request_mix(&ds, &pool, cell.requests, &mut Rng(cell.seed ^ 0x9E9));
 
@@ -318,21 +374,36 @@ struct CellStats {
     stale_restarts: u64,
 }
 
+/// Parse an integer that may carry a `0x` prefix (cell seeds are printed
+/// in hex by the reproducer).
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
 fn main() {
     let mut quick = false;
     let mut quiet = false;
     let mut seed = 0xC4A0_5000u64;
     let mut cells: Option<usize> = None;
+    let mut one_cell: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--quiet" => quiet = true,
             "--seed" => {
-                seed = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("--seed requires an integer");
-                    std::process::exit(2);
-                });
+                seed = args
+                    .next()
+                    .as_deref()
+                    .and_then(parse_u64)
+                    .unwrap_or_else(|| {
+                        eprintln!("--seed requires an integer");
+                        std::process::exit(2);
+                    });
             }
             "--cells" => {
                 cells = Some(args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
@@ -340,12 +411,25 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--cell" => {
+                one_cell = Some(
+                    args.next()
+                        .as_deref()
+                        .and_then(parse_u64)
+                        .unwrap_or_else(|| {
+                            eprintln!("--cell requires a cell seed (decimal or 0x-hex)");
+                            std::process::exit(2);
+                        }),
+                );
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "chaos — randomized burst/outage/churn differential soak\n\
                      flags: --quick    small CI grid (16 cells)\n       \
                      --cells N  explicit cell count\n       \
-                     --seed N   grid seed\n       --quiet    no per-cell narration"
+                     --seed N   grid seed\n       \
+                     --cell S   rerun exactly one cell from its printed seed\n       \
+                     --quiet    no per-cell narration"
                 );
                 std::process::exit(0);
             }
@@ -355,11 +439,31 @@ fn main() {
             }
         }
     }
+    // `--cell` replays one cell from a reproducer line, alone: decode it,
+    // narrate the full configuration, and exit with the cell's verdict.
+    if let Some(cell_seed) = one_cell {
+        let cell = draw_cell(cell_seed);
+        eprintln!("{}", cell.reproducer());
+        match run_cell(&cell) {
+            Ok(stats) => {
+                println!(
+                    "cell 0x{cell_seed:X} ok: all drivers agreed; {} retries, {} abandoned, {} stale restarts",
+                    stats.retries, stats.abandoned, stats.stale_restarts
+                );
+                return;
+            }
+            Err(why) => {
+                eprintln!("DIVERGENCE: {why}");
+                std::process::exit(1);
+            }
+        }
+    }
     let n = cells.unwrap_or(if quick { 16 } else { 128 });
     let mut totals = CellStats::default();
     let mut burst_cells = 0usize;
     let mut outage_cells = 0usize;
     let mut churn_cells = 0usize;
+    let mut multi_cells = 0usize;
     for i in 0..n {
         let cell = draw_cell(
             seed.wrapping_add(i as u64)
@@ -373,6 +477,9 @@ fn main() {
         }
         if cell.churn_pct > 0 {
             churn_cells += 1;
+        }
+        if cell.group.is_some() {
+            multi_cells += 1;
         }
         match run_cell(&cell) {
             Ok(stats) => {
@@ -394,8 +501,7 @@ fn main() {
             }
             Err(why) => {
                 eprintln!("DIVERGENCE: {why}");
-                eprintln!("reproduce with: {}", cell.reproducer());
-                eprintln!("(rerun: chaos --seed <grid seed> --cells {n})");
+                eprintln!("reproduce with:\n{}", cell.reproducer());
                 std::process::exit(1);
             }
         }
@@ -407,8 +513,9 @@ fn main() {
         std::process::exit(1);
     }
     println!(
-        "chaos ok: {n} cells ({burst_cells} burst, {outage_cells} outage, {churn_cells} churn) \
-         agreed across all drivers; {} retries, {} abandoned, {} stale restarts",
+        "chaos ok: {n} cells ({burst_cells} burst, {outage_cells} outage, {churn_cells} churn, \
+         {multi_cells} multichannel) agreed across all drivers; {} retries, {} abandoned, \
+         {} stale restarts",
         totals.retries, totals.abandoned, totals.stale_restarts
     );
 }
@@ -435,6 +542,77 @@ mod tests {
                 version_skews: 0,
             },
         }
+    }
+
+    #[test]
+    fn reproducer_decodes_the_full_cell_config() {
+        // Scan seeds until the draw covers every decoded section at least
+        // once: burst loss, outage schedule, churn and a channel group.
+        let mut saw = (false, false, false, false);
+        for s in 0..256u64 {
+            let cell = draw_cell(s);
+            let repro = cell.reproducer();
+            assert!(
+                repro.starts_with(&format!(
+                    "cargo run -p bda-bench --bin chaos -- --cell 0x{s:X}\n"
+                )),
+                "{repro}"
+            );
+            assert!(repro.contains("loss="), "{repro}");
+            assert!(
+                repro.contains("outages every=") || repro.contains("outages=none"),
+                "{repro}"
+            );
+            assert!(repro.contains("policy retries="), "{repro}");
+            assert!(repro.contains("channels="), "{repro}");
+            match &cell.channel.loss {
+                LossModel::Iid(_) => assert!(repro.contains("loss=iid p="), "{repro}"),
+                LossModel::Burst(b) => {
+                    saw.0 = true;
+                    assert!(
+                        repro.contains(&format!("loss_bad={:.6}", b.loss_bad)),
+                        "{repro}"
+                    );
+                }
+            }
+            if cell.channel.has_outages() {
+                saw.1 = true;
+                assert!(
+                    repro.contains(&format!("len={}", cell.channel.outages.len)),
+                    "{repro}"
+                );
+            }
+            if cell.churn_pct > 0 {
+                saw.2 = true;
+                assert!(
+                    repro.contains(&format!("churn={}%", cell.churn_pct)),
+                    "{repro}"
+                );
+            }
+            if let Some(g) = cell.group {
+                saw.3 = true;
+                assert!(
+                    repro.contains(&format!(
+                        "channels={} switch_cost={}",
+                        g.channels, g.switch_cost
+                    )),
+                    "{repro}"
+                );
+            }
+        }
+        assert_eq!(
+            saw,
+            (true, true, true, true),
+            "256 seeds must cover burst, outage, churn and multichannel cells"
+        );
+    }
+
+    #[test]
+    fn cell_seed_parses_in_both_radixes() {
+        assert_eq!(parse_u64("0x1F"), Some(31));
+        assert_eq!(parse_u64("0X1f"), Some(31));
+        assert_eq!(parse_u64("31"), Some(31));
+        assert_eq!(parse_u64("zzz"), None);
     }
 
     #[test]

@@ -1,0 +1,5 @@
+//! Extension: multichannel broadcast — channel groups, tune-switch
+//! costs, and the air-time allocator at equal aggregate bandwidth.
+fn main() {
+    bda_bench::experiments::ext_multichannel::run(&bda_bench::Cli::parse());
+}

@@ -5,6 +5,7 @@ pub mod ablations;
 pub mod ext_disks;
 pub mod ext_errors;
 pub mod ext_hybrid;
+pub mod ext_multichannel;
 pub mod ext_phases;
 pub mod ext_tails;
 pub mod fig4;

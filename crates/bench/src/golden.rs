@@ -44,6 +44,14 @@ const DISK_KINDS: [SchemeKind; 2] = [SchemeKind::Flat, SchemeKind::Hashing];
 /// chaser (whose index hops amplify burst damage) and one scan layout.
 const BURST_KINDS: [SchemeKind; 2] = [SchemeKind::Distributed, SchemeKind::Signature];
 
+/// The two schemes pinned in their striped multichannel form: one scan
+/// layout and one hash layout.
+const MULTI_KINDS: [SchemeKind; 2] = [SchemeKind::Flat, SchemeKind::Hashing];
+/// Channel count of the multichannel corpus files.
+const MC_CHANNELS: u32 = 4;
+/// Tune-switch cost (ticks) of the multichannel corpus files.
+const MC_SWITCH: Ticks = 256;
+
 /// The two channel variants every scheme is pinned under.
 fn variants() -> [(&'static str, ErrorModel, RetryPolicy); 2] {
     [
@@ -220,6 +228,28 @@ pub fn corpus() -> Vec<(String, String)> {
             ));
         }
     }
+    // Multichannel extension: two schemes pinned striped over four
+    // channels at equal aggregate bandwidth, so the routing directory,
+    // the per-channel fault-seed remix and the tune-switch accounting
+    // are frozen alongside the single-channel programs.
+    for kind in MULTI_KINDS {
+        let config = bda_core::GroupConfig::new(MC_CHANNELS, MC_SWITCH).expect("corpus group");
+        let system = kind
+            .build_multichannel(&ds, &params, config, None)
+            .expect("corpus multichannel build");
+        let reqs = requests(&ds, &pool, 16 * system.cycle_len());
+        for (variant, errors, policy) in variants() {
+            let completed = run_requests_with_faults(system.as_ref(), &reqs, errors, policy);
+            let header = format!(
+                "scheme={} channels={MC_CHANNELS} switch_cost={MC_SWITCH} variant={variant} records={RECORDS} seed={SEED:#x}",
+                kind.name()
+            );
+            files.push((
+                format!("{}_mc{MC_CHANNELS}_{variant}.tsv", file_stem(kind.name())),
+                render(&header, &completed),
+            ));
+        }
+    }
     files
 }
 
@@ -241,10 +271,10 @@ mod tests {
         let b = corpus();
         assert_eq!(a, b, "two generations must be byte-identical");
         // 8 schemes × 2 variants, plus 2 broadcast-disk schemes × 2,
-        // plus 2 bursty-channel schemes × 2.
+        // plus 2 bursty-channel schemes × 2, plus 2 multichannel × 2.
         assert_eq!(
             a.len(),
-            (SchemeKind::ALL.len() + DISK_KINDS.len() + BURST_KINDS.len()) * 2
+            (SchemeKind::ALL.len() + DISK_KINDS.len() + BURST_KINDS.len() + MULTI_KINDS.len()) * 2
         );
         for (name, tsv) in &a {
             assert!(name.ends_with(".tsv"));
@@ -252,6 +282,66 @@ mod tests {
             assert_eq!(tsv.lines().count(), 3 + REQUESTS, "{name}");
             assert!(!tsv.contains("\taborted=1"), "{name}");
         }
+    }
+
+    /// `K = 1` identity over the frozen corpus: wrapping every scheme in
+    /// a one-channel group (non-zero switch cost included — a lone home
+    /// channel never retunes) and replaying the exact corpus requests
+    /// must reproduce the single-channel TSVs byte for byte — the
+    /// lossless and lossy files for all eight schemes, and the bursty
+    /// files for the burst-pinned kinds. This pins the acceptance claim
+    /// that a one-channel group is the single-channel program, not
+    /// merely close to it.
+    #[test]
+    fn k1_groups_replay_the_single_channel_corpus_bit_identically() {
+        let by_name: std::collections::BTreeMap<String, String> = corpus().into_iter().collect();
+        let (ds, pool) = DatasetBuilder::new(RECORDS, SEED)
+            .build_with_absent_pool(8)
+            .expect("corpus dataset");
+        let params = Params::paper();
+        let config = bda_core::GroupConfig::new(1, MC_SWITCH).expect("K=1 group");
+        let mut checked = 0usize;
+        for kind in SchemeKind::ALL {
+            let system = kind
+                .build_multichannel(&ds, &params, config, None)
+                .expect("K=1 multichannel build");
+            let reqs = requests(&ds, &pool, 16 * system.cycle_len());
+            for (variant, errors, policy) in variants() {
+                let completed = run_requests_with_faults(system.as_ref(), &reqs, errors, policy);
+                let header = format!(
+                    "scheme={} variant={variant} records={RECORDS} seed={SEED:#x}",
+                    kind.name()
+                );
+                let name = format!("{}_{variant}.tsv", file_stem(kind.name()));
+                assert_eq!(
+                    &render(&header, &completed),
+                    &by_name[&name],
+                    "{name}: K=1 group diverged from the single-channel program"
+                );
+                checked += 1;
+            }
+        }
+        for kind in BURST_KINDS {
+            let system = kind
+                .build_multichannel(&ds, &params, config, None)
+                .expect("K=1 multichannel build");
+            let reqs = requests(&ds, &pool, 16 * system.cycle_len());
+            for (variant, channel, policy) in burst_variants() {
+                let completed = run_requests_channel(system.as_ref(), &reqs, channel, policy);
+                let header = format!(
+                    "scheme={} variant={variant} records={RECORDS} seed={SEED:#x}",
+                    kind.name()
+                );
+                let name = format!("{}_{variant}.tsv", file_stem(kind.name()));
+                assert_eq!(
+                    &render(&header, &completed),
+                    &by_name[&name],
+                    "{name}: K=1 group diverged from the single-channel program"
+                );
+                checked += 1;
+            }
+        }
+        assert_eq!(checked, (SchemeKind::ALL.len() + BURST_KINDS.len()) * 2);
     }
 
     #[test]

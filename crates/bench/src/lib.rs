@@ -34,7 +34,7 @@ pub mod table;
 
 use bda_obs::{NullProgress, ProgressSink, QuietProgress, StderrProgress};
 
-pub use schemes::SchemeKind;
+pub use schemes::{build_indexed_group, SchemeKind};
 pub use sweep::{run_cell, run_cells, run_cells_with_progress, CellError, CellSpec};
 pub use table::Table;
 

@@ -2,7 +2,8 @@
 
 use bda_btree::{DistributedScheme, OneMScheme};
 use bda_core::{
-    Dataset, DiskConfig, DiskScheme, DynSystem, FlatDisksScheme, Params, Result, Scheme, System,
+    Dataset, DiskConfig, DiskScheme, DynSystem, FlatDisksScheme, GroupConfig, IndexedGroupScheme,
+    Params, Result, Scheme, StripedScheme, System,
 };
 use bda_hash::HashScheme;
 use bda_hybrid::HybridScheme;
@@ -10,7 +11,7 @@ use bda_signature::{
     IntegratedSignatureScheme, MultiLevelSignatureScheme, SimpleSignatureDisksScheme,
     SimpleSignatureScheme,
 };
-use bda_sim::{UpdateSpec, VersionedServer};
+use bda_sim::{StripedVersionedServer, UpdateSpec, VersionedServer};
 
 /// The access methods the paper evaluates, plus the two signature
 /// extensions.
@@ -168,6 +169,141 @@ impl SchemeKind {
             SchemeKind::Hybrid => v(HybridScheme::new(), dataset, params, spec),
         }
     }
+    /// The kinds the multichannel conformance sweeps exercise: one scan
+    /// layout, one hash layout and one signature layout. Every kind
+    /// *builds* striped ([`StripedScheme`] is generic over the inner
+    /// scheme); these three are the representative subset the golden
+    /// corpus, the equivalence wall and the `ext_multichannel` sweep pin.
+    pub const MULTI_CAPABLE: [SchemeKind; 3] =
+        [SchemeKind::Flat, SchemeKind::Hashing, SchemeKind::Signature];
+
+    /// Build the striped multichannel variant of this scheme: the dataset
+    /// is split into `config.channels` contiguous slices (even, or the
+    /// given allocator `partition`), each broadcast as a self-contained
+    /// inner program on its own channel at equal aggregate bandwidth.
+    /// `K = 1` is bit-identical to [`SchemeKind::build`].
+    pub fn build_multichannel(
+        &self,
+        dataset: &Dataset,
+        params: &Params,
+        config: GroupConfig,
+        partition: Option<Vec<usize>>,
+    ) -> Result<Box<dyn DynSystem>> {
+        fn s<Sch: Scheme>(
+            scheme: Sch,
+            ds: &Dataset,
+            p: &Params,
+            config: GroupConfig,
+            partition: Option<Vec<usize>>,
+        ) -> Result<Box<dyn DynSystem>>
+        where
+            Sch::System: 'static,
+            <Sch::System as System>::Machine: 'static,
+        {
+            let striped = match partition {
+                Some(sizes) => StripedScheme::with_partition(scheme, config, sizes),
+                None => StripedScheme::new(scheme, config),
+            };
+            Ok(Box::new(striped.build(ds, p)?))
+        }
+        match self {
+            SchemeKind::Flat => s(bda_core::FlatScheme, dataset, params, config, partition),
+            SchemeKind::OneM => s(OneMScheme::new(), dataset, params, config, partition),
+            SchemeKind::Distributed => {
+                s(DistributedScheme::new(), dataset, params, config, partition)
+            }
+            SchemeKind::Hashing => s(HashScheme::new(), dataset, params, config, partition),
+            SchemeKind::Signature => s(
+                SimpleSignatureScheme::new(),
+                dataset,
+                params,
+                config,
+                partition,
+            ),
+            SchemeKind::IntegratedSignature => s(
+                IntegratedSignatureScheme::default(),
+                dataset,
+                params,
+                config,
+                partition,
+            ),
+            SchemeKind::MultiLevelSignature => s(
+                MultiLevelSignatureScheme::default(),
+                dataset,
+                params,
+                config,
+                partition,
+            ),
+            SchemeKind::Hybrid => s(HybridScheme::new(), dataset, params, config, partition),
+        }
+    }
+
+    /// Build the striped multichannel variant as a **dynamic** group: one
+    /// versioned server per channel, churn streams decorrelated per
+    /// channel. `spec.rate == 0` is bit-identical to the frozen group.
+    pub fn build_multichannel_versioned(
+        &self,
+        dataset: &Dataset,
+        params: &Params,
+        config: GroupConfig,
+        spec: UpdateSpec,
+    ) -> Result<Box<dyn DynSystem>> {
+        fn s<Sch: Scheme>(
+            scheme: Sch,
+            ds: &Dataset,
+            p: &Params,
+            config: GroupConfig,
+            spec: UpdateSpec,
+        ) -> Result<Box<dyn DynSystem>>
+        where
+            Sch::System: 'static,
+            <Sch::System as System>::Machine: 'static,
+        {
+            Ok(Box::new(StripedVersionedServer::build(
+                &scheme, ds, p, config, spec,
+            )?))
+        }
+        match self {
+            SchemeKind::Flat => s(bda_core::FlatScheme, dataset, params, config, spec),
+            SchemeKind::OneM => s(OneMScheme::new(), dataset, params, config, spec),
+            SchemeKind::Distributed => s(DistributedScheme::new(), dataset, params, config, spec),
+            SchemeKind::Hashing => s(HashScheme::new(), dataset, params, config, spec),
+            SchemeKind::Signature => s(SimpleSignatureScheme::new(), dataset, params, config, spec),
+            SchemeKind::IntegratedSignature => s(
+                IntegratedSignatureScheme::default(),
+                dataset,
+                params,
+                config,
+                spec,
+            ),
+            SchemeKind::MultiLevelSignature => s(
+                MultiLevelSignatureScheme::default(),
+                dataset,
+                params,
+                config,
+                spec,
+            ),
+            SchemeKind::Hybrid => s(HybridScheme::new(), dataset, params, config, spec),
+        }
+    }
+}
+
+/// Build the cross-channel **indexed group**: the index (roots +
+/// directory) cycles on channel 0 and points at data buckets striped over
+/// channels `1..K` via `(channel, offset)` bucket references. Not a
+/// [`SchemeKind`] variant — the layout is its own scheme, with an
+/// optional allocator `placement` (one `(channel, slot)` per record).
+pub fn build_indexed_group(
+    dataset: &Dataset,
+    params: &Params,
+    config: GroupConfig,
+    placement: Option<Vec<(u32, u32)>>,
+) -> Result<Box<dyn DynSystem>> {
+    let scheme = match placement {
+        Some(p) => IndexedGroupScheme::with_placement(config, p),
+        None => IndexedGroupScheme::new(config),
+    };
+    Ok(Box::new(scheme?.build(dataset, params)?))
 }
 
 #[cfg(test)]

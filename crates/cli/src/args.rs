@@ -46,6 +46,14 @@ FLAGS:
                          hot records repeat every minor cycle (flat |
                          signature | hashing | distributed; default 1 =
                          unstratified, bit-identical to the flat cycle)
+    --channels K         multichannel broadcast: stripe the program over K
+                         synchronized channels at equal aggregate bandwidth
+                         — every per-channel byte airs K× slower, clients
+                         retune to the channel that carries their key
+                         (inspect/compare/simulate; default 1 = the single
+                         channel, bit-identical to no flag)
+    --switch-cost S      air time one channel retune costs the client, in
+                         bytes (with --channels; default 0)
     --accuracy A         confidence accuracy target (simulate; default 0.02)
     --shards N           worker shards for the event-driven testbed: each
                          round is partitioned across N per-core engines
@@ -101,6 +109,10 @@ pub struct Options {
     pub update_rate: f64,
     /// Broadcast-disk stratification depth (1 = unstratified).
     pub disks: usize,
+    /// Multichannel group width (1 = single channel).
+    pub channels: u32,
+    /// Air time one channel retune costs the client, in bytes.
+    pub switch_cost: u64,
     /// Accuracy target.
     pub accuracy: f64,
     /// Worker shards for the event-driven testbed (simulate).
@@ -133,6 +145,8 @@ impl Default for Options {
             retry: None,
             update_rate: 0.0,
             disks: 1,
+            channels: 1,
+            switch_cost: 0,
             accuracy: 0.02,
             shards: 1,
             json: false,
@@ -187,6 +201,8 @@ impl Options {
                 "--retry" => o.retry = Some(parse_num(flag, val()?)?),
                 "--update-rate" => o.update_rate = parse_num(flag, val()?)?,
                 "--disks" => o.disks = parse_num(flag, val()?)?,
+                "--channels" => o.channels = parse_num(flag, val()?)?,
+                "--switch-cost" => o.switch_cost = parse_num(flag, val()?)?,
                 "--accuracy" => o.accuracy = parse_num(flag, val()?)?,
                 "--shards" => o.shards = parse_num(flag, val()?)?,
                 "--json" => o.json = true,
@@ -228,6 +244,15 @@ impl Options {
         }
         if o.disks == 0 || o.disks > 8 {
             return Err("--disks must be 1..=8".into());
+        }
+        if o.channels == 0 || o.channels > 64 {
+            return Err("--channels must be 1..=64".into());
+        }
+        if o.channels > 1 && o.disks > 1 {
+            return Err(
+                "--channels and --disks are mutually exclusive: stripe or stratify, not both"
+                    .into(),
+            );
         }
         if o.json && o.perfetto {
             return Err("--json and --perfetto are mutually exclusive: pick one rendering".into());
@@ -281,6 +306,16 @@ impl Options {
     /// bit for bit, so it also maps to `None`).
     pub fn disk_config(&self) -> Option<bda_core::DiskConfig> {
         (self.disks > 1).then(|| bda_core::DiskConfig::new(self.disks))
+    }
+
+    /// The multichannel group these flags select (`None` = single
+    /// channel; `--channels 1` is the same program bit for bit — a lone
+    /// home channel never retunes — so it also maps to `None`).
+    pub fn group_config(&self) -> Option<bda_core::GroupConfig> {
+        (self.channels > 1).then(|| {
+            bda_core::GroupConfig::new(self.channels, self.switch_cost)
+                .expect("range-checked by parse")
+        })
     }
 
     /// The dynamic-broadcast update stream these flags select (`None` =
@@ -395,6 +430,27 @@ mod tests {
         assert!(parse(&["--disks", "0"]).is_err());
         assert!(parse(&["--disks", "9"]).is_err());
         assert!(parse(&["--disks"]).is_err());
+    }
+
+    #[test]
+    fn channels_flags_parse_and_map() {
+        assert_eq!(parse(&[]).unwrap().channels, 1);
+        assert!(parse(&[]).unwrap().group_config().is_none());
+        let o = parse(&["--channels", "4", "--switch-cost", "256"]).unwrap();
+        assert_eq!((o.channels, o.switch_cost), (4, 256));
+        let g = o.group_config().expect("K=4 is grouped");
+        assert_eq!((g.channels, g.switch_cost), (4, 256));
+        // K=1 is the single-channel program — no wrapper needed, and a
+        // switch cost is moot on a lone home channel.
+        let one = parse(&["--channels", "1", "--switch-cost", "999"]).unwrap();
+        assert!(one.group_config().is_none());
+        assert!(parse(&["--channels", "0"]).is_err());
+        assert!(parse(&["--channels", "65"]).is_err());
+        assert!(parse(&["--channels"]).is_err());
+        assert!(parse(&["--switch-cost"]).is_err());
+        // Striping a stratified program is not a thing: pick one axis.
+        assert!(parse(&["--channels", "2", "--disks", "3"]).is_err());
+        assert!(parse(&["--channels", "1", "--disks", "3"]).is_ok());
     }
 
     #[test]

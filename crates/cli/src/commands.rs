@@ -2,7 +2,8 @@
 
 use bda_btree::{DistributedScheme, OneMScheme};
 use bda_core::{
-    Dataset, DiskConfig, DiskScheme, DynSystem, FlatDisksScheme, Key, Params, Scheme, System,
+    Dataset, DiskConfig, DiskScheme, DynSystem, FlatDisksScheme, GroupConfig, Key, Params, Scheme,
+    StripedScheme, System,
 };
 use bda_datagen::{DatasetBuilder, Popularity, QueryWorkload};
 use bda_hash::HashScheme;
@@ -12,7 +13,7 @@ use bda_signature::{
     IntegratedSignatureScheme, MultiLevelSignatureScheme, SimpleSignatureDisksScheme,
     SimpleSignatureScheme,
 };
-use bda_sim::{SimConfig, Simulator, UpdateSpec, VersionedServer};
+use bda_sim::{SimConfig, Simulator, StripedVersionedServer, UpdateSpec, VersionedServer};
 
 use crate::args::Options;
 use crate::trace::{describe, trace_query_channel, Trace};
@@ -86,12 +87,58 @@ fn build_disks(
     Ok(sys)
 }
 
+/// Build the striped multichannel variant of a scheme: the dataset is
+/// split into `config.channels` contiguous slices, each broadcast as a
+/// self-contained inner program on its own channel at equal aggregate
+/// bandwidth, with the routing directory on channel 0.
+fn build_striped(
+    name: &str,
+    ds: &Dataset,
+    p: &Params,
+    config: GroupConfig,
+) -> Result<Box<dyn DynSystem>, String> {
+    fn s<Sch: Scheme>(
+        scheme: Sch,
+        ds: &Dataset,
+        p: &Params,
+        config: GroupConfig,
+    ) -> Result<Box<dyn DynSystem>, String>
+    where
+        Sch::System: 'static,
+        <Sch::System as System>::Machine: 'static,
+    {
+        Ok(Box::new(
+            StripedScheme::new(scheme, config)
+                .build(ds, p)
+                .map_err(|e| e.to_string())?,
+        ))
+    }
+    match name {
+        "flat" => s(bda_core::FlatScheme, ds, p, config),
+        "one-m" | "(1,m)" => s(OneMScheme::new(), ds, p, config),
+        "distributed" => s(DistributedScheme::new(), ds, p, config),
+        "hashing" => s(HashScheme::new(), ds, p, config),
+        "signature" => s(SimpleSignatureScheme::new(), ds, p, config),
+        "integrated-signature" => s(IntegratedSignatureScheme::default(), ds, p, config),
+        "multilevel-signature" => s(MultiLevelSignatureScheme::default(), ds, p, config),
+        "hybrid" => s(HybridScheme::new(), ds, p, config),
+        other => Err(format!(
+            "unknown scheme {other:?} (try: {})",
+            SCHEMES.join(", ")
+        )),
+    }
+}
+
 fn build_dyn(
     name: &str,
     ds: &Dataset,
     p: &Params,
     disks: Option<DiskConfig>,
+    group: Option<GroupConfig>,
 ) -> Result<Box<dyn DynSystem>, String> {
+    if let Some(g) = group {
+        return build_striped(name, ds, p, g);
+    }
     if let Some(d) = disks {
         return build_disks(name, ds, p, d);
     }
@@ -147,7 +194,42 @@ fn build_versioned(
     p: &Params,
     spec: UpdateSpec,
     disks: Option<DiskConfig>,
+    group: Option<GroupConfig>,
 ) -> Result<Box<dyn DynSystem>, String> {
+    fn vs<Sch: Scheme>(
+        scheme: Sch,
+        ds: &Dataset,
+        p: &Params,
+        config: GroupConfig,
+        spec: UpdateSpec,
+    ) -> Result<Box<dyn DynSystem>, String>
+    where
+        Sch::System: 'static,
+        <Sch::System as System>::Machine: 'static,
+    {
+        Ok(Box::new(
+            StripedVersionedServer::build(&scheme, ds, p, config, spec)
+                .map_err(|e| e.to_string())?,
+        ))
+    }
+    if let Some(g) = group {
+        // A churning multichannel group: one versioned server per
+        // channel, churn streams decorrelated per channel.
+        return match name {
+            "flat" => vs(bda_core::FlatScheme, ds, p, g, spec),
+            "one-m" | "(1,m)" => vs(OneMScheme::new(), ds, p, g, spec),
+            "distributed" => vs(DistributedScheme::new(), ds, p, g, spec),
+            "hashing" => vs(HashScheme::new(), ds, p, g, spec),
+            "signature" => vs(SimpleSignatureScheme::new(), ds, p, g, spec),
+            "integrated-signature" => vs(IntegratedSignatureScheme::default(), ds, p, g, spec),
+            "multilevel-signature" => vs(MultiLevelSignatureScheme::default(), ds, p, g, spec),
+            "hybrid" => vs(HybridScheme::new(), ds, p, g, spec),
+            other => Err(format!(
+                "unknown scheme {other:?} (try: {})",
+                SCHEMES.join(", ")
+            )),
+        };
+    }
     fn v<Sch: Scheme>(
         scheme: Sch,
         ds: &Dataset,
@@ -198,8 +280,8 @@ fn build_system(
     p: &Params,
 ) -> Result<Box<dyn DynSystem>, String> {
     match o.update_spec() {
-        Some(spec) => build_versioned(name, ds, p, spec, o.disk_config()),
-        None => build_dyn(name, ds, p, o.disk_config()),
+        Some(spec) => build_versioned(name, ds, p, spec, o.disk_config(), o.group_config()),
+        None => build_dyn(name, ds, p, o.disk_config(), o.group_config()),
     }
 }
 
@@ -207,7 +289,7 @@ fn build_system(
 pub fn inspect(o: &Options) -> Result<(), String> {
     let p = params(o)?;
     let (ds, _) = dataset(o)?;
-    let sys = build_dyn(&o.scheme, &ds, &p, o.disk_config())?;
+    let sys = build_dyn(&o.scheme, &ds, &p, o.disk_config(), o.group_config())?;
     let cycle = sys.cycle_len();
     let buckets = sys.num_buckets();
     let data_bytes = ds.len() as u64 * u64::from(p.data_bucket_size());
@@ -227,6 +309,16 @@ pub fn inspect(o: &Options) -> Result<(), String> {
         cycle.saturating_sub(data_bytes),
     );
 
+    if let Some(g) = o.group_config() {
+        println!(
+            "channels          : {} (per-channel bytes air {}× slower — equal aggregate bandwidth)",
+            g.channels, g.channels
+        );
+        println!("switch cost       : {} bytes per retune", g.switch_cost);
+        // The typed per-scheme stats below describe the single-channel
+        // build; skip them for a channel group.
+        return Ok(());
+    }
     if let Some(d) = o.disk_config() {
         let layout = bda_core::DiskLayout::new(ds.len(), &d);
         println!(
@@ -295,6 +387,13 @@ fn fault_note(o: &Options) -> String {
 
 /// `bda-cli trace` — bucket-by-bucket timeline of one query.
 pub fn trace(o: &Options) -> Result<(), String> {
+    if o.group_config().is_some() {
+        return Err(
+            "trace renders a single broadcast channel — drop --channels \
+             (inspect, compare and simulate support channel groups)"
+                .into(),
+        );
+    }
     let p = params(o)?;
     let (ds, _) = dataset(o)?;
     let key = match (o.key, o.key_index) {
@@ -505,6 +604,8 @@ pub fn compare(o: &Options) -> Result<(), String> {
         },
         if o.disks > 1 {
             format!(" · {} broadcast disks", o.disks)
+        } else if o.channels > 1 {
+            format!(" · {} channels (switch {}B)", o.channels, o.switch_cost)
         } else {
             String::new()
         }
@@ -674,6 +775,12 @@ pub fn simulate(o: &Options) -> Result<(), String> {
         println!("stale restarts: {}", r.stale_restarts);
     }
     println!("cycle length  : {} bytes", r.cycle_len);
+    if o.channels > 1 {
+        println!(
+            "channels      : {} at equal aggregate bandwidth ({} bytes/retune)",
+            o.channels, o.switch_cost
+        );
+    }
     if o.shards > 1 {
         println!(
             "shards        : {} (deterministic merge — identical to 1)",

@@ -38,6 +38,7 @@ pub mod errors_model;
 pub mod flat;
 pub mod key;
 pub mod machine;
+pub mod multichannel;
 pub mod params;
 pub mod record;
 pub mod scheme;
@@ -64,6 +65,12 @@ pub use machine::{
     run_machine_observed, run_machine_observed_channel, run_machine_with_channel,
     run_machine_with_errors, run_machine_with_policy, AccessOutcome, Action, FastForward,
     ProtocolMachine, StaleResponse, Verdict, Walk, WalkStep,
+};
+pub use multichannel::{
+    channel_model_for, error_model_for, even_partition, patch_outcome, patch_spans, remix_seed,
+    BucketRef, GroupConfig, GroupPayload, GroupSlot, GroupWalk, IndexedGroupScheme,
+    IndexedGroupSystem, ObservedStripedSlot, StripedScheme, StripedSlot, StripedSystem,
+    SwitchedRun,
 };
 pub use params::Params;
 pub use record::{Dataset, Record};

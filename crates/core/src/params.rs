@@ -87,6 +87,26 @@ impl Params {
         ((budget / per_entry.max(1)) as usize).max(2)
     }
 
+    /// Dilate every sizing field by `k`, modelling a channel whose raw bit
+    /// rate is `1/k` of the baseline.
+    ///
+    /// Splitting one broadcast channel into `k` parallel channels of equal
+    /// aggregate bandwidth slows each channel down by `k×`: every byte now
+    /// takes `k` ticks of the shared group clock to air. Rather than thread
+    /// a tick-per-byte ratio through every scheme, the multichannel layer
+    /// scales the *byte sizes* themselves — `scaled(k).data_bucket_size()`
+    /// is exactly `k * data_bucket_size()`, and the index fanout
+    /// ([`Params::index_entries_per_bucket`]) is unchanged because every
+    /// term of its ratio scales together. `scaled(1)` is the identity.
+    pub fn scaled(&self, k: u32) -> Self {
+        Params {
+            record_size: self.record_size * k,
+            key_size: self.key_size * k,
+            ptr_size: self.ptr_size * k,
+            header_size: self.header_size * k,
+        }
+    }
+
     /// Validate that the configuration can frame at least one record and one
     /// index entry per bucket.
     pub fn validate(&self) -> Result<()> {
@@ -151,6 +171,22 @@ mod tests {
         let large = Params::with_record_key_ratio(100).unwrap();
         assert!(large.index_entries_per_bucket() > small.index_entries_per_bucket());
         assert!(small.index_entries_per_bucket() >= 2);
+    }
+
+    #[test]
+    fn scaled_dilates_exactly_and_preserves_fanout() {
+        let p = Params::paper();
+        assert_eq!(p.scaled(1), p);
+        for k in [2u32, 4, 8] {
+            let s = p.scaled(k);
+            assert_eq!(s.data_bucket_size(), k * p.data_bucket_size());
+            assert_eq!(
+                s.index_entries_per_bucket(),
+                p.index_entries_per_bucket(),
+                "fanout is a ratio of sizes and must be scale-invariant"
+            );
+            s.validate().unwrap();
+        }
     }
 
     #[test]

@@ -79,6 +79,16 @@ pub trait QueryRun {
     fn now(&self) -> Ticks;
 }
 
+impl<T: QueryRun + ?Sized> QueryRun for Box<T> {
+    fn step(&mut self) -> WalkStep {
+        (**self).step()
+    }
+
+    fn now(&self) -> Ticks {
+        (**self).now()
+    }
+}
+
 impl<P, M: ProtocolMachine<P>, R: Recorder> QueryRun for Walk<'_, P, M, R> {
     fn step(&mut self) -> WalkStep {
         Walk::step(self)

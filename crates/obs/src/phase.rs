@@ -2,7 +2,7 @@
 //!
 //! Every externally visible step of a client query — one bucket read or
 //! one doze — is attributed to exactly one [`Phase`], so the paper's two
-//! metrics (access time and tuning time) decompose into a six-way
+//! metrics (access time and tuning time) decompose into a seven-way
 //! breakdown per scheme. Attribution happens in the walkers at the moment
 //! the step's byte cost is known, which makes the decomposition *exact by
 //! construction*: per-phase access bytes sum to the walk's access time and
@@ -37,11 +37,16 @@ pub enum Phase {
     /// Reads of buckets whose broadcast-program version differed from the
     /// walk's anchor version (dynamic broadcast only).
     StaleRecovery,
+    /// Radio retuning from one channel of a multichannel group to another
+    /// — elapsed air time with the radio settling, so access time with no
+    /// tuning cost (like [`Phase::Doze`], but attributable to the group
+    /// topology rather than the schedule).
+    ChannelSwitch,
 }
 
 impl Phase {
     /// Number of phases.
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 7;
 
     /// All phases, in canonical (display and index) order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -51,6 +56,7 @@ impl Phase {
         Phase::DataRead,
         Phase::Retry,
         Phase::StaleRecovery,
+        Phase::ChannelSwitch,
     ];
 
     /// Dense index, `0..COUNT`, matching [`Phase::ALL`] order.
@@ -62,6 +68,7 @@ impl Phase {
             Phase::DataRead => 3,
             Phase::Retry => 4,
             Phase::StaleRecovery => 5,
+            Phase::ChannelSwitch => 6,
         }
     }
 
@@ -74,6 +81,7 @@ impl Phase {
             Phase::DataRead => "data_read",
             Phase::Retry => "retry",
             Phase::StaleRecovery => "stale_recovery",
+            Phase::ChannelSwitch => "channel_switch",
         }
     }
 }

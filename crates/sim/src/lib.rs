@@ -45,7 +45,7 @@ pub use engine::{
 };
 pub use reqgen::RequestGenerator;
 pub use results::ResultHandler;
-pub use server::{BroadcastServer, VersionedServer};
+pub use server::{BroadcastServer, StripedVersionedServer, VersionedServer};
 pub use sharded::{
     run_requests_partitioned, run_requests_sharded, run_requests_sharded_channel,
     run_requests_sharded_observed, run_requests_sharded_with_faults, ShardRun, ShardedEngine,

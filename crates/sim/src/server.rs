@@ -2,11 +2,12 @@
 //! counterpart, [`VersionedServer`].
 
 use bda_core::{
+    channel_model_for, error_model_for, even_partition, patch_outcome, patch_spans, remix_seed,
     run_versioned, run_versioned_observed, run_versioned_observed_channel,
     run_versioned_with_channel, run_versioned_with_policy, AccessOutcome, ChannelModel, Dataset,
-    DynSystem, Epoch, ErrorModel, Key, ObservedVersionedSlot, Params, PhaseSpans, ProgramTimeline,
-    QueryRun, QuerySlot, Record, Result, RetryPolicy, Scheme, System, Ticks, VersionedSlot,
-    VersionedWalk,
+    DynSystem, Epoch, ErrorModel, GroupConfig, Key, ObservedVersionedSlot, Params, PhaseSpans,
+    ProgramTimeline, QueryRun, QuerySlot, Record, Result, RetryPolicy, Scheme, SwitchedRun, System,
+    Ticks, VersionedSlot, VersionedWalk, WalkStep,
 };
 
 use crate::updates::{UpdateSpec, UpdateStream};
@@ -337,6 +338,418 @@ where
     }
 }
 
+/// A striped **dynamic** broadcast group — the multichannel counterpart
+/// of [`VersionedServer`]: the key-sorted dataset is split into
+/// contiguous slices, each slice becomes its own [`VersionedServer`] on
+/// its own channel (under [`Params::scaled`] dilation for equal aggregate
+/// bandwidth), and each channel's update stream runs with a
+/// deterministically remixed seed ([`remix_seed`]) so churn is
+/// decorrelated across channels while channel 0 keeps the base stream.
+///
+/// Routing uses the **initial** partition's bounds, frozen for the whole
+/// horizon. A known wart follows: an update stream may insert a key
+/// outside its slice's initial key range, and such a key still routes by
+/// the frozen bounds — the covering channel answers not-found from the
+/// air even though a *different* channel broadcasts the record.
+/// Cross-slice rebalancing is a server-side re-partition (a new group
+/// build), not something a client-side routing directory can track;
+/// every driver sees the same frozen directory, so cross-driver
+/// equivalence is unaffected.
+pub struct StripedVersionedServer<S: System> {
+    channels: Vec<VersionedServer<S>>,
+    bounds: Vec<u64>,
+    switch_cost: Ticks,
+}
+
+impl<S: System> StripedVersionedServer<S> {
+    /// Build the group: even contiguous partition of `dataset` over
+    /// `config.channels` (clamped to the dataset size), one versioned
+    /// server per slice, channel `g`'s update stream seeded with
+    /// `remix_seed(spec.seed, g)`.
+    pub fn build<Sch>(
+        scheme: &Sch,
+        dataset: &Dataset,
+        params: &Params,
+        config: GroupConfig,
+        spec: UpdateSpec,
+    ) -> Result<Self>
+    where
+        Sch: Scheme<System = S>,
+    {
+        let n = dataset.len();
+        let k = (config.channels as usize).min(n).max(1);
+        let sizes = even_partition(n, k);
+        let scaled = params.scaled(k as u32);
+        let mut channels = Vec::with_capacity(k);
+        let mut bounds = Vec::with_capacity(k);
+        let mut lo = 0usize;
+        for (g, &len) in sizes.iter().enumerate() {
+            let slice = &dataset.records()[lo..lo + len];
+            bounds.push(slice[0].key.0);
+            let slice_ds = Dataset::new(slice.to_vec())?;
+            let slice_spec = UpdateSpec {
+                seed: remix_seed(spec.seed, g as u32),
+                ..spec
+            };
+            channels.push(VersionedServer::build(
+                scheme, &slice_ds, &scaled, slice_spec,
+            )?);
+            lo += len;
+        }
+        Ok(StripedVersionedServer {
+            channels,
+            bounds,
+            switch_cost: config.switch_cost,
+        })
+    }
+
+    /// Number of channels in the group.
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Air time one retune costs, in ticks.
+    pub fn switch_cost(&self) -> Ticks {
+        self.switch_cost
+    }
+
+    /// Channel `g`'s versioned server.
+    pub fn channel_server(&self, g: usize) -> &VersionedServer<S> {
+        &self.channels[g]
+    }
+
+    /// The frozen routing directory: first initial key of each slice.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// The channel a query for `key` tunes to.
+    pub fn route(&self, key: Key) -> usize {
+        self.bounds
+            .partition_point(|&b| b <= key.0)
+            .saturating_sub(1)
+    }
+
+    fn route_with_cost(&self, key: Key) -> (usize, Ticks) {
+        let g = self.route(key);
+        let sw = if g == 0 { 0 } else { self.switch_cost };
+        (g, sw)
+    }
+}
+
+impl<S: System> std::fmt::Debug for StripedVersionedServer<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StripedVersionedServer")
+            .field(
+                "scheme",
+                &System::scheme_name(&self.channels[0].timeline().epoch(0).system),
+            )
+            .field("channels", &self.channels.len())
+            .field("switch_cost", &self.switch_cost)
+            .finish()
+    }
+}
+
+/// The reusable [`QuerySlot`] of a striped versioned group: routes each
+/// query at [`QuerySlot::start`], arms the target channel's own
+/// (versioned) slot behind the channel-derived fault model, and patches
+/// the switch cost into the final outcome and spans.
+struct RoutedVersionedSlot<'a, S: System>
+where
+    S::Machine: 'static,
+{
+    server: &'a StripedVersionedServer<S>,
+    base: ChannelModel,
+    policy: RetryPolicy,
+    observed: bool,
+    ff: bool,
+    inner: Option<Box<dyn QuerySlot + 'a>>,
+    pending: Ticks,
+    patched: Option<PhaseSpans>,
+}
+
+impl<'a, S: System> RoutedVersionedSlot<'a, S>
+where
+    S::Machine: 'static,
+{
+    fn new(
+        server: &'a StripedVersionedServer<S>,
+        base: ChannelModel,
+        policy: RetryPolicy,
+        observed: bool,
+    ) -> Self {
+        RoutedVersionedSlot {
+            server,
+            base,
+            policy,
+            observed,
+            ff: false,
+            inner: None,
+            pending: 0,
+            patched: None,
+        }
+    }
+}
+
+impl<S: System> QuerySlot for RoutedVersionedSlot<'_, S>
+where
+    S::Machine: 'static,
+{
+    fn start(&mut self, key: Key, tune_in: Ticks) {
+        let (g, sw) = self.server.route_with_cost(key);
+        let ch = &self.server.channels[g];
+        let model = channel_model_for(self.base, g as u32);
+        let mut inner = if self.observed {
+            ch.make_slot_channel_observed(model, self.policy)
+        } else {
+            ch.make_slot_channel(model, self.policy)
+        };
+        inner.set_fast_forward(self.ff);
+        inner.start(key, tune_in.saturating_add(sw));
+        self.inner = Some(inner);
+        self.pending = sw;
+        self.patched = None;
+    }
+
+    fn set_fast_forward(&mut self, enabled: bool) {
+        self.ff = enabled;
+        if let Some(inner) = self.inner.as_mut() {
+            inner.set_fast_forward(enabled);
+        }
+    }
+
+    fn step(&mut self) -> WalkStep {
+        let inner = self.inner.as_mut().expect("QuerySlot::step before start");
+        match inner.step() {
+            WalkStep::Done(out) => {
+                if self.observed {
+                    let spans = inner.spans().copied().unwrap_or_default();
+                    self.patched = Some(patch_spans(spans, self.pending));
+                }
+                WalkStep::Done(patch_outcome(out, self.pending))
+            }
+            s => s,
+        }
+    }
+
+    fn now(&self) -> Ticks {
+        self.inner
+            .as_ref()
+            .expect("QuerySlot::now before start")
+            .now()
+    }
+
+    fn is_done(&self) -> bool {
+        self.inner.as_ref().map_or(true, |i| i.is_done())
+    }
+
+    fn spans(&self) -> Option<&PhaseSpans> {
+        if !self.observed {
+            return None;
+        }
+        self.patched
+            .as_ref()
+            .or_else(|| self.inner.as_ref().and_then(|i| i.spans()))
+    }
+}
+
+impl<S: System> DynSystem for StripedVersionedServer<S>
+where
+    S::Machine: 'static,
+{
+    fn scheme_name(&self) -> &'static str {
+        DynSystem::scheme_name(&self.channels[0])
+    }
+
+    fn cycle_len(&self) -> Ticks {
+        // The longest per-channel cycle — same convention as the frozen
+        // striped group.
+        self.channels
+            .iter()
+            .map(DynSystem::cycle_len)
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn num_buckets(&self) -> usize {
+        self.channels.iter().map(DynSystem::num_buckets).sum()
+    }
+
+    fn probe(&self, key: Key, tune_in: Ticks) -> AccessOutcome {
+        let (g, sw) = self.route_with_cost(key);
+        patch_outcome(self.channels[g].probe(key, tune_in.saturating_add(sw)), sw)
+    }
+
+    fn probe_with_errors(&self, key: Key, tune_in: Ticks, errors: ErrorModel) -> AccessOutcome {
+        self.probe_with_policy(key, tune_in, errors, RetryPolicy::UNBOUNDED)
+    }
+
+    fn probe_with_policy(
+        &self,
+        key: Key,
+        tune_in: Ticks,
+        errors: ErrorModel,
+        policy: RetryPolicy,
+    ) -> AccessOutcome {
+        let (g, sw) = self.route_with_cost(key);
+        patch_outcome(
+            self.channels[g].probe_with_policy(
+                key,
+                tune_in.saturating_add(sw),
+                error_model_for(errors, g as u32),
+                policy,
+            ),
+            sw,
+        )
+    }
+
+    fn begin(&self, key: Key, tune_in: Ticks) -> Box<dyn QueryRun + '_> {
+        let (g, sw) = self.route_with_cost(key);
+        let run = self.channels[g].begin(key, tune_in.saturating_add(sw));
+        if sw == 0 {
+            run
+        } else {
+            Box::new(SwitchedRun::new(run, sw))
+        }
+    }
+
+    fn begin_with_faults(
+        &self,
+        key: Key,
+        tune_in: Ticks,
+        errors: ErrorModel,
+        policy: RetryPolicy,
+    ) -> Box<dyn QueryRun + '_> {
+        let (g, sw) = self.route_with_cost(key);
+        let run = self.channels[g].begin_with_faults(
+            key,
+            tune_in.saturating_add(sw),
+            error_model_for(errors, g as u32),
+            policy,
+        );
+        if sw == 0 {
+            run
+        } else {
+            Box::new(SwitchedRun::new(run, sw))
+        }
+    }
+
+    fn make_slot(&self) -> Box<dyn QuerySlot + '_> {
+        Box::new(RoutedVersionedSlot::new(
+            self,
+            ChannelModel::NONE,
+            RetryPolicy::UNBOUNDED,
+            false,
+        ))
+    }
+
+    fn make_slot_with_faults(
+        &self,
+        errors: ErrorModel,
+        policy: RetryPolicy,
+    ) -> Box<dyn QuerySlot + '_> {
+        Box::new(RoutedVersionedSlot::new(self, errors.into(), policy, false))
+    }
+
+    fn probe_recorded(
+        &self,
+        key: Key,
+        tune_in: Ticks,
+        errors: ErrorModel,
+        policy: RetryPolicy,
+    ) -> (AccessOutcome, PhaseSpans) {
+        let (g, sw) = self.route_with_cost(key);
+        let (out, spans) = self.channels[g].probe_recorded(
+            key,
+            tune_in.saturating_add(sw),
+            error_model_for(errors, g as u32),
+            policy,
+        );
+        (patch_outcome(out, sw), patch_spans(spans, sw))
+    }
+
+    fn make_slot_observed(
+        &self,
+        errors: ErrorModel,
+        policy: RetryPolicy,
+    ) -> Box<dyn QuerySlot + '_> {
+        Box::new(RoutedVersionedSlot::new(self, errors.into(), policy, true))
+    }
+
+    fn probe_with_channel(
+        &self,
+        key: Key,
+        tune_in: Ticks,
+        channel: ChannelModel,
+        policy: RetryPolicy,
+    ) -> AccessOutcome {
+        let (g, sw) = self.route_with_cost(key);
+        patch_outcome(
+            self.channels[g].probe_with_channel(
+                key,
+                tune_in.saturating_add(sw),
+                channel_model_for(channel, g as u32),
+                policy,
+            ),
+            sw,
+        )
+    }
+
+    fn probe_recorded_channel(
+        &self,
+        key: Key,
+        tune_in: Ticks,
+        channel: ChannelModel,
+        policy: RetryPolicy,
+    ) -> (AccessOutcome, PhaseSpans) {
+        let (g, sw) = self.route_with_cost(key);
+        let (out, spans) = self.channels[g].probe_recorded_channel(
+            key,
+            tune_in.saturating_add(sw),
+            channel_model_for(channel, g as u32),
+            policy,
+        );
+        (patch_outcome(out, sw), patch_spans(spans, sw))
+    }
+
+    fn begin_with_channel(
+        &self,
+        key: Key,
+        tune_in: Ticks,
+        channel: ChannelModel,
+        policy: RetryPolicy,
+    ) -> Box<dyn QueryRun + '_> {
+        let (g, sw) = self.route_with_cost(key);
+        let run = self.channels[g].begin_with_channel(
+            key,
+            tune_in.saturating_add(sw),
+            channel_model_for(channel, g as u32),
+            policy,
+        );
+        if sw == 0 {
+            run
+        } else {
+            Box::new(SwitchedRun::new(run, sw))
+        }
+    }
+
+    fn make_slot_channel(
+        &self,
+        channel: ChannelModel,
+        policy: RetryPolicy,
+    ) -> Box<dyn QuerySlot + '_> {
+        Box::new(RoutedVersionedSlot::new(self, channel, policy, false))
+    }
+
+    fn make_slot_channel_observed(
+        &self,
+        channel: ChannelModel,
+        policy: RetryPolicy,
+    ) -> Box<dyn QuerySlot + '_> {
+        Box::new(RoutedVersionedSlot::new(self, channel, policy, true))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -429,6 +842,87 @@ mod tests {
         for t in [0u64, 17, 500, 9999] {
             for k in [0u64, 20, 35] {
                 assert_eq!(server.probe(Key(k), t), frozen.probe(Key(k), t));
+            }
+        }
+    }
+
+    #[test]
+    fn striped_k1_zero_rate_is_bit_identical_to_the_plain_server() {
+        let d = ds(&[0, 10, 20, 30, 40, 50]);
+        let p = Params::paper();
+        let spec = UpdateSpec::rate(0.0, 7);
+        let plain = VersionedServer::build(&FlatScheme, &d, &p, spec).unwrap();
+        let striped = StripedVersionedServer::build(
+            &FlatScheme,
+            &d,
+            &p,
+            bda_core::GroupConfig::new(1, 9_999).unwrap(),
+            spec,
+        )
+        .unwrap();
+        assert_eq!(striped.num_channels(), 1);
+        for t in [0u64, 17, 500, 9999] {
+            for k in [0u64, 30, 55] {
+                assert_eq!(striped.probe(Key(k), t), plain.probe(Key(k), t));
+            }
+        }
+    }
+
+    #[test]
+    fn striped_zero_rate_matches_the_frozen_striped_group() {
+        let d = ds(&[0, 10, 20, 30, 40, 50, 60, 70, 80]);
+        let p = Params::paper();
+        let config = bda_core::GroupConfig::new(3, 700).unwrap();
+        let frozen = bda_core::StripedScheme::new(FlatScheme, config)
+            .build(&d, &p)
+            .unwrap();
+        let striped =
+            StripedVersionedServer::build(&FlatScheme, &d, &p, config, UpdateSpec::rate(0.0, 3))
+                .unwrap();
+        assert_eq!(striped.bounds(), frozen.bounds());
+        for t in [0u64, 123, 4567] {
+            for k in [0u64, 25, 30, 60, 85, 95] {
+                assert_eq!(
+                    striped.probe(Key(k), t),
+                    frozen.probe(Key(k), t),
+                    "key {k} at t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn striped_churn_decorrelates_channels_and_stays_deterministic() {
+        let d = ds(&(0..32).map(|i| i * 10).collect::<Vec<_>>());
+        let p = Params::paper();
+        let config = bda_core::GroupConfig::new(4, 512).unwrap();
+        let spec = UpdateSpec::rate(0.25, 41);
+        let a = StripedVersionedServer::build(&FlatScheme, &d, &p, config, spec).unwrap();
+        assert_eq!(a.num_channels(), 4);
+        assert!(
+            (0..4).any(|g| a.channel_server(g).num_epochs() > 1),
+            "25% churn must version at least one channel"
+        );
+        // Channel epoch histories differ (remixed seeds decorrelate them)…
+        let histories: Vec<Vec<Ticks>> = (0..4)
+            .map(|g| {
+                a.channel_server(g)
+                    .timeline()
+                    .epochs()
+                    .iter()
+                    .map(|e| e.start)
+                    .collect()
+            })
+            .collect();
+        assert!(
+            histories.iter().any(|h| h != &histories[0]),
+            "all channels churned identically: {histories:?}"
+        );
+        // …while the whole group stays reproducible.
+        let b = StripedVersionedServer::build(&FlatScheme, &d, &p, config, spec).unwrap();
+        for t in [0u64, 999, 31_337] {
+            for k in [0u64, 105, 200, 315] {
+                assert_eq!(a.probe(Key(k), t), b.probe(Key(k), t));
             }
         }
     }
